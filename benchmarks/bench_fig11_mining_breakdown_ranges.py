@@ -1,0 +1,112 @@
+"""Fig. 11: specification mining, runtime breakdown, and range analysis.
+
+* Fig. 11a — observation-set size vs enumeration time, for the SAT-based
+  miner and the fast reference-implementation miner ("refset").
+* Fig. 11b — average breakdown of total runtime into specification mining,
+  encoding, and refutation.
+* Fig. 11c — runtime with vs without the range analysis of Section 3.4.
+"""
+
+import pytest
+
+from repro.harness.reporting import format_table
+from repro.harness.runner import breakdown, mining_point, range_analysis_comparison
+
+_MINING_CASES = [
+    ("msn", "T0"),
+    ("msn", "Ti2"),
+    ("ms2", "T0"),
+    ("harris", "Sac"),
+    ("lazylist", "Sac"),
+]
+
+_MINING_POINTS = []
+
+
+@pytest.mark.parametrize("implementation,test_name", _MINING_CASES)
+@pytest.mark.parametrize("method", ["reference", "sat"])
+def test_fig11a_specification_mining(benchmark, implementation, test_name, method):
+    point = benchmark.pedantic(
+        mining_point, args=(implementation, test_name, method),
+        rounds=1, iterations=1,
+    )
+    assert point.observation_set_size > 0
+    _MINING_POINTS.append(point)
+
+
+def test_fig11a_report(capsys):
+    assert _MINING_POINTS
+    headers = ["impl", "test", "method", "|S|", "time[s]"]
+    rows = [
+        (p.implementation, p.test, p.method, p.observation_set_size,
+         f"{p.mining_seconds:.3f}")
+        for p in _MINING_POINTS
+    ]
+    with capsys.disabled():
+        print("\nFig. 11 (a): specification mining\n")
+        print(format_table(headers, rows))
+    # The paper's observation: the reference ("refset") miner is much faster
+    # than SAT enumeration on the same tests.
+    by_key = {}
+    for point in _MINING_POINTS:
+        by_key.setdefault((point.implementation, point.test), {})[point.method] = point
+    for (implementation, test_name), methods in by_key.items():
+        if {"sat", "reference"} <= set(methods):
+            assert (
+                methods["reference"].mining_seconds
+                <= methods["sat"].mining_seconds
+            ), f"refset slower than SAT mining on {implementation}/{test_name}"
+            assert (
+                methods["reference"].observation_set_size
+                == methods["sat"].observation_set_size
+            )
+
+
+_BREAKDOWN_CASES = [("msn", "T0"), ("ms2", "T0"), ("harris", "Sac")]
+
+
+@pytest.mark.parametrize("implementation,test_name", _BREAKDOWN_CASES)
+def test_fig11b_runtime_breakdown(benchmark, implementation, test_name, capsys):
+    result = benchmark.pedantic(
+        breakdown, args=(implementation, test_name, "relaxed", "sat"),
+        rounds=1, iterations=1,
+    )
+    shares = result.shares()
+    with capsys.disabled():
+        rendered = ", ".join(f"{k}: {v:.0%}" for k, v in shares.items())
+        print(f"\nFig. 11 (b) {implementation}/{test_name}: {rendered}")
+    assert abs(sum(shares.values()) - 1.0) < 1e-9
+    # Every phase takes part of the time (mining is a nontrivial share, as in
+    # the paper's 38% average).
+    assert shares["specification mining"] > 0
+
+
+_RANGE_CASES = [("msn", "T0"), ("ms2", "T0"), ("harris", "Sac")]
+_RANGE_RESULTS = []
+
+
+@pytest.mark.parametrize("implementation,test_name", _RANGE_CASES)
+def test_fig11c_range_analysis_impact(benchmark, implementation, test_name):
+    comparison = benchmark.pedantic(
+        range_analysis_comparison, args=(implementation, test_name),
+        rounds=1, iterations=1,
+    )
+    _RANGE_RESULTS.append(comparison)
+    # The analysis must shrink the formula; the paper reports an average 42%
+    # runtime improvement, growing with test size.
+    assert comparison.with_clauses < comparison.without_clauses
+
+
+def test_fig11c_report(capsys):
+    assert _RANGE_RESULTS
+    headers = ["impl", "test", "with[s]", "without[s]", "speedup",
+               "clauses with", "clauses without"]
+    rows = [
+        (c.implementation, c.test, f"{c.with_analysis_seconds:.2f}",
+         f"{c.without_analysis_seconds:.2f}", f"{c.speedup:.2f}x",
+         c.with_clauses, c.without_clauses)
+        for c in _RANGE_RESULTS
+    ]
+    with capsys.disabled():
+        print("\nFig. 11 (c): impact of the range analysis\n")
+        print(format_table(headers, rows))

@@ -1,0 +1,44 @@
+"""Section 4.4, "Choice of memory model".
+
+The paper reports that checking under sequential consistency is only about
+4% faster than under Relaxed — the model choice has no significant impact on
+tool runtime.  We measure the same comparison on the small tests.
+"""
+
+import pytest
+
+from repro.harness.reporting import format_table
+from repro.harness.runner import check_catalog_test
+
+_CASES = [("msn", "T0"), ("ms2", "T0"), ("harris", "Sac")]
+_RESULTS = []
+
+
+@pytest.mark.parametrize("implementation,test_name", _CASES)
+@pytest.mark.parametrize("model", ["sc", "relaxed"])
+def test_model_choice_runtime(benchmark, implementation, test_name, model):
+    result = benchmark.pedantic(
+        check_catalog_test, args=(implementation, test_name, model),
+        rounds=1, iterations=1,
+    )
+    assert result.passed
+    _RESULTS.append((implementation, test_name, model, result.stats.total_seconds))
+
+
+def test_report_model_choice(capsys):
+    assert _RESULTS
+    by_case = {}
+    for implementation, test_name, model, seconds in _RESULTS:
+        by_case.setdefault((implementation, test_name), {})[model] = seconds
+    rows = []
+    for (implementation, test_name), models in by_case.items():
+        if {"sc", "relaxed"} <= set(models):
+            ratio = models["sc"] / models["relaxed"] if models["relaxed"] else 1.0
+            rows.append(
+                (implementation, test_name, f"{models['sc']:.2f}",
+                 f"{models['relaxed']:.2f}", f"{ratio:.2f}")
+            )
+    with capsys.disabled():
+        print("\nSection 4.4: runtime under SC vs Relaxed (ratio ~1 expected)\n")
+        print(format_table(["impl", "test", "sc[s]", "relaxed[s]", "sc/relaxed"],
+                           rows))

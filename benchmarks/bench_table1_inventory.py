@@ -1,0 +1,26 @@
+"""Table 1: the five studied implementations (and their variants).
+
+Regenerates the inventory and measures how long the front-end takes to
+translate each implementation's C source into LSL.
+"""
+
+import pytest
+
+from repro.datatypes import TABLE1, available_implementations, get_implementation
+from repro.harness.reporting import format_table
+from repro.lang import compile_c
+
+
+def test_table1_contents_match_paper(capsys):
+    rows = [(name, title, description) for name, title, description in TABLE1]
+    table = format_table(["name", "data type", "description"], rows)
+    with capsys.disabled():
+        print("\nTable 1 — implementations studied:\n" + table)
+    assert [row[0] for row in TABLE1] == ["ms2", "msn", "lazylist", "harris", "snark"]
+
+
+@pytest.mark.parametrize("name", sorted(available_implementations()))
+def test_frontend_translates_each_variant(benchmark, name):
+    implementation = get_implementation(name)
+    program = benchmark(compile_c, implementation.source, name)
+    assert program.procedures

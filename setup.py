@@ -1,0 +1,11 @@
+"""Setup shim so that ``pip install -e .`` works offline.
+
+The environment this reproduction targets has no network access and an older
+setuptools without wheel support, so the modern PEP 517 editable path is not
+available.  This shim lets pip fall back to the legacy ``setup.py develop``
+route; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

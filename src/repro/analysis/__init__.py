@@ -1,0 +1,31 @@
+"""Program transformations and analyses used by the back-end."""
+
+from repro.analysis.inline import Inliner, InlineError, rename_statements
+from repro.analysis.unroll import DEFAULT_BOUND, UnrollResult, Unroller, find_loops, unroll
+from repro.analysis.allocation import AllocationMap, build_layout, resolve_allocations
+from repro.analysis.ranges import (
+    TOP,
+    DisabledRanges,
+    RangeAnalysis,
+    RangeAnalysisError,
+    RangeInfo,
+)
+
+__all__ = [
+    "Inliner",
+    "InlineError",
+    "rename_statements",
+    "DEFAULT_BOUND",
+    "UnrollResult",
+    "Unroller",
+    "find_loops",
+    "unroll",
+    "AllocationMap",
+    "build_layout",
+    "resolve_allocations",
+    "TOP",
+    "DisabledRanges",
+    "RangeAnalysis",
+    "RangeAnalysisError",
+    "RangeInfo",
+]

@@ -1,0 +1,217 @@
+"""Loop unrolling.
+
+After inlining, the only backward control flow left in LSL is the
+``continue`` statement targeting an enclosing block.  Unrolling replaces each
+such block by a bounded number of copies so that the remaining program has
+forward branches only, which is what the SAT encoding requires
+(Section 3.2).
+
+Two overflow policies are supported (Section 3.3):
+
+* ``assume`` — executions that would need more iterations than the bound are
+  excluded with an ``assume(false)``; this is the mode used for a normal
+  check once bounds are known to be sufficient, and for the "primed"
+  operations of Fig. 8 (retry loops restricted to a single iteration).
+* ``flag`` — such executions instead set a fresh *overflow register*; the
+  lazy bound-refinement loop (:mod:`repro.core.loop_bounds`) solves for an
+  execution with an overflow register set to decide whether bounds must be
+  increased.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lsl.instructions import (
+    Assume,
+    Atomic,
+    Block,
+    BreakIf,
+    ConstAssign,
+    ContinueIf,
+    Statement,
+    iter_statements,
+)
+
+
+DEFAULT_BOUND = 1
+
+
+@dataclass
+class UnrollResult:
+    """Outcome of unrolling one statement list."""
+
+    statements: list[Statement]
+    #: Registers that are set to 1 when the corresponding loop instance would
+    #: need more iterations than its bound (only in "flag" mode).
+    overflow_registers: dict[str, str] = field(default_factory=dict)
+    #: Tags of loop blocks that were unrolled, with the bound that was used.
+    bounds_used: dict[str, int] = field(default_factory=dict)
+
+
+def find_loops(statements: list[Statement]) -> list[str]:
+    """Return the tags of all blocks that are targets of a ``continue``."""
+    loops: list[str] = []
+
+    continue_targets = {
+        stmt.tag
+        for stmt in iter_statements(statements)
+        if isinstance(stmt, ContinueIf)
+    }
+    for stmt in iter_statements(statements):
+        if isinstance(stmt, Block) and stmt.tag in continue_targets:
+            loops.append(stmt.tag)
+    return loops
+
+
+class Unroller:
+    """Unrolls all loops in a statement list."""
+
+    def __init__(
+        self,
+        bounds: dict[str, int] | None = None,
+        default_bound: int = DEFAULT_BOUND,
+        overflow: str = "assume",
+    ) -> None:
+        if overflow not in ("assume", "flag"):
+            raise ValueError("overflow must be 'assume' or 'flag'")
+        self.bounds = dict(bounds or {})
+        self.default_bound = default_bound
+        self.overflow = overflow
+        self._fresh = 0
+        self.result = UnrollResult(statements=[])
+
+    # --------------------------------------------------------------- public
+
+    def unroll(self, statements: list[Statement]) -> UnrollResult:
+        self.result = UnrollResult(statements=[])
+        body = self._walk(statements)
+        # Overflow flags must read as 0 on executions that never reach the
+        # overflow point, so initialize them up front.
+        prologue = [
+            ConstAssign(flag, 0)
+            for flag in self.result.overflow_registers.values()
+        ]
+        self.result.statements = prologue + body
+        return self.result
+
+    # ------------------------------------------------------------ internals
+
+    def _fresh_name(self, hint: str) -> str:
+        self._fresh += 1
+        return f"__unroll_{hint}_{self._fresh}"
+
+    def _walk(self, statements: list[Statement]) -> list[Statement]:
+        out: list[Statement] = []
+        for stmt in statements:
+            if isinstance(stmt, Block):
+                out.extend(self._handle_block(stmt))
+            elif isinstance(stmt, Atomic):
+                out.append(Atomic(self._walk(stmt.body)))
+            else:
+                out.append(stmt)
+        return out
+
+    def _is_loop(self, block: Block) -> bool:
+        return any(
+            isinstance(s, ContinueIf) and s.tag == block.tag
+            for s in iter_statements(block.body)
+        )
+
+    def _handle_block(self, block: Block) -> list[Statement]:
+        body = self._walk(block.body)
+        if not self._is_loop(Block(block.tag, body)):
+            return [Block(block.tag, body)]
+        bound = self.bounds.get(block.tag, self.default_bound)
+        self.result.bounds_used[block.tag] = bound
+        copies: list[Statement] = []
+        for iteration in range(1, bound + 1):
+            copies.append(self._make_copy(block.tag, body, iteration))
+        copies.extend(self._overflow_marker(block.tag))
+        return [Block(block.tag, copies)]
+
+    def _make_copy(
+        self, loop_tag: str, body: list[Statement], iteration: int
+    ) -> Block:
+        """One loop iteration: ``continue loop`` becomes "fall into the next
+        copy" and normal completion exits the whole loop."""
+        copy_tag = f"{loop_tag}#iter{iteration}"
+        renamed = self._retag(body, loop_tag, copy_tag, iteration)
+        exit_reg = self._fresh_name(f"exit_{iteration}")
+        renamed.append(ConstAssign(exit_reg, 1))
+        renamed.append(BreakIf(exit_reg, loop_tag))
+        return Block(copy_tag, renamed)
+
+    def _retag(
+        self,
+        statements: list[Statement],
+        loop_tag: str,
+        copy_tag: str,
+        iteration: int,
+    ) -> list[Statement]:
+        """Rewrite one copy of a loop body.
+
+        * ``continue loop_tag`` becomes ``break copy_tag`` (fall through to
+          the next iteration's copy);
+        * nested block tags get an iteration suffix so every block tag in the
+          unrolled program stays unique;
+        * everything else is copied unchanged.
+        """
+        out: list[Statement] = []
+        for stmt in statements:
+            if isinstance(stmt, Block):
+                inner_tag = f"{stmt.tag}#i{iteration}"
+                inner = self._retag(stmt.body, loop_tag, copy_tag, iteration)
+                inner = self._rewrite_targets(inner, stmt.tag, inner_tag)
+                out.append(Block(inner_tag, inner))
+            elif isinstance(stmt, Atomic):
+                out.append(
+                    Atomic(self._retag(stmt.body, loop_tag, copy_tag, iteration))
+                )
+            elif isinstance(stmt, ContinueIf) and stmt.tag == loop_tag:
+                out.append(BreakIf(stmt.cond, copy_tag))
+            elif isinstance(stmt, (BreakIf, ContinueIf)):
+                out.append(type(stmt)(stmt.cond, stmt.tag))
+            else:
+                out.append(stmt)
+        return out
+
+    def _rewrite_targets(
+        self, statements: list[Statement], old_tag: str, new_tag: str
+    ) -> list[Statement]:
+        """Point break/continue statements at a renamed nested block."""
+        out: list[Statement] = []
+        for stmt in statements:
+            if isinstance(stmt, (BreakIf, ContinueIf)) and stmt.tag == old_tag:
+                out.append(type(stmt)(stmt.cond, new_tag))
+            elif isinstance(stmt, Block):
+                out.append(
+                    Block(stmt.tag, self._rewrite_targets(stmt.body, old_tag, new_tag))
+                )
+            elif isinstance(stmt, Atomic):
+                out.append(
+                    Atomic(self._rewrite_targets(stmt.body, old_tag, new_tag))
+                )
+            else:
+                out.append(stmt)
+        return out
+
+    def _overflow_marker(self, loop_tag: str) -> list[Statement]:
+        """Statements reached only when the bound was insufficient."""
+        if self.overflow == "assume":
+            reg = self._fresh_name("false")
+            return [ConstAssign(reg, 0), Assume(reg)]
+        flag = self._fresh_name(f"overflow_{loop_tag}")
+        self.result.overflow_registers[loop_tag] = flag
+        return [ConstAssign(flag, 1)]
+
+
+def unroll(
+    statements: list[Statement],
+    bounds: dict[str, int] | None = None,
+    default_bound: int = DEFAULT_BOUND,
+    overflow: str = "assume",
+) -> UnrollResult:
+    """Convenience wrapper around :class:`Unroller`."""
+    unroller = Unroller(bounds, default_bound, overflow)
+    return unroller.unroll(statements)

@@ -1,0 +1,146 @@
+"""Command line interface (the ``checkfence`` entry point).
+
+Examples::
+
+    checkfence list
+    checkfence check --impl msn-unfenced --test T0 --model relaxed
+    checkfence spec --impl msn --test T0
+    checkfence litmus --model relaxed
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.checker import CheckFence, CheckOptions
+from repro.datatypes.registry import (
+    TABLE1,
+    available_implementations,
+    category_of,
+    get_implementation,
+)
+from repro.harness.catalog import get_test, test_names
+from repro.harness.reporting import format_table
+from repro.litmus.catalog import available_litmus_tests, observation_allowed
+from repro.memorymodel.base import available_models, get_model
+
+
+def _cmd_list(_args) -> int:
+    print("Implementations (Table 1 plus variants):")
+    rows = []
+    for name in available_implementations():
+        rows.append((name, category_of(name)))
+    print(format_table(["implementation", "category"], rows))
+    print()
+    print("Memory models:", ", ".join(m.name for m in available_models()))
+    print()
+    for category in ("queue", "set", "deque"):
+        print(f"{category} tests: {', '.join(test_names(category))}")
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    print(format_table(["name", "data type", "description"], TABLE1))
+    return 0
+
+
+def _cmd_check(args) -> int:
+    implementation = get_implementation(args.impl)
+    category = category_of(args.impl)
+    test = get_test(category, args.test)
+    options = CheckOptions(
+        specification_method=args.spec_method,
+        use_range_analysis=not args.no_range_analysis,
+        lazy_loop_bounds=args.lazy_bounds,
+        default_loop_bound=args.bound,
+    )
+    checker = CheckFence(implementation, options)
+    result = checker.check(test, get_model(args.model))
+    print(result.summary())
+    return 0 if result.passed else 1
+
+
+def _cmd_spec(args) -> int:
+    implementation = get_implementation(args.impl)
+    category = category_of(args.impl)
+    test = get_test(category, args.test)
+    checker = CheckFence(
+        implementation, CheckOptions(specification_method=args.spec_method)
+    )
+    compiled = checker.compile(test, "serial")
+    spec = checker.specification(test, compiled)
+    print(
+        f"observation set for {args.impl} / {args.test}: "
+        f"{len(spec)} observations (mined with the {spec.method} method in "
+        f"{spec.mining_seconds:.2f}s)"
+    )
+    for observation in sorted(spec.observations):
+        print("  " + spec.describe(observation))
+    return 0
+
+
+def _cmd_litmus(args) -> int:
+    model = get_model(args.model)
+    rows = []
+    for name, litmus in available_litmus_tests().items():
+        if not litmus.observation:
+            continue
+        allowed = observation_allowed(litmus, model)
+        rows.append((name, litmus.observation, "allowed" if allowed else "forbidden"))
+    print(f"litmus outcomes under {model.name}:")
+    print(format_table(["test", "observation", "verdict"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="checkfence",
+        description="CheckFence reproduction: check concurrent data types on "
+        "relaxed memory models",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list implementations, models, and tests")
+    sub.add_parser("table1", help="print Table 1 of the paper")
+
+    check_parser = sub.add_parser("check", help="run one check")
+    check_parser.add_argument("--impl", required=True)
+    check_parser.add_argument("--test", required=True)
+    check_parser.add_argument("--model", default="relaxed")
+    check_parser.add_argument("--spec-method", default="auto",
+                              choices=["auto", "reference", "sat"])
+    check_parser.add_argument("--bound", type=int, default=None,
+                              help="default loop bound")
+    check_parser.add_argument("--lazy-bounds", action="store_true",
+                              help="refine loop bounds lazily (Section 3.3)")
+    check_parser.add_argument("--no-range-analysis", action="store_true",
+                              help="disable the range analysis (Fig. 11c)")
+
+    spec_parser = sub.add_parser("spec", help="mine and print an observation set")
+    spec_parser.add_argument("--impl", required=True)
+    spec_parser.add_argument("--test", required=True)
+    spec_parser.add_argument("--spec-method", default="auto",
+                             choices=["auto", "reference", "sat"])
+
+    litmus_parser = sub.add_parser("litmus", help="evaluate the litmus catalog")
+    litmus_parser.add_argument("--model", default="relaxed")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "table1": _cmd_table1,
+        "check": _cmd_check,
+        "spec": _cmd_spec,
+        "litmus": _cmd_litmus,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The checker itself: specification mining, inclusion check, counterexamples."""
+
+from repro.core.checker import CheckFence, CheckOptions, check
+from repro.core.commitpoint import CommitPointResult, run_commit_point_check
+from repro.core.counterexample import CounterexampleTrace, TraceStep, build_trace
+from repro.core.inclusion import (
+    InclusionOutcome,
+    run_assertion_check,
+    run_inclusion_check,
+)
+from repro.core.loop_bounds import LoopBoundResult, refine_loop_bounds
+from repro.core.results import CheckResult, CheckStatistics
+from repro.core.specification import (
+    ObservationSet,
+    ReferenceSpecificationMiner,
+    SatSpecificationMiner,
+    SpecificationError,
+    interleavings,
+    mine_specification,
+)
+
+__all__ = [
+    "CheckFence",
+    "CheckOptions",
+    "check",
+    "CommitPointResult",
+    "run_commit_point_check",
+    "CounterexampleTrace",
+    "TraceStep",
+    "build_trace",
+    "InclusionOutcome",
+    "run_assertion_check",
+    "run_inclusion_check",
+    "LoopBoundResult",
+    "refine_loop_bounds",
+    "CheckResult",
+    "CheckStatistics",
+    "ObservationSet",
+    "ReferenceSpecificationMiner",
+    "SatSpecificationMiner",
+    "SpecificationError",
+    "interleavings",
+    "mine_specification",
+]

@@ -1,0 +1,73 @@
+"""Result objects returned by the checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.counterexample import CounterexampleTrace
+from repro.core.specification import ObservationSet
+from repro.encoding.formula import EncodingStatistics
+
+
+@dataclass
+class CheckStatistics:
+    """Timing and size statistics for one check (one row of Fig. 10)."""
+
+    implementation: str = ""
+    test: str = ""
+    memory_model: str = ""
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    accesses: int = 0
+    cnf_variables: int = 0
+    cnf_clauses: int = 0
+    observation_set_size: int = 0
+    mining_seconds: float = 0.0
+    encode_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    total_seconds: float = 0.0
+    solver_conflicts: int = 0
+    solver_decisions: int = 0
+
+    def merge_encoding(self, stats: EncodingStatistics) -> None:
+        self.instructions = stats.instructions
+        self.loads = stats.loads
+        self.stores = stats.stores
+        self.accesses = stats.accesses
+        self.cnf_variables = stats.cnf_variables
+        self.cnf_clauses = stats.cnf_clauses
+        self.encode_seconds = stats.encode_seconds
+
+
+@dataclass
+class CheckResult:
+    """Outcome of checking one test against one memory model."""
+
+    passed: bool
+    implementation: str
+    test: str
+    memory_model: str
+    specification: ObservationSet | None = None
+    counterexample: CounterexampleTrace | None = None
+    stats: CheckStatistics = field(default_factory=CheckStatistics)
+    loop_bounds: dict[str, int] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return not self.passed
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        line = (
+            f"[{verdict}] {self.implementation} / {self.test} "
+            f"on {self.memory_model}: "
+            f"{self.stats.accesses} accesses, "
+            f"{self.stats.cnf_clauses} clauses, "
+            f"spec size {self.stats.observation_set_size}, "
+            f"total {self.stats.total_seconds:.2f}s"
+        )
+        if self.counterexample is not None:
+            line += f"\n{self.counterexample.format()}"
+        return line

@@ -1,0 +1,32 @@
+"""The concurrent data type implementations studied in the paper (Table 1)."""
+
+from repro.datatypes.spec import DataTypeImplementation, OperationSpec
+from repro.datatypes.reference import (
+    EMPTY,
+    ReferenceDeque,
+    ReferenceQueue,
+    ReferenceSet,
+)
+from repro.datatypes.registry import (
+    CATEGORIES,
+    TABLE1,
+    available_implementations,
+    base_implementations,
+    category_of,
+    get_implementation,
+)
+
+__all__ = [
+    "DataTypeImplementation",
+    "OperationSpec",
+    "EMPTY",
+    "ReferenceDeque",
+    "ReferenceQueue",
+    "ReferenceSet",
+    "CATEGORIES",
+    "TABLE1",
+    "available_implementations",
+    "base_implementations",
+    "category_of",
+    "get_implementation",
+]

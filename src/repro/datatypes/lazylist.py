@@ -1,0 +1,209 @@
+"""``lazylist`` — the lazy list-based set (Table 1, [Heller et al. 2005]).
+
+The set is a sorted linked list with sentinel head/tail nodes.  ``add`` and
+``remove`` lock the two affected nodes and re-validate; ``contains`` is a
+lock-free (wait-free) traversal that checks the ``marked`` field.
+
+Three variants are provided:
+
+* ``lazylist`` (fenced) — with the store-store fence before publishing a new
+  node and the load-load fences on traversals, as required on Relaxed;
+* ``lazylist-unfenced`` — the same code without fences (correct only under
+  sequential consistency);
+* ``lazylist-buggy`` — reproduces the not-previously-known bug the paper
+  found: the published pseudocode *fails to initialize the ``marked`` field*
+  of a newly added node, so a concurrent ``contains`` may treat the new node
+  as already deleted.
+
+Keys are shifted by one internally (sentinel head key 0, real keys ``v+1``,
+sentinel tail key 3) so that test values {0, 1} fit between the sentinels.
+
+Validation failures (which would cause a retry in the original algorithm)
+are modeled with ``assume(false)``, i.e. the check restricts itself to
+executions without retries — the same restriction the paper applies to the
+"primed" operations of Fig. 8.
+"""
+
+from __future__ import annotations
+
+from repro.datatypes.reference import ReferenceSet
+from repro.datatypes.spec import DataTypeImplementation, OperationSpec
+
+_HEADER = """
+typedef struct node {
+    int key;
+    struct node *next;
+    int marked;
+    int node_lock;
+} node_t;
+
+typedef struct set {
+    node_t *head;
+} set_t;
+
+set_t lset;
+
+extern node_t *new_node();
+
+void init_set(set_t *s)
+{
+    node_t *h;
+    node_t *t;
+    t = new_node();
+    t->key = 3;
+    t->next = 0;
+    t->marked = 0;
+    t->node_lock = 0;
+    h = new_node();
+    h->key = 0;
+    h->next = t;
+    h->marked = 0;
+    h->node_lock = 0;
+    s->head = h;
+}
+"""
+
+
+def _body(fenced: bool, initialize_marked: bool) -> str:
+    load_fence = 'fence("load-load");' if fenced else ""
+    store_fence = 'fence("store-store");' if fenced else ""
+    marked_init = "n->marked = 0;" if initialize_marked else ""
+    return f"""
+bool add(set_t *s, int v)
+{{
+    int k;
+    node_t *pred;
+    node_t *curr;
+    node_t *n;
+    bool result;
+    k = v + 1;
+    pred = s->head;
+    {load_fence}
+    curr = pred->next;
+    {load_fence}
+    while (curr->key < k) {{
+        pred = curr;
+        curr = curr->next;
+        {load_fence}
+    }}
+    lock(&pred->node_lock);
+    lock(&curr->node_lock);
+    if (pred->marked == 0 && curr->marked == 0 && pred->next == curr) {{
+        if (curr->key == k) {{
+            result = false;
+        }} else {{
+            n = new_node();
+            n->key = k;
+            {marked_init}
+            n->node_lock = 0;
+            n->next = curr;
+            {store_fence}
+            pred->next = n;
+            result = true;
+        }}
+        unlock(&curr->node_lock);
+        unlock(&pred->node_lock);
+        return result;
+    }}
+    unlock(&curr->node_lock);
+    unlock(&pred->node_lock);
+    assume(false);
+    return false;
+}}
+
+bool remove_key(set_t *s, int v)
+{{
+    int k;
+    node_t *pred;
+    node_t *curr;
+    bool result;
+    k = v + 1;
+    pred = s->head;
+    {load_fence}
+    curr = pred->next;
+    {load_fence}
+    while (curr->key < k) {{
+        pred = curr;
+        curr = curr->next;
+        {load_fence}
+    }}
+    lock(&pred->node_lock);
+    lock(&curr->node_lock);
+    if (pred->marked == 0 && curr->marked == 0 && pred->next == curr) {{
+        if (curr->key == k) {{
+            curr->marked = 1;
+            {store_fence}
+            pred->next = curr->next;
+            result = true;
+        }} else {{
+            result = false;
+        }}
+        unlock(&curr->node_lock);
+        unlock(&pred->node_lock);
+        return result;
+    }}
+    unlock(&curr->node_lock);
+    unlock(&pred->node_lock);
+    assume(false);
+    return false;
+}}
+
+bool contains(set_t *s, int v)
+{{
+    int k;
+    node_t *curr;
+    k = v + 1;
+    curr = s->head;
+    {load_fence}
+    while (curr->key < k) {{
+        curr = curr->next;
+        {load_fence}
+    }}
+    return curr->key == k && curr->marked == 0;
+}}
+"""
+
+
+FENCED_SOURCE = _HEADER + _body(fenced=True, initialize_marked=True)
+UNFENCED_SOURCE = _HEADER + _body(fenced=False, initialize_marked=True)
+BUGGY_SOURCE = _HEADER + _body(fenced=True, initialize_marked=False)
+
+_OPERATIONS = {
+    "init": OperationSpec("init", "init_set", shared_globals=("lset",)),
+    "add": OperationSpec(
+        "add", "add", shared_globals=("lset",), num_value_args=1, has_return=True
+    ),
+    "remove": OperationSpec(
+        "remove", "remove_key", shared_globals=("lset",), num_value_args=1,
+        has_return=True,
+    ),
+    "contains": OperationSpec(
+        "contains", "contains", shared_globals=("lset",), num_value_args=1,
+        has_return=True,
+    ),
+}
+
+
+def make(variant: str = "fenced") -> DataTypeImplementation:
+    """The lazy list set: ``fenced``, ``unfenced``, or ``buggy``."""
+    sources = {
+        "fenced": ("lazylist", FENCED_SOURCE),
+        "unfenced": ("lazylist-unfenced", UNFENCED_SOURCE),
+        "buggy": ("lazylist-buggy", BUGGY_SOURCE),
+    }
+    try:
+        name, source = sources[variant]
+    except KeyError as exc:
+        raise ValueError(f"unknown lazylist variant {variant!r}") from exc
+    return DataTypeImplementation(
+        name=name,
+        description="Lazy list-based set [Heller et al. 2005]: per-node locks, "
+        "lock-free membership test",
+        source=source,
+        operations=dict(_OPERATIONS),
+        init_operation="init",
+        reference=ReferenceSet,
+        default_loop_bound=3,
+        notes="the 'buggy' variant omits initializing the marked field of a "
+        "new node (the bug the paper found)",
+    )

@@ -1,0 +1,151 @@
+"""``ms2`` — Michael & Scott's two-lock queue (Table 1).
+
+The queue is a linked list with a dummy node; enqueue and dequeue use two
+independent locks for the tail and head.  The lock/unlock operations follow
+Fig. 7 of the paper (spin-lock with partial fences); the front-end models
+them with the paper's spin-loop reduction.
+
+The fenced variant adds the store-store fence between initializing a new
+node and publishing it, and the load-load fences on the dequeue side —
+exactly the "incomplete initialization" and "value-dependent reordering"
+fixes of Section 4.3.  Lock-based code needs no further fences because the
+lock primitives already carry theirs.
+"""
+
+from __future__ import annotations
+
+from repro.datatypes.reference import ReferenceQueue
+from repro.datatypes.spec import DataTypeImplementation, OperationSpec
+
+_HEADER = """
+typedef int value_t;
+typedef int lock_t;
+
+typedef struct node {
+    struct node *next;
+    value_t value;
+} node_t;
+
+typedef struct queue {
+    node_t *head;
+    node_t *tail;
+    lock_t head_lock;
+    lock_t tail_lock;
+} queue_t;
+
+queue_t queue;
+
+extern node_t *new_node();
+extern void delete_node(node_t *node);
+
+void init_queue(queue_t *queue)
+{
+    node_t *node;
+    node = new_node();
+    node->next = 0;
+    node->value = 0;
+    queue->head = node;
+    queue->tail = node;
+    queue->head_lock = 0;
+    queue->tail_lock = 0;
+}
+"""
+
+FENCED_SOURCE = _HEADER + """
+void enqueue(queue_t *queue, value_t value)
+{
+    node_t *node;
+    node_t *tail;
+    node = new_node();
+    node->value = value;
+    node->next = 0;
+    fence("store-store");
+    lock(&queue->tail_lock);
+    tail = queue->tail;
+    tail->next = node;
+    queue->tail = node;
+    unlock(&queue->tail_lock);
+}
+
+bool dequeue(queue_t *queue, value_t *pvalue)
+{
+    node_t *node;
+    node_t *new_head;
+    lock(&queue->head_lock);
+    node = queue->head;
+    fence("load-load");
+    new_head = node->next;
+    if (new_head == 0) {
+        unlock(&queue->head_lock);
+        return false;
+    }
+    fence("load-load");
+    *pvalue = new_head->value;
+    queue->head = new_head;
+    unlock(&queue->head_lock);
+    delete_node(node);
+    return true;
+}
+"""
+
+UNFENCED_SOURCE = _HEADER + """
+void enqueue(queue_t *queue, value_t value)
+{
+    node_t *node;
+    node_t *tail;
+    node = new_node();
+    node->value = value;
+    node->next = 0;
+    lock(&queue->tail_lock);
+    tail = queue->tail;
+    tail->next = node;
+    queue->tail = node;
+    unlock(&queue->tail_lock);
+}
+
+bool dequeue(queue_t *queue, value_t *pvalue)
+{
+    node_t *node;
+    node_t *new_head;
+    lock(&queue->head_lock);
+    node = queue->head;
+    new_head = node->next;
+    if (new_head == 0) {
+        unlock(&queue->head_lock);
+        return false;
+    }
+    *pvalue = new_head->value;
+    queue->head = new_head;
+    unlock(&queue->head_lock);
+    delete_node(node);
+    return true;
+}
+"""
+
+_OPERATIONS = {
+    "init": OperationSpec("init", "init_queue", shared_globals=("queue",)),
+    "enqueue": OperationSpec(
+        "enqueue", "enqueue", shared_globals=("queue",), num_value_args=1
+    ),
+    "dequeue": OperationSpec(
+        "dequeue",
+        "dequeue",
+        shared_globals=("queue",),
+        num_out_params=1,
+        has_return=True,
+    ),
+}
+
+
+def make(fenced: bool = True) -> DataTypeImplementation:
+    """The two-lock queue, with or without the extra fences."""
+    return DataTypeImplementation(
+        name="ms2" if fenced else "ms2-unfenced",
+        description="Two-lock queue [Michael & Scott 1996], one lock per end",
+        source=FENCED_SOURCE if fenced else UNFENCED_SOURCE,
+        operations=dict(_OPERATIONS),
+        init_operation="init",
+        reference=ReferenceQueue,
+        default_loop_bound=1,
+        notes="locks follow Fig. 7 (modeled with the spin-loop reduction)",
+    )

@@ -1,0 +1,179 @@
+"""``msn`` — Michael & Scott's non-blocking queue (Table 1, Fig. 9).
+
+The fenced source follows Fig. 9 of the paper (which is, per the paper, the
+first published version of this queue with memory ordering fences); the
+unfenced source is the same code with every ``fence()`` call removed, i.e.
+the algorithm as originally published assuming sequential consistency.
+
+As in the paper, the code is slightly simplified: the original stores a
+counter alongside each pointer, which is not required for the bounded tests.
+"""
+
+from __future__ import annotations
+
+from repro.datatypes.reference import ReferenceQueue
+from repro.datatypes.spec import DataTypeImplementation, OperationSpec
+
+_HEADER = """
+typedef int value_t;
+
+typedef struct node {
+    struct node *next;
+    value_t value;
+} node_t;
+
+typedef struct queue {
+    node_t *head;
+    node_t *tail;
+} queue_t;
+
+queue_t queue;
+
+extern node_t *new_node();
+extern void delete_node(node_t *node);
+
+void init_queue(queue_t *queue)
+{
+    node_t *node;
+    node = new_node();
+    node->next = 0;
+    node->value = 0;
+    queue->head = node;
+    queue->tail = node;
+}
+"""
+
+FENCED_SOURCE = _HEADER + """
+void enqueue(queue_t *queue, value_t value)
+{
+    node_t *node;
+    node_t *tail;
+    node_t *next;
+    node = new_node();
+    node->value = value;
+    node->next = 0;
+    fence("store-store");
+    while (true) {
+        tail = queue->tail;
+        fence("load-load");
+        next = tail->next;
+        fence("load-load");
+        if (tail == queue->tail) {
+            if (next == 0) {
+                if (cas(&tail->next, (unsigned) next, (unsigned) node))
+                    break;
+            } else {
+                cas(&queue->tail, (unsigned) tail, (unsigned) next);
+            }
+        }
+    }
+    fence("store-store");
+    cas(&queue->tail, (unsigned) tail, (unsigned) node);
+}
+
+bool dequeue(queue_t *queue, value_t *pvalue)
+{
+    node_t *head;
+    node_t *tail;
+    node_t *next;
+    while (true) {
+        head = queue->head;
+        fence("load-load");
+        tail = queue->tail;
+        fence("load-load");
+        next = head->next;
+        fence("load-load");
+        if (head == queue->head) {
+            if (head == tail) {
+                if (next == 0)
+                    return false;
+                cas(&queue->tail, (unsigned) tail, (unsigned) next);
+            } else {
+                *pvalue = next->value;
+                if (cas(&queue->head, (unsigned) head, (unsigned) next))
+                    break;
+            }
+        }
+    }
+    delete_node(head);
+    return true;
+}
+"""
+
+UNFENCED_SOURCE = _HEADER + """
+void enqueue(queue_t *queue, value_t value)
+{
+    node_t *node;
+    node_t *tail;
+    node_t *next;
+    node = new_node();
+    node->value = value;
+    node->next = 0;
+    while (true) {
+        tail = queue->tail;
+        next = tail->next;
+        if (tail == queue->tail) {
+            if (next == 0) {
+                if (cas(&tail->next, (unsigned) next, (unsigned) node))
+                    break;
+            } else {
+                cas(&queue->tail, (unsigned) tail, (unsigned) next);
+            }
+        }
+    }
+    cas(&queue->tail, (unsigned) tail, (unsigned) node);
+}
+
+bool dequeue(queue_t *queue, value_t *pvalue)
+{
+    node_t *head;
+    node_t *tail;
+    node_t *next;
+    while (true) {
+        head = queue->head;
+        tail = queue->tail;
+        next = head->next;
+        if (head == queue->head) {
+            if (head == tail) {
+                if (next == 0)
+                    return false;
+                cas(&queue->tail, (unsigned) tail, (unsigned) next);
+            } else {
+                *pvalue = next->value;
+                if (cas(&queue->head, (unsigned) head, (unsigned) next))
+                    break;
+            }
+        }
+    }
+    delete_node(head);
+    return true;
+}
+"""
+
+_OPERATIONS = {
+    "init": OperationSpec("init", "init_queue", shared_globals=("queue",)),
+    "enqueue": OperationSpec(
+        "enqueue", "enqueue", shared_globals=("queue",), num_value_args=1
+    ),
+    "dequeue": OperationSpec(
+        "dequeue",
+        "dequeue",
+        shared_globals=("queue",),
+        num_out_params=1,
+        has_return=True,
+    ),
+}
+
+
+def make(fenced: bool = True) -> DataTypeImplementation:
+    """The non-blocking queue, with or without the memory ordering fences."""
+    return DataTypeImplementation(
+        name="msn" if fenced else "msn-unfenced",
+        description="Non-blocking queue [Michael & Scott 1996], CAS-based",
+        source=FENCED_SOURCE if fenced else UNFENCED_SOURCE,
+        operations=dict(_OPERATIONS),
+        init_operation="init",
+        reference=ReferenceQueue,
+        default_loop_bound=1,
+        notes="Fig. 9 of the paper (fences included in the fenced variant)",
+    )

@@ -1,0 +1,83 @@
+"""Registry of the studied implementations (Table 1) and their variants."""
+
+from __future__ import annotations
+
+from repro.datatypes import harris, lazylist, ms2, msn, snark
+from repro.datatypes.spec import DataTypeImplementation
+
+#: Category of each base implementation: which reference semantics and which
+#: symbolic tests (Fig. 8) apply to it.
+CATEGORIES = {
+    "ms2": "queue",
+    "msn": "queue",
+    "lazylist": "set",
+    "harris": "set",
+    "snark": "deque",
+}
+
+#: Table 1 of the paper.
+TABLE1 = [
+    ("ms2", "Two-lock queue [33]",
+     "Queue is represented as a linked list, with two independent locks for "
+     "the head and tail."),
+    ("msn", "Nonblocking queue [33]",
+     "Similar, but uses compare-and-swap for synchronization instead of "
+     "locks (Fig. 9)."),
+    ("lazylist", "Lazy list-based set [6, 18]",
+     "Set is represented as a sorted linked list. Per-node locks are used "
+     "during insertion and deletion, but the list supports a lock-free "
+     "membership test."),
+    ("harris", "Nonblocking set [16]",
+     "Set is represented as a sorted linked list. Compare-and-swap is used "
+     "instead of locks."),
+    ("snark", "Nonblocking deque [8, 10]",
+     "Deque is represented as linked list. Uses double-compare-and-swap."),
+]
+
+
+def _builders() -> dict[str, callable]:
+    return {
+        "ms2": lambda: ms2.make(fenced=True),
+        "ms2-unfenced": lambda: ms2.make(fenced=False),
+        "msn": lambda: msn.make(fenced=True),
+        "msn-unfenced": lambda: msn.make(fenced=False),
+        "lazylist": lambda: lazylist.make("fenced"),
+        "lazylist-unfenced": lambda: lazylist.make("unfenced"),
+        "lazylist-buggy": lambda: lazylist.make("buggy"),
+        "harris": lambda: harris.make(fenced=True),
+        "harris-unfenced": lambda: harris.make(fenced=False),
+        "snark": lambda: snark.make("fenced"),
+        "snark-unfenced": lambda: snark.make("unfenced"),
+        "snark-buggy": lambda: snark.make("buggy"),
+    }
+
+
+def available_implementations() -> list[str]:
+    """Names of every implementation variant that can be checked."""
+    return sorted(_builders())
+
+
+def get_implementation(name: str) -> DataTypeImplementation:
+    """Build an implementation (or variant) by name."""
+    builders = _builders()
+    try:
+        return builders[name]()
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown implementation {name!r}; known: "
+            + ", ".join(sorted(builders))
+        ) from exc
+
+
+def category_of(name: str) -> str:
+    """The abstract data type category of an implementation (or variant)."""
+    base = name.split("-")[0]
+    try:
+        return CATEGORIES[base]
+    except KeyError as exc:
+        raise KeyError(f"unknown implementation family {name!r}") from exc
+
+
+def base_implementations() -> list[str]:
+    """The five implementations of Table 1."""
+    return [name for name, _, _ in TABLE1]

@@ -1,0 +1,75 @@
+"""Metadata describing a concurrent data type implementation.
+
+A :class:`DataTypeImplementation` bundles the C source of an implementation
+(as studied in Table 1 of the paper) with enough calling-convention metadata
+for the test harness to invoke its operations:
+
+* which global object(s) must be passed by address (e.g. ``&queue``),
+* how many value arguments an operation takes (chosen from {0, 1} when a
+  symbolic test leaves them unspecified),
+* whether it returns a value and/or writes through trailing out-parameters.
+
+The ``reference`` factory builds a simple sequential Python object with the
+same operations, used for the fast "refset" specification mining and as a
+differential oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class OperationSpec:
+    """Calling convention of one data type operation."""
+
+    name: str                       # logical name used by symbolic tests
+    proc: str                       # C function implementing it
+    shared_globals: tuple[str, ...] = ()   # globals passed by address first
+    num_value_args: int = 0         # integer arguments (observable)
+    num_out_params: int = 0         # trailing out-parameters (observable)
+    has_return: bool = False        # C return value (observable)
+
+    @property
+    def num_observables(self) -> int:
+        return self.num_value_args + self.num_out_params + int(self.has_return)
+
+
+@dataclass
+class DataTypeImplementation:
+    """A concurrent data type implementation under test."""
+
+    name: str
+    description: str
+    source: str                              # C source text
+    operations: dict[str, OperationSpec]
+    init_operation: str | None = None        # operation run by the init thread
+    #: Factory for a sequential reference implementation (see
+    #: :mod:`repro.datatypes.reference`).
+    reference: Callable[[], object] | None = None
+    #: Default loop bound sufficient for the bounded tests.
+    default_loop_bound: int = 1
+    notes: str = ""
+
+    def operation(self, name: str) -> OperationSpec:
+        try:
+            return self.operations[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"data type {self.name!r} has no operation {name!r}"
+            ) from exc
+
+    def with_source(self, source: str, suffix: str) -> "DataTypeImplementation":
+        """A copy of this implementation with different C source (used for
+        fenced vs. unfenced and buggy vs. fixed variants)."""
+        return DataTypeImplementation(
+            name=f"{self.name}-{suffix}",
+            description=self.description,
+            source=source,
+            operations=dict(self.operations),
+            init_operation=self.init_operation,
+            reference=self.reference,
+            default_loop_bound=self.default_loop_bound,
+            notes=self.notes,
+        )

@@ -1,0 +1,325 @@
+"""Assembling the combined formula ``Phi = Theta AND /\\_k Delta_k``.
+
+:func:`encode_test` symbolically executes every thread of a compiled test,
+adds the memory-model constraints for the chosen model, and returns an
+:class:`EncodedTest` that the checker drives: it exposes the observation
+slots (argument/return values), supports adding blocking clauses
+incrementally (specification mining) and "not in the observation set"
+constraints (inclusion check), and decodes SAT models back into execution
+traces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.encoding.memory import MemoryModelEncoder, MemoryOrderEncoding
+from repro.encoding.symbolic import (
+    EncodingError,
+    MemoryAccess,
+    ThreadEncoding,
+    ThreadSymbolicExecutor,
+)
+from repro.encoding.testprogram import INIT_THREAD, CompiledInvocation, CompiledTest
+from repro.lsl.instructions import Alloc
+from repro.lsl.values import is_undef
+from repro.memorymodel.base import MemoryModel
+from repro.sat.bitvec import BitVec, BitVecBuilder
+from repro.sat.circuit import Circuit, CnfLowering
+from repro.sat.solver import Solver
+
+
+class EncodingContext:
+    """Shared state while building the formula for one (test, model) pair."""
+
+    def __init__(self, compiled: CompiledTest) -> None:
+        self.compiled = compiled
+        self.circuit = Circuit()
+        self.bvb = BitVecBuilder(self.circuit)
+        self.lowering = CnfLowering(self.circuit)
+        self.layout = compiled.layout
+        self.ranges = compiled.ranges
+        self.allocation = compiled.allocation
+        self.width = max(compiled.ranges.width(), 1)
+        self._access_counter = 0
+        self._atomic_counter = 0
+        self._initial_values: dict[int, BitVec] = {}
+        self._heap_policies: dict[int, str] = {}
+
+    # ------------------------------------------------------------- plumbing
+
+    def assert_true(self, handle: int) -> None:
+        self.lowering.assert_true(handle)
+
+    def assert_clause(self, handles) -> None:
+        self.lowering.assert_clause(list(handles))
+
+    def fresh_value(self, name: str) -> BitVec:
+        return self.bvb.fresh(self.width, name)
+
+    def const_value(self, value: int) -> BitVec:
+        if value >= (1 << self.width):
+            raise EncodingError(
+                f"constant {value} does not fit in {self.width} bits; "
+                "range analysis may be disabled with too small a width"
+            )
+        return self.bvb.const(value, self.width)
+
+    def new_access_index(self) -> int:
+        self._access_counter += 1
+        return self._access_counter
+
+    def new_atomic_group(self) -> int:
+        self._atomic_counter += 1
+        return self._atomic_counter
+
+    def register_allocation(self, stmt: Alloc, base: int) -> None:
+        """Record the initialization policy of a heap object's cells."""
+        for offset in range(max(1, stmt.num_cells)):
+            self._heap_policies.setdefault(base + offset, stmt.init)
+
+    # -------------------------------------------------------- initial values
+
+    def initial_value(self, location: int) -> BitVec:
+        """Symbolic initial value ``i(a)`` of a memory location."""
+        cached = self._initial_values.get(location)
+        if cached is not None:
+            return cached
+        info = self.layout.info(location)
+        if not is_undef(info.initial):
+            value = self.const_value(int(info.initial))
+        else:
+            policy = self._heap_policies.get(location, "havoc")
+            if policy == "zero":
+                value = self.const_value(0)
+            else:
+                value = self.fresh_value(f"init_loc{location}")
+                domain = self.ranges.location_domain(location)
+                if domain is not None:
+                    valid = [v for v in sorted(domain) if v < (1 << self.width)]
+                    if valid:
+                        self.assert_true(
+                            self.circuit.or_many(
+                                self.bvb.eq_const(value, v) for v in valid
+                            )
+                        )
+        self._initial_values[location] = value
+        return value
+
+
+@dataclass
+class ObservationSlot:
+    """One observable value (an argument or return value of an invocation)."""
+
+    label: str
+    invocation: CompiledInvocation
+    value: BitVec
+
+
+@dataclass
+class EncodingStatistics:
+    """Size and timing information reported in Fig. 10."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    accesses: int = 0
+    cnf_variables: int = 0
+    cnf_clauses: int = 0
+    encode_seconds: float = 0.0
+
+
+class EncodedTest:
+    """The formula for one (implementation, test, memory model) triple."""
+
+    def __init__(
+        self,
+        context: EncodingContext,
+        model: MemoryModel,
+        threads: list[ThreadEncoding],
+        executors: dict[int, ThreadSymbolicExecutor],
+        order: MemoryOrderEncoding,
+        observation_slots: list[ObservationSlot],
+        assertions: list[tuple[int, str]],
+        overflow_handles: dict[str, int],
+        stats: EncodingStatistics,
+    ) -> None:
+        self.ctx = context
+        self.model = model
+        self.threads = threads
+        self.executors = executors
+        self.order = order
+        self.observation_slots = observation_slots
+        self.assertions = assertions
+        self.overflow_handles = overflow_handles
+        self.stats = stats
+        self._solver: Solver | None = None
+        self._synced_clauses = 0
+
+    # ------------------------------------------------------------ solver use
+
+    @property
+    def cnf(self):
+        return self.ctx.lowering.cnf
+
+    def _ensure_solver(self) -> Solver:
+        if self._solver is None:
+            self._solver = Solver()
+        cnf = self.cnf
+        self._solver.ensure_vars(cnf.num_vars)
+        while self._synced_clauses < len(cnf.clauses):
+            self._solver.add_clause(cnf.clauses[self._synced_clauses])
+            self._synced_clauses += 1
+        return self._solver
+
+    def solve(self, assumptions=()):
+        """Solve the current formula; returns True/False (or None on limit)."""
+        assumption_lits = [self.ctx.lowering.literal(h) for h in assumptions]
+        solver = self._ensure_solver()
+        return solver.solve(assumptions=assumption_lits)
+
+    def model_values(self) -> dict[int, bool]:
+        if self._solver is None:
+            raise RuntimeError("solve() has not produced a model yet")
+        return self._solver.model()
+
+    @property
+    def solver_stats(self):
+        return self._solver.total_stats if self._solver else None
+
+    # ---------------------------------------------------------- observations
+
+    def observation_equals(self, observation: tuple[int, ...]) -> list[int]:
+        """Per-slot equality handles between the symbolic observation and a
+        concrete observation vector."""
+        if len(observation) != len(self.observation_slots):
+            raise ValueError("observation arity mismatch")
+        return [
+            self.ctx.bvb.eq_const(slot.value, value)
+            for slot, value in zip(self.observation_slots, observation)
+        ]
+
+    def block_observation(self, observation: tuple[int, ...]) -> None:
+        """Exclude executions whose observation equals the given one."""
+        equalities = self.observation_equals(observation)
+        self.ctx.assert_clause([-h for h in equalities])
+
+    def require_not_in(self, observations) -> None:
+        """Constrain the observation to differ from every element of a set."""
+        for observation in observations:
+            self.block_observation(observation)
+
+    def decode_observation(self, model: dict[int, bool]) -> tuple[int, ...]:
+        return tuple(
+            self._decode_vec(slot.value, model) for slot in self.observation_slots
+        )
+
+    # ------------------------------------------------------------- decoding
+
+    def _evaluate(self, handle: int, model: dict[int, bool]) -> bool:
+        return self.ctx.lowering.evaluate(handle, model)
+
+    def _decode_vec(self, vec: BitVec, model: dict[int, bool]) -> int:
+        return BitVecBuilder.decode(vec, lambda h: self._evaluate(h, model))
+
+    def decode_access(self, access: MemoryAccess, model: dict[int, bool]) -> dict:
+        return {
+            "label": access.label,
+            "kind": access.kind,
+            "thread": access.thread,
+            "invocation": access.invocation,
+            "executed": self._evaluate(access.guard, model),
+            "address": self._decode_vec(access.addr, model),
+            "value": self._decode_vec(access.value, model),
+        }
+
+    def decode_memory_order(self, model: dict[int, bool]) -> list[MemoryAccess]:
+        """The executed accesses sorted by the memory order of the model."""
+        executed = [
+            a for a in self.order.accesses if self._evaluate(a.guard, model)
+        ]
+        position = {a.index: i for i, a in enumerate(self.order.accesses)}
+
+        import functools
+
+        def compare(first: MemoryAccess, second: MemoryAccess) -> int:
+            if first.index == second.index:
+                return 0
+            handle = self.order.order(position[first.index], position[second.index])
+            return -1 if self._evaluate(handle, model) else 1
+
+        return sorted(executed, key=functools.cmp_to_key(compare))
+
+    def violated_assertions(self, model: dict[int, bool]) -> list[str]:
+        return [
+            description
+            for handle, description in self.assertions
+            if not self._evaluate(handle, model)
+        ]
+
+
+def encode_test(compiled: CompiledTest, model: MemoryModel) -> EncodedTest:
+    """Build the formula ``Phi`` for a compiled test under a memory model."""
+    start = time.perf_counter()
+    context = EncodingContext(compiled)
+    threads_by_index = compiled.threads()
+
+    executors: dict[int, ThreadSymbolicExecutor] = {}
+    thread_encodings: list[ThreadEncoding] = []
+    observation_slots: list[ObservationSlot] = []
+    assertions: list[tuple[int, str]] = []
+    overflow_handles: dict[str, int] = {}
+
+    for thread_index in sorted(threads_by_index):
+        executor = ThreadSymbolicExecutor(context, thread_index)
+        executors[thread_index] = executor
+        for invocation in threads_by_index[thread_index]:
+            executor.run_invocation(invocation.global_index, invocation.statements)
+        thread_encodings.append(executor.encoding)
+        assertions.extend(executor.encoding.assertions)
+
+    # Observation slots, in test order (init invocations first).
+    for invocation in compiled.invocations:
+        executor = executors[invocation.thread]
+        for label, reg in zip(
+            invocation.observable_labels, invocation.observable_regs
+        ):
+            observation_slots.append(
+                ObservationSlot(label, invocation, executor.register_value(reg))
+            )
+        for tag, flag_reg in invocation.overflow_registers.items():
+            handle = -context.bvb.is_zero(executor.register_value(flag_reg))
+            overflow_handles[f"{invocation.label}:{tag}"] = handle
+
+    order = MemoryModelEncoder(context, model, thread_encodings).encode()
+
+    # Make sure every observable bit and assertion condition has a SAT
+    # variable, so models can always be decoded.
+    for slot in observation_slots:
+        for bit in slot.value.bits:
+            context.lowering.literal(bit)
+    for handle, _ in assertions:
+        context.lowering.literal(handle)
+
+    stats = EncodingStatistics()
+    size = compiled.size_statistics()
+    stats.instructions = size["instructions"]
+    stats.loads = size["loads"]
+    stats.stores = size["stores"]
+    stats.accesses = len(order.accesses)
+    stats.cnf_variables = context.lowering.cnf.num_vars
+    stats.cnf_clauses = context.lowering.cnf.num_clauses
+    stats.encode_seconds = time.perf_counter() - start
+
+    return EncodedTest(
+        context=context,
+        model=model,
+        threads=thread_encodings,
+        executors=executors,
+        order=order,
+        observation_slots=observation_slots,
+        assertions=assertions,
+        overflow_handles=overflow_handles,
+        stats=stats,
+    )

@@ -1,0 +1,299 @@
+"""The memory-model formula ``Theta`` (Section 3.2.1).
+
+Given the per-thread symbolic encodings, this module introduces the memory
+order variables ``Mxy`` (one per pair of accesses, with antisymmetry by
+sharing the variable and transitivity by explicit clauses), and asserts
+
+* the program-order axioms of the chosen memory model,
+* the fence and atomic-block ordering rules,
+* "initialization happens first" for the init thread,
+* the value axioms (via the ``Init_l`` / ``Flows_{s,l}`` style construction
+  described in the paper), and
+* for the Seriality model, the operation-atomicity constraints used to mine
+  the specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.encoding.symbolic import MemoryAccess, ThreadEncoding
+from repro.encoding.testprogram import INIT_THREAD
+from repro.memorymodel.base import MemoryModel
+
+
+@dataclass
+class MemoryOrderEncoding:
+    """The order variables, for use when decoding counterexample traces."""
+
+    accesses: list[MemoryAccess]
+    order_vars: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def order(self, first: int, second: int) -> int:
+        """Circuit handle for ``access[first] <M access[second]``."""
+        if first == second:
+            raise ValueError("an access is never ordered before itself")
+        if first < second:
+            return self.order_vars[(first, second)]
+        return -self.order_vars[(second, first)]
+
+
+class MemoryModelEncoder:
+    """Builds ``Theta`` for one memory model."""
+
+    def __init__(
+        self,
+        context,
+        model: MemoryModel,
+        threads: list[ThreadEncoding],
+    ) -> None:
+        self.ctx = context
+        self.model = model
+        self.threads = threads
+        self.accesses: list[MemoryAccess] = sorted(
+            (a for t in threads for a in t.accesses), key=lambda a: a.index
+        )
+        # Re-index accesses densely (their global indices may have gaps if
+        # other structures were encoded in between).
+        self._position = {a.index: i for i, a in enumerate(self.accesses)}
+        self.encoding = MemoryOrderEncoding(accesses=self.accesses)
+        self._addr_eq_cache: dict[tuple[int, int], int] = {}
+
+    # --------------------------------------------------------------- public
+
+    def encode(self) -> MemoryOrderEncoding:
+        self._create_order_variables()
+        self._assert_transitivity()
+        self._assert_program_order()
+        self._assert_same_address_order()
+        self._assert_fences()
+        self._assert_atomic_blocks()
+        self._assert_init_first()
+        if self.model.operation_atomicity:
+            self._assert_operation_atomicity()
+        self._assert_value_axioms()
+        return self.encoding
+
+    # ------------------------------------------------------------ structure
+
+    def _create_order_variables(self) -> None:
+        circuit = self.ctx.circuit
+        n = len(self.accesses)
+        for i in range(n):
+            for j in range(i + 1, n):
+                self.encoding.order_vars[(i, j)] = circuit.var(f"M[{i},{j}]")
+
+    def _order(self, i: int, j: int) -> int:
+        return self.encoding.order(i, j)
+
+    def _assert_transitivity(self) -> None:
+        n = len(self.accesses)
+        assert_clause = self.ctx.assert_clause
+        for i in range(n):
+            for j in range(n):
+                if j == i:
+                    continue
+                order_ij = self._order(i, j)
+                for k in range(n):
+                    if k == i or k == j:
+                        continue
+                    # i <M j and j <M k implies i <M k
+                    assert_clause([-order_ij, -self._order(j, k), self._order(i, k)])
+
+    def _same_thread_pairs(self):
+        """Yield (earlier, later) pairs of accesses of the same thread."""
+        for thread in self.threads:
+            accesses = sorted(thread.accesses, key=lambda a: a.seq)
+            for i, first in enumerate(accesses):
+                for second in accesses[i + 1:]:
+                    yield first, second
+
+    def _assert_program_order(self) -> None:
+        for first, second in self._same_thread_pairs():
+            enforce = (
+                first.thread == INIT_THREAD
+                or self.model.preserves(first.kind, second.kind)
+            )
+            if enforce:
+                self.ctx.assert_true(self._order_of(first, second))
+
+    def _assert_same_address_order(self) -> None:
+        if not self.model.same_address_store_order:
+            return
+        for first, second in self._same_thread_pairs():
+            if not second.is_store:
+                continue
+            if first.thread == INIT_THREAD:
+                continue  # already totally ordered
+            if self.model.preserves(first.kind, second.kind):
+                continue  # already ordered unconditionally
+            if not self._may_alias(first, second):
+                continue
+            self.ctx.assert_true(
+                self.ctx.circuit.implies(
+                    self._addr_eq(first, second), self._order_of(first, second)
+                )
+            )
+
+    def _assert_fences(self) -> None:
+        circuit = self.ctx.circuit
+        for thread in self.threads:
+            if not thread.fences:
+                continue
+            accesses = sorted(thread.accesses, key=lambda a: a.seq)
+            for fence in thread.fences:
+                before = [
+                    a for a in accesses
+                    if a.seq < fence.seq and a.kind in fence.kind.orders_before
+                ]
+                after = [
+                    a for a in accesses
+                    if a.seq > fence.seq and a.kind in fence.kind.orders_after
+                ]
+                for first in before:
+                    for second in after:
+                        if self.model.preserves(first.kind, second.kind):
+                            continue
+                        self.ctx.assert_true(
+                            circuit.implies(
+                                fence.guard, self._order_of(first, second)
+                            )
+                        )
+
+    def _assert_atomic_blocks(self) -> None:
+        groups: dict[int, list[MemoryAccess]] = {}
+        for access in self.accesses:
+            if access.atomic_group is not None:
+                groups.setdefault(access.atomic_group, []).append(access)
+        for members in groups.values():
+            members.sort(key=lambda a: a.seq)
+            thread = members[0].thread
+            # (a) program order inside the atomic block
+            for i, first in enumerate(members):
+                for second in members[i + 1:]:
+                    self.ctx.assert_true(self._order_of(first, second))
+            # (b) no access of another thread interleaves with the block
+            outside = [a for a in self.accesses if a.thread != thread]
+            for i, first in enumerate(members):
+                for second in members[i + 1:]:
+                    for other in outside:
+                        self.ctx.assert_clause(
+                            [
+                                -self._order_of(first, other),
+                                -self._order_of(other, second),
+                            ]
+                        )
+
+    def _assert_init_first(self) -> None:
+        init_accesses = [a for a in self.accesses if a.thread == INIT_THREAD]
+        others = [a for a in self.accesses if a.thread != INIT_THREAD]
+        for first in init_accesses:
+            for second in others:
+                self.ctx.assert_true(self._order_of(first, second))
+
+    def _assert_operation_atomicity(self) -> None:
+        """Seriality: accesses of different invocations never interleave."""
+        circuit = self.ctx.circuit
+        by_invocation: dict[int, list[MemoryAccess]] = {}
+        for access in self.accesses:
+            by_invocation.setdefault(access.invocation, []).append(access)
+        invocations = sorted(by_invocation)
+        for index, first_inv in enumerate(invocations):
+            for second_inv in invocations[index + 1:]:
+                op_order = circuit.var(f"OP[{first_inv},{second_inv}]")
+                for x in by_invocation[first_inv]:
+                    for y in by_invocation[second_inv]:
+                        self.ctx.assert_true(
+                            circuit.iff(self._order_of(x, y), op_order)
+                        )
+
+    # ---------------------------------------------------------- value axioms
+
+    def _assert_value_axioms(self) -> None:
+        circuit = self.ctx.circuit
+        bvb = self.ctx.bvb
+        loads = [a for a in self.accesses if a.is_load]
+        stores = [a for a in self.accesses if a.is_store]
+        for load in loads:
+            candidates = [s for s in stores if self._may_alias(load, s)]
+            visibility: dict[int, int] = {}
+            for store in candidates:
+                visibility[store.index] = circuit.and_(
+                    store.guard,
+                    self._addr_eq(load, store),
+                    self._visibility_order(store, load),
+                )
+            # Case 1: no visible store -> the load reads the initial value.
+            no_store = circuit.and_many(-v for v in visibility.values())
+            init_term = circuit.and_(no_store, self._initial_value_term(load))
+            terms = [init_term]
+            # Case 2: the load reads the <M-maximal visible store.
+            for store in candidates:
+                newer_exists = [
+                    circuit.and_(
+                        visibility[other.index],
+                        self._order_of(store, other),
+                    )
+                    for other in candidates
+                    if other.index != store.index
+                ]
+                is_maximal = circuit.and_many(-h for h in newer_exists)
+                terms.append(
+                    circuit.and_(
+                        visibility[store.index],
+                        is_maximal,
+                        bvb.eq(load.value, store.value),
+                    )
+                )
+            self.ctx.assert_true(
+                circuit.implies(load.guard, circuit.or_many(terms))
+            )
+
+    def _visibility_order(self, store: MemoryAccess, load: MemoryAccess) -> int:
+        """The ordering part of ``store in S(load)``."""
+        if (
+            self.model.store_forwarding
+            and store.thread == load.thread
+            and store.seq < load.seq
+        ):
+            # Store-queue forwarding: a program-order-earlier store of the
+            # same thread is visible regardless of the global order.
+            return self.ctx.circuit.TRUE
+        return self._order_of(store, load)
+
+    def _initial_value_term(self, load: MemoryAccess) -> int:
+        circuit = self.ctx.circuit
+        bvb = self.ctx.bvb
+        if load.addr_candidates is None:
+            locations = list(self.ctx.layout.valid_indices())
+        else:
+            locations = [l for l in load.addr_candidates if l != 0]
+        terms = []
+        for location in locations:
+            terms.append(
+                circuit.and_(
+                    bvb.eq_const(load.addr, location),
+                    bvb.eq(load.value, self.ctx.initial_value(location)),
+                )
+            )
+        return circuit.or_many(terms)
+
+    # ------------------------------------------------------------ utilities
+
+    def _order_of(self, first: MemoryAccess, second: MemoryAccess) -> int:
+        return self._order(
+            self._position[first.index], self._position[second.index]
+        )
+
+    def _may_alias(self, first: MemoryAccess, second: MemoryAccess) -> bool:
+        if first.addr_candidates is None or second.addr_candidates is None:
+            return True
+        return bool(set(first.addr_candidates) & set(second.addr_candidates))
+
+    def _addr_eq(self, first: MemoryAccess, second: MemoryAccess) -> int:
+        key = (min(first.index, second.index), max(first.index, second.index))
+        cached = self._addr_eq_cache.get(key)
+        if cached is None:
+            cached = self.ctx.bvb.eq(first.addr, second.addr)
+            self._addr_eq_cache[key] = cached
+        return cached

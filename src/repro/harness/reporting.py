@@ -1,0 +1,73 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+The original paper presents its quantitative results as a table (Fig. 10)
+and log-log scatter charts (Figs. 10-12).  Without a plotting dependency we
+render the same data as aligned text tables and simple ASCII scatter plots,
+which is enough to compare shapes and ratios against the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds < 0.1:
+        return f"{seconds * 1000:.0f}ms"
+    return f"{seconds:.2f}s"
+
+
+def ascii_scatter(
+    points: Sequence[tuple[float, float, str]],
+    width: int = 60,
+    height: int = 18,
+    log_x: bool = True,
+    log_y: bool = True,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A crude ASCII scatter plot (optionally log-log), one char per point."""
+    if not points:
+        return "(no data points)"
+
+    def transform(value: float, log: bool) -> float:
+        if not log:
+            return value
+        return math.log10(max(value, 1e-6))
+
+    xs = [transform(x, log_x) for x, _, _ in points]
+    ys = [transform(y, log_y) for _, y, _ in points]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (raw_x, raw_y, marker), x, y in zip(points, xs, ys):
+        column = int((x - min_x) / span_x * (width - 1))
+        row = height - 1 - int((y - min_y) / span_y * (height - 1))
+        grid[row][column] = marker[0] if marker else "*"
+    lines = ["".join(row) for row in grid]
+    lines.append(f"x: {x_label}  [{min(p[0] for p in points):g} .. "
+                 f"{max(p[0] for p in points):g}]"
+                 + ("  (log scale)" if log_x else ""))
+    lines.append(f"y: {y_label}  [{min(p[1] for p in points):g} .. "
+                 f"{max(p[1] for p in points):g}]"
+                 + ("  (log scale)" if log_y else ""))
+    return "\n".join(lines)

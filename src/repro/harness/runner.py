@@ -1,0 +1,290 @@
+"""Experiment runner: regenerates the quantitative results of Section 4.
+
+The runner wraps the checker with bookkeeping so that each experiment
+(benchmark module) can produce the same rows/series the paper reports:
+
+* :func:`inclusion_row` — one row of the Fig. 10 table (unrolled size,
+  encoding time, CNF size, solver time, total time);
+* :func:`mining_point` — one data point of Fig. 11a (observation set size vs
+  enumeration time, for both the SAT miner and the reference miner);
+* :func:`breakdown` — the Fig. 11b average time breakdown;
+* :func:`range_analysis_comparison` — one point of Fig. 11c;
+* :func:`method_comparison` — one point of Fig. 12 (observation-set method
+  vs the commit-point style baseline);
+* :func:`fence_experiment` — the Section 4.2 experiment (unfenced fails,
+  fenced passes).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.core.checker import CheckFence, CheckOptions
+from repro.core.commitpoint import run_commit_point_check
+from repro.core.results import CheckResult
+from repro.core.specification import (
+    ReferenceSpecificationMiner,
+    SatSpecificationMiner,
+)
+from repro.datatypes.registry import category_of, get_implementation
+from repro.harness.catalog import get_test
+from repro.memorymodel.base import get_model
+
+
+def large_tests_enabled() -> bool:
+    """Large catalog tests are only run when CHECKFENCE_LARGE=1."""
+    return os.environ.get("CHECKFENCE_LARGE", "0") == "1"
+
+
+@dataclass
+class InclusionRow:
+    """One row of the Fig. 10 statistics table."""
+
+    implementation: str
+    test: str
+    memory_model: str
+    instructions: int
+    loads: int
+    stores: int
+    accesses: int
+    encode_seconds: float
+    cnf_variables: int
+    cnf_clauses: int
+    solve_seconds: float
+    total_seconds: float
+    passed: bool
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def check_catalog_test(
+    implementation_name: str,
+    test_name: str,
+    memory_model: str = "relaxed",
+    options: CheckOptions | None = None,
+) -> CheckResult:
+    """Check one catalog test against one implementation variant."""
+    implementation = get_implementation(implementation_name)
+    category = category_of(implementation_name)
+    test = get_test(category, test_name)
+    checker = CheckFence(implementation, options)
+    return checker.check(test, get_model(memory_model))
+
+
+def inclusion_row(
+    implementation_name: str,
+    test_name: str,
+    memory_model: str = "relaxed",
+    options: CheckOptions | None = None,
+) -> InclusionRow:
+    """Produce one Fig. 10 row."""
+    result = check_catalog_test(
+        implementation_name, test_name, memory_model, options
+    )
+    stats = result.stats
+    return InclusionRow(
+        implementation=implementation_name,
+        test=test_name,
+        memory_model=memory_model,
+        instructions=stats.instructions,
+        loads=stats.loads,
+        stores=stats.stores,
+        accesses=stats.accesses,
+        encode_seconds=stats.encode_seconds,
+        cnf_variables=stats.cnf_variables,
+        cnf_clauses=stats.cnf_clauses,
+        solve_seconds=stats.solve_seconds,
+        total_seconds=stats.total_seconds,
+        passed=result.passed,
+    )
+
+
+@dataclass
+class MiningPoint:
+    """One data point of Fig. 11a."""
+
+    implementation: str
+    test: str
+    method: str
+    observation_set_size: int
+    mining_seconds: float
+
+
+def mining_point(
+    implementation_name: str, test_name: str, method: str
+) -> MiningPoint:
+    implementation = get_implementation(implementation_name)
+    category = category_of(implementation_name)
+    test = get_test(category, test_name)
+    checker = CheckFence(implementation)
+    compiled = checker.compile(test, "serial")
+    if method == "sat":
+        spec = SatSpecificationMiner(compiled).mine()
+    else:
+        spec = ReferenceSpecificationMiner(compiled).mine()
+    return MiningPoint(
+        implementation=implementation_name,
+        test=test_name,
+        method=method,
+        observation_set_size=len(spec),
+        mining_seconds=spec.mining_seconds,
+    )
+
+
+@dataclass
+class TimeBreakdown:
+    """Fig. 11b: share of total runtime per phase."""
+
+    mining_seconds: float = 0.0
+    encode_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.mining_seconds + self.encode_seconds + self.solve_seconds
+
+    def shares(self) -> dict[str, float]:
+        total = self.total_seconds or 1.0
+        return {
+            "specification mining": self.mining_seconds / total,
+            "encoding of inclusion test": self.encode_seconds / total,
+            "refutation of inclusion test": self.solve_seconds / total,
+        }
+
+
+def breakdown(
+    implementation_name: str,
+    test_name: str,
+    memory_model: str = "relaxed",
+    specification_method: str = "sat",
+) -> TimeBreakdown:
+    options = CheckOptions(specification_method=specification_method)
+    result = check_catalog_test(
+        implementation_name, test_name, memory_model, options
+    )
+    return TimeBreakdown(
+        mining_seconds=result.stats.mining_seconds,
+        encode_seconds=result.stats.encode_seconds,
+        solve_seconds=result.stats.solve_seconds,
+    )
+
+
+@dataclass
+class RangeAnalysisComparison:
+    """Fig. 11c: runtime with and without the range analysis."""
+
+    implementation: str
+    test: str
+    with_analysis_seconds: float
+    without_analysis_seconds: float
+    with_clauses: int
+    without_clauses: int
+
+    @property
+    def speedup(self) -> float:
+        if self.with_analysis_seconds == 0:
+            return 1.0
+        return self.without_analysis_seconds / self.with_analysis_seconds
+
+
+def range_analysis_comparison(
+    implementation_name: str, test_name: str, memory_model: str = "relaxed"
+) -> RangeAnalysisComparison:
+    with_result = check_catalog_test(
+        implementation_name, test_name, memory_model,
+        CheckOptions(use_range_analysis=True),
+    )
+    without_result = check_catalog_test(
+        implementation_name, test_name, memory_model,
+        CheckOptions(use_range_analysis=False),
+    )
+    return RangeAnalysisComparison(
+        implementation=implementation_name,
+        test=test_name,
+        with_analysis_seconds=with_result.stats.total_seconds,
+        without_analysis_seconds=without_result.stats.total_seconds,
+        with_clauses=with_result.stats.cnf_clauses,
+        without_clauses=without_result.stats.cnf_clauses,
+    )
+
+
+@dataclass
+class MethodComparison:
+    """Fig. 12: observation-set method vs the commit-point style baseline."""
+
+    implementation: str
+    test: str
+    observation_set_seconds: float
+    commit_point_seconds: float
+    both_agree: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.observation_set_seconds == 0:
+            return 1.0
+        return self.commit_point_seconds / self.observation_set_seconds
+
+
+def method_comparison(
+    implementation_name: str, test_name: str, memory_model: str = "relaxed"
+) -> MethodComparison:
+    implementation = get_implementation(implementation_name)
+    category = category_of(implementation_name)
+    test = get_test(category, test_name)
+    model = get_model(memory_model)
+
+    checker = CheckFence(implementation)
+    start = time.perf_counter()
+    observation_result = checker.check(test, model)
+    observation_seconds = time.perf_counter() - start
+
+    compiled = checker.compile(test, model)
+    commit_result = run_commit_point_check(compiled, model)
+    return MethodComparison(
+        implementation=implementation_name,
+        test=test_name,
+        observation_set_seconds=observation_seconds,
+        commit_point_seconds=commit_result.total_seconds,
+        both_agree=observation_result.passed == commit_result.passed,
+    )
+
+
+@dataclass
+class FenceExperiment:
+    """Section 4.2: the unfenced algorithm fails on Relaxed, the fenced one
+    passes, and both pass under sequential consistency."""
+
+    implementation: str
+    test: str
+    fenced_passes_relaxed: bool
+    unfenced_fails_relaxed: bool
+    unfenced_passes_sc: bool
+    counterexample: str = ""
+
+    @property
+    def reproduces_paper(self) -> bool:
+        return (
+            self.fenced_passes_relaxed
+            and self.unfenced_fails_relaxed
+            and self.unfenced_passes_sc
+        )
+
+
+def fence_experiment(base_name: str, test_name: str) -> FenceExperiment:
+    fenced = check_catalog_test(base_name, test_name, "relaxed")
+    unfenced_relaxed = check_catalog_test(f"{base_name}-unfenced", test_name, "relaxed")
+    unfenced_sc = check_catalog_test(f"{base_name}-unfenced", test_name, "sc")
+    counterexample = ""
+    if unfenced_relaxed.counterexample is not None:
+        counterexample = unfenced_relaxed.counterexample.format()
+    return FenceExperiment(
+        implementation=base_name,
+        test=test_name,
+        fenced_passes_relaxed=fenced.passed,
+        unfenced_fails_relaxed=not unfenced_relaxed.passed,
+        unfenced_passes_sc=unfenced_sc.passed,
+        counterexample=counterexample,
+    )

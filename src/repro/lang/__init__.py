@@ -1,0 +1,29 @@
+"""C front-end: lexer, parser, and lowering to LSL (replaces CIL)."""
+
+from repro.lang.errors import (
+    FrontendError,
+    LexError,
+    LoweringError,
+    ParseError,
+    SourceLocation,
+)
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import Parser, parse
+from repro.lang.lower import compile_c, lower_unit
+from repro.lang.types import StructInfo, TypeEnv
+
+__all__ = [
+    "FrontendError",
+    "LexError",
+    "LoweringError",
+    "ParseError",
+    "SourceLocation",
+    "Token",
+    "tokenize",
+    "Parser",
+    "parse",
+    "compile_c",
+    "lower_unit",
+    "StructInfo",
+    "TypeEnv",
+]

@@ -1,0 +1,283 @@
+"""Abstract syntax tree for the supported C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.lang.errors import SourceLocation
+
+
+# --------------------------------------------------------------------- types
+
+
+@dataclass
+class TypeExpr:
+    """A (possibly derived) type expression.
+
+    ``base`` is a named base type ('int', 'bool', 'void', a typedef name, or
+    'struct <name>'); ``pointer_depth`` counts the ``*`` declarators applied
+    to it.
+    """
+
+    base: str
+    pointer_depth: int = 0
+
+    def pointer_to(self) -> "TypeExpr":
+        return TypeExpr(self.base, self.pointer_depth + 1)
+
+    def pointee(self) -> "TypeExpr":
+        if self.pointer_depth == 0:
+            raise ValueError(f"{self} is not a pointer type")
+        return TypeExpr(self.base, self.pointer_depth - 1)
+
+    def __str__(self) -> str:
+        return self.base + "*" * self.pointer_depth
+
+
+# --------------------------------------------------------------- expressions
+
+
+class Expr:
+    """Base class of expressions."""
+
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class NullLiteral(Expr):
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class Name(Expr):
+    ident: str
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # '*', '&', '!', '-', '~'
+    operand: Expr
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # '==','!=','<','<=','>','>=','+','-','&&','||','&','|','^','%','/'
+    left: Expr
+    right: Expr
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class FieldAccess(Expr):
+    """``base.field`` (arrow=False) or ``base->field`` (arrow=True)."""
+
+    base: Expr
+    field_name: str
+    arrow: bool
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]`` array subscript."""
+
+    base: Expr
+    index: Expr
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    func: str
+    args: list[Expr] = field(default_factory=list)
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class Cast(Expr):
+    target: TypeExpr
+    operand: Expr
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class Assign(Expr):
+    """``lvalue = value`` (only used in statement position)."""
+
+    target: Expr
+    value: Expr
+    location: Optional[SourceLocation] = None
+
+
+# ---------------------------------------------------------------- statements
+
+
+class Stmt:
+    """Base class of statements."""
+
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """Local variable declaration, possibly with an initializer."""
+
+    type: TypeExpr
+    names: list[str]
+    inits: list[Optional[Expr]]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then_body: "CompoundStmt"
+    else_body: Optional["CompoundStmt"] = None
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: "CompoundStmt"
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: "CompoundStmt"
+    cond: Expr
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class AtomicStmt(Stmt):
+    """``atomic { ... }`` — executed atomically (models CAS/locked sections)."""
+
+    body: "CompoundStmt"
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class CompoundStmt(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+    location: Optional[SourceLocation] = None
+
+
+# --------------------------------------------------------------- declarations
+
+
+@dataclass
+class StructField:
+    type: TypeExpr
+    name: str
+    array_size: int | None = None
+
+
+@dataclass
+class StructDef:
+    name: str
+    fields: list[StructField]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class EnumDef:
+    name: str
+    enumerators: list[tuple[str, int]]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class Typedef:
+    name: str
+    type: TypeExpr
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class GlobalVarDecl:
+    type: TypeExpr
+    name: str
+    init: Optional[Expr] = None
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class Param:
+    type: TypeExpr
+    name: str
+
+
+@dataclass
+class FunctionDecl:
+    """A function prototype (extern declaration, no body)."""
+
+    return_type: TypeExpr
+    name: str
+    params: list[Param]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class FunctionDef:
+    return_type: TypeExpr
+    name: str
+    params: list[Param]
+    body: CompoundStmt
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class TranslationUnit:
+    """A parsed C source file."""
+
+    structs: list[StructDef] = field(default_factory=list)
+    enums: list[EnumDef] = field(default_factory=list)
+    typedefs: list[Typedef] = field(default_factory=list)
+    globals: list[GlobalVarDecl] = field(default_factory=list)
+    prototypes: list[FunctionDecl] = field(default_factory=list)
+    functions: list[FunctionDef] = field(default_factory=list)

@@ -1,0 +1,39 @@
+"""Diagnostics for the C front-end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SourceLocation:
+    """A position in the C source (1-based line and column)."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
+class FrontendError(Exception):
+    """Base class for all front-end diagnostics."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None) -> None:
+        self.location = location
+        if location is not None:
+            message = f"{message} ({location})"
+        super().__init__(message)
+
+
+class LexError(FrontendError):
+    """Malformed token in the source text."""
+
+
+class ParseError(FrontendError):
+    """The source does not conform to the supported C subset grammar."""
+
+
+class LoweringError(FrontendError):
+    """The program uses a C feature the translator does not support,
+    or is not well-typed for translation to LSL."""

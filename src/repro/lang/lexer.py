@@ -1,0 +1,211 @@
+"""Tokenizer for the supported C subset.
+
+The front-end plays the role of the CIL-based front-end in the original tool:
+it only has to understand the language features that the studied concurrent
+data type implementations use (Section 3.1 "C features").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.errors import LexError, SourceLocation
+
+KEYWORDS = {
+    "typedef",
+    "struct",
+    "enum",
+    "union",
+    "extern",
+    "static",
+    "volatile",
+    "const",
+    "unsigned",
+    "signed",
+    "int",
+    "long",
+    "short",
+    "char",
+    "void",
+    "bool",
+    "_Bool",
+    "if",
+    "else",
+    "while",
+    "do",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "true",
+    "false",
+    "NULL",
+    "atomic",
+    "sizeof",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "->",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "++",
+    "--",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "*",
+    "+",
+    "-",
+    "/",
+    "%",
+    "|",
+    "^",
+    "~",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    "?",
+    ":",
+]
+
+
+@dataclass
+class Token:
+    """A single lexical token."""
+
+    kind: str  # 'ident', 'number', 'string', 'keyword', 'op', 'eof'
+    text: str
+    location: SourceLocation
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert C source text into a token list (comments stripped)."""
+    tokens: list[Token] = []
+    index = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def loc() -> SourceLocation:
+        return SourceLocation(line, column)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and source[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        ch = source[index]
+        # Whitespace
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # Line comments
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                advance(1)
+            continue
+        # Block comments
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", loc())
+            advance(end + 2 - index)
+            continue
+        # Preprocessor lines are skipped (the sources use none that matter).
+        if ch == "#" and column == 1:
+            while index < length and source[index] != "\n":
+                advance(1)
+            continue
+        # Identifiers and keywords
+        if ch.isalpha() or ch == "_":
+            start = index
+            start_loc = loc()
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                advance(1)
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, start_loc))
+            continue
+        # Numbers (decimal and hex)
+        if ch.isdigit():
+            start = index
+            start_loc = loc()
+            if source.startswith("0x", index) or source.startswith("0X", index):
+                advance(2)
+                while index < length and source[index] in "0123456789abcdefABCDEF":
+                    advance(1)
+            else:
+                while index < length and source[index].isdigit():
+                    advance(1)
+            # Integer suffixes (u, l) are accepted and ignored.
+            while index < length and source[index] in "uUlL":
+                advance(1)
+            tokens.append(Token("number", source[start:index], start_loc))
+            continue
+        # String literals (used only for fence("...") arguments)
+        if ch == '"':
+            start_loc = loc()
+            advance(1)
+            chars: list[str] = []
+            while index < length and source[index] != '"':
+                if source[index] == "\\":
+                    advance(1)
+                    if index >= length:
+                        break
+                chars.append(source[index])
+                advance(1)
+            if index >= length:
+                raise LexError("unterminated string literal", start_loc)
+            advance(1)  # closing quote
+            tokens.append(Token("string", "".join(chars), start_loc))
+            continue
+        # Character literals become their integer value.
+        if ch == "'":
+            start_loc = loc()
+            advance(1)
+            if index < length and source[index] == "\\":
+                advance(1)
+            if index >= length:
+                raise LexError("unterminated character literal", start_loc)
+            value = ord(source[index])
+            advance(1)
+            if index >= length or source[index] != "'":
+                raise LexError("unterminated character literal", start_loc)
+            advance(1)
+            tokens.append(Token("number", str(value), start_loc))
+            continue
+        # Operators and punctuation
+        for op in OPERATORS:
+            if source.startswith(op, index):
+                tokens.append(Token("op", op, loc()))
+                advance(len(op))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", loc())
+
+    tokens.append(Token("eof", "", loc()))
+    return tokens

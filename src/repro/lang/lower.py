@@ -1,0 +1,626 @@
+"""Lowering of the C subset to LSL.
+
+This pass plays the role of the CIL-based translation in the original tool
+(Section 3.1): it turns each C function into an LSL procedure made of loads,
+stores, register operations, fences, atomic blocks, and structured blocks
+with conditional break/continue.
+
+Key conventions:
+
+* Local variables and parameters become registers (their address cannot be
+  taken; the studied algorithms never need that).
+* Global variables live at statically known location indices: globals are
+  laid out in declaration order starting at index 1 (index 0 is the null
+  pointer), which matches :meth:`repro.lsl.layout.MemoryLayout` built by
+  :func:`repro.lsl.layout`-style helpers in the checker.
+* ``p->f`` becomes ``load(p + offset(f))``; ``&p->f`` is just the address
+  computation.  Pointers are therefore plain integers (location indices).
+* The synchronization builtins ``cas``, ``dcas``, ``lock`` and ``unlock``
+  expand to atomic blocks following Fig. 6 / Fig. 7 of the paper; ``lock``
+  uses the paper's spin-loop reduction (a blocking atomic acquire).
+* Calls to extern prototypes returning ``T*`` with no definition (for
+  example ``new_node``) become heap allocations; extern ``delete_*``/
+  ``free_*`` calls become no-op frees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ast
+from repro.lang.errors import LoweringError
+from repro.lang.parser import parse
+from repro.lang.types import StructInfo, TypeEnv
+from repro.lsl.builder import LslBuilder
+from repro.lsl.instructions import FenceKind, PrimitiveOp
+from repro.lsl.program import GlobalDecl, Procedure, Program
+
+_RETURN_REGISTER = "__retval"
+
+_BOOL_TYPE = ast.TypeExpr("bool", 0)
+_INT_TYPE = ast.TypeExpr("int", 0)
+_VOID_PTR = ast.TypeExpr("void", 1)
+
+
+@dataclass
+class _Value:
+    """An expression lowered to a register, together with its C type."""
+
+    reg: str
+    type: ast.TypeExpr
+
+
+def lower_unit(unit: ast.TranslationUnit, name: str) -> Program:
+    """Lower a parsed translation unit into an LSL program."""
+    return _Lowerer(unit, name).lower()
+
+
+def compile_c(source: str, name: str) -> Program:
+    """Parse and lower C source text in one step."""
+    return lower_unit(parse(source), name)
+
+
+class _Lowerer:
+    def __init__(self, unit: ast.TranslationUnit, name: str) -> None:
+        self.unit = unit
+        self.env = TypeEnv(unit)
+        self.program = Program(name)
+        self.global_types: dict[str, ast.TypeExpr] = {}
+        self.global_bases: dict[str, int] = {}
+        self.prototypes = {p.name: p for p in unit.prototypes}
+        self.functions = {f.name: f for f in unit.functions}
+
+    # ----------------------------------------------------------------- driver
+
+    def lower(self) -> Program:
+        for struct_name in self.env.struct_names():
+            self.program.add_struct(self.env.struct_info(struct_name).to_layout())
+        next_base = 1  # location 0 is the null pointer
+        for decl in self.unit.globals:
+            resolved = self.env.resolve(decl.type)
+            if resolved.pointer_depth == 0 and self.env.has_struct(resolved.base):
+                info = self.env.struct_info(resolved.base)
+                self.program.add_global(
+                    GlobalDecl(decl.name, info.to_layout(), initial=0)
+                )
+                size = info.num_cells
+            else:
+                initial = 0
+                if decl.init is not None:
+                    initial = self._constant_value(decl.init)
+                self.program.add_global(GlobalDecl(decl.name, None, initial))
+                size = 1
+            self.global_types[decl.name] = decl.type
+            self.global_bases[decl.name] = next_base
+            next_base += size
+        for function in self.unit.functions:
+            self.program.add_procedure(self._lower_function(function))
+        return self.program
+
+    def _constant_value(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.BoolLiteral):
+            return int(expr.value)
+        if isinstance(expr, ast.NullLiteral):
+            return 0
+        if isinstance(expr, ast.Name) and expr.ident in self.env.enum_constants:
+            return self.env.enum_constants[expr.ident]
+        raise LoweringError(
+            "global initializers must be constants", getattr(expr, "location", None)
+        )
+
+    def _lower_function(self, function: ast.FunctionDef) -> Procedure:
+        lowerer = _FunctionLowerer(self, function)
+        return lowerer.lower()
+
+
+class _FunctionLowerer:
+    def __init__(self, parent: _Lowerer, function: ast.FunctionDef) -> None:
+        self.parent = parent
+        self.env = parent.env
+        self.function = function
+        self.builder = LslBuilder()
+        self.locals: dict[str, _Value] = {}
+        # Stack of (break_tag, continue_tag or None) for loops.
+        self.loop_stack: list[tuple[str, str | None]] = []
+        self.body_tag = f"__fn_{function.name}"
+        self.returns_value = (
+            parent.env.resolve(function.return_type).base != "void"
+            or parent.env.resolve(function.return_type).pointer_depth > 0
+        )
+
+    # ----------------------------------------------------------------- entry
+
+    def lower(self) -> Procedure:
+        params = []
+        for param in self.function.params:
+            if not param.name:
+                raise LoweringError(
+                    f"unnamed parameter in {self.function.name}",
+                    self.function.location,
+                )
+            self.locals[param.name] = _Value(param.name, param.type)
+            params.append(param.name)
+        with self.builder.block(self.body_tag):
+            self._lower_compound(self.function.body)
+        returns = (_RETURN_REGISTER,) if self.returns_value else ()
+        return Procedure(
+            self.function.name, tuple(params), returns, self.builder.statements
+        )
+
+    # ------------------------------------------------------------- statements
+
+    def _lower_compound(self, compound: ast.CompoundStmt) -> None:
+        for stmt in compound.statements:
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.CompoundStmt):
+            self._lower_compound(stmt)
+        elif isinstance(stmt, ast.DeclStmt):
+            self._lower_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_expr_stmt(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhileStmt):
+            self._lower_do_while(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            self._lower_return(stmt)
+        elif isinstance(stmt, ast.BreakStmt):
+            self._lower_break(stmt)
+        elif isinstance(stmt, ast.ContinueStmt):
+            self._lower_continue(stmt)
+        elif isinstance(stmt, ast.AtomicStmt):
+            with self.builder.atomic():
+                self._lower_compound(stmt.body)
+        else:  # pragma: no cover - defensive
+            raise LoweringError(f"unsupported statement {type(stmt).__name__}",
+                                stmt.location)
+
+    def _lower_decl(self, stmt: ast.DeclStmt) -> None:
+        for name, init in zip(stmt.names, stmt.inits):
+            self.locals[name] = _Value(name, stmt.type)
+            if init is not None:
+                value = self._lower_expr(init)
+                self.builder.move(value.reg, dst=name)
+
+    def _lower_expr_stmt(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Assign):
+            self._lower_assign(expr)
+        elif isinstance(expr, ast.CallExpr):
+            self._lower_call(expr)
+        else:
+            # An expression statement without effect; evaluate it anyway so
+            # faults (null dereference) are preserved.
+            self._lower_expr(expr)
+
+    def _lower_assign(self, expr: ast.Assign) -> _Value:
+        value = self._lower_rhs(expr.value)
+        target = expr.target
+        if isinstance(target, ast.Name) and target.ident in self.locals:
+            local = self.locals[target.ident]
+            self.builder.move(value.reg, dst=local.reg)
+            return _Value(local.reg, local.type)
+        address, _ = self._lower_address(target)
+        self.builder.store(address, value.reg)
+        return value
+
+    def _lower_rhs(self, expr: ast.Expr) -> _Value:
+        # Chained assignments (a = b = c) evaluate right-to-left.
+        if isinstance(expr, ast.Assign):
+            return self._lower_assign(expr)
+        return self._lower_expr(expr)
+
+    def _lower_if(self, stmt: ast.IfStmt) -> None:
+        cond = self._lower_expr(stmt.cond)
+        not_cond = self.builder.prim(PrimitiveOp.NOT, cond.reg)
+        with self.builder.block() as then_tag:
+            self.builder.break_if(not_cond, then_tag)
+            self._lower_compound(stmt.then_body)
+        if stmt.else_body is not None:
+            with self.builder.block() as else_tag:
+                self.builder.break_if(cond.reg, else_tag)
+                self._lower_compound(stmt.else_body)
+
+    def _lower_while(self, stmt: ast.WhileStmt) -> None:
+        with self.builder.block() as tag:
+            cond = self._lower_expr(stmt.cond)
+            not_cond = self.builder.prim(PrimitiveOp.NOT, cond.reg)
+            self.builder.break_if(not_cond, tag)
+            self.loop_stack.append((tag, tag))
+            try:
+                self._lower_compound(stmt.body)
+            finally:
+                self.loop_stack.pop()
+            self.builder.continue_always(tag)
+
+    def _lower_do_while(self, stmt: ast.DoWhileStmt) -> None:
+        with self.builder.block() as tag:
+            self.loop_stack.append((tag, None))
+            try:
+                self._lower_compound(stmt.body)
+            finally:
+                self.loop_stack.pop()
+            cond = self._lower_expr(stmt.cond)
+            self.builder.continue_if(cond.reg, tag)
+
+    def _lower_return(self, stmt: ast.ReturnStmt) -> None:
+        if stmt.value is not None:
+            value = self._lower_expr(stmt.value)
+            self.builder.move(value.reg, dst=_RETURN_REGISTER)
+        elif self.returns_value:
+            raise LoweringError(
+                f"{self.function.name} must return a value", stmt.location
+            )
+        self.builder.break_always(self.body_tag)
+
+    def _lower_break(self, stmt: ast.BreakStmt) -> None:
+        if not self.loop_stack:
+            raise LoweringError("'break' outside of a loop", stmt.location)
+        self.builder.break_always(self.loop_stack[-1][0])
+
+    def _lower_continue(self, stmt: ast.ContinueStmt) -> None:
+        if not self.loop_stack:
+            raise LoweringError("'continue' outside of a loop", stmt.location)
+        continue_tag = self.loop_stack[-1][1]
+        if continue_tag is None:
+            raise LoweringError(
+                "'continue' inside do-while is not supported", stmt.location
+            )
+        self.builder.continue_always(continue_tag)
+
+    # ------------------------------------------------------------ expressions
+
+    def _lower_expr(self, expr: ast.Expr) -> _Value:
+        if isinstance(expr, ast.IntLiteral):
+            return _Value(self.builder.const(expr.value), _INT_TYPE)
+        if isinstance(expr, ast.BoolLiteral):
+            return _Value(self.builder.const(int(expr.value)), _BOOL_TYPE)
+        if isinstance(expr, ast.NullLiteral):
+            return _Value(self.builder.const(0), _VOID_PTR)
+        if isinstance(expr, ast.StringLiteral):
+            raise LoweringError(
+                "string literals are only allowed as fence() arguments",
+                expr.location,
+            )
+        if isinstance(expr, ast.Name):
+            return self._lower_name(expr)
+        if isinstance(expr, ast.Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, (ast.FieldAccess, ast.Index)):
+            address, value_type = self._lower_address(expr)
+            return _Value(self.builder.load(address), value_type)
+        if isinstance(expr, ast.CallExpr):
+            result = self._lower_call(expr)
+            if result is None:
+                raise LoweringError(
+                    f"void call to {expr.func!r} used as a value", expr.location
+                )
+            return result
+        if isinstance(expr, ast.Cast):
+            inner = self._lower_expr(expr.operand)
+            return _Value(inner.reg, expr.target)
+        if isinstance(expr, ast.Assign):
+            return self._lower_assign(expr)
+        raise LoweringError(
+            f"unsupported expression {type(expr).__name__}", expr.location
+        )
+
+    def _lower_name(self, expr: ast.Name) -> _Value:
+        name = expr.ident
+        if name in self.locals:
+            return self.locals[name]
+        if name in self.env.enum_constants:
+            value = self.env.enum_constants[name]
+            return _Value(self.builder.const(value), _INT_TYPE)
+        if name in self.parent.global_bases:
+            declared = self.parent.global_types[name]
+            resolved = self.env.resolve(declared)
+            if resolved.pointer_depth == 0 and self.env.has_struct(resolved.base):
+                raise LoweringError(
+                    f"global struct {name!r} cannot be used as a value; "
+                    "take its address with '&'",
+                    expr.location,
+                )
+            address = self.builder.const(self.parent.global_bases[name])
+            return _Value(self.builder.load(address), declared)
+        raise LoweringError(f"unknown identifier {name!r}", expr.location)
+
+    def _lower_unary(self, expr: ast.Unary) -> _Value:
+        if expr.op == "&":
+            address, value_type = self._lower_address(expr.operand)
+            return _Value(address, value_type.pointer_to())
+        if expr.op == "*":
+            pointer = self._lower_expr(expr.operand)
+            resolved = self.env.resolve(pointer.type)
+            if resolved.pointer_depth == 0:
+                raise LoweringError("cannot dereference a non-pointer",
+                                    expr.location)
+            return _Value(self.builder.load(pointer.reg), resolved.pointee())
+        if expr.op == "!":
+            operand = self._lower_expr(expr.operand)
+            return _Value(
+                self.builder.prim(PrimitiveOp.NOT, operand.reg), _BOOL_TYPE
+            )
+        if expr.op == "-":
+            operand = self._lower_expr(expr.operand)
+            zero = self.builder.const(0)
+            return _Value(
+                self.builder.prim(PrimitiveOp.SUB, zero, operand.reg), _INT_TYPE
+            )
+        raise LoweringError(f"unsupported unary operator {expr.op!r}",
+                            expr.location)
+
+    _BINARY_OPS = {
+        "==": PrimitiveOp.EQ,
+        "!=": PrimitiveOp.NE,
+        "<": PrimitiveOp.LT,
+        "<=": PrimitiveOp.LE,
+        ">": PrimitiveOp.GT,
+        ">=": PrimitiveOp.GE,
+        "+": PrimitiveOp.ADD,
+        "-": PrimitiveOp.SUB,
+    }
+
+    def _lower_binary(self, expr: ast.Binary) -> _Value:
+        if expr.op in ("&&", "||"):
+            return self._lower_short_circuit(expr)
+        op = self._BINARY_OPS.get(expr.op)
+        if op is None:
+            raise LoweringError(f"unsupported binary operator {expr.op!r}",
+                                expr.location)
+        left = self._lower_expr(expr.left)
+        right = self._lower_expr(expr.right)
+        result = self.builder.prim(op, left.reg, right.reg)
+        if expr.op in ("+", "-"):
+            result_type = left.type if self._is_pointer(left.type) else _INT_TYPE
+        else:
+            result_type = _BOOL_TYPE
+        return _Value(result, result_type)
+
+    def _lower_short_circuit(self, expr: ast.Binary) -> _Value:
+        """``a && b`` / ``a || b`` with the usual short-circuit evaluation."""
+        left = self._lower_expr(expr.left)
+        zero = self.builder.const(0)
+        result = self.builder.prim(PrimitiveOp.NE, left.reg, zero)
+        with self.builder.block() as tag:
+            if expr.op == "&&":
+                skip = self.builder.prim(PrimitiveOp.NOT, result)
+                self.builder.break_if(skip, tag)
+            else:  # "||" — skip the right operand when the left is true
+                self.builder.break_if(result, tag)
+            right = self._lower_expr(expr.right)
+            zero2 = self.builder.const(0)
+            self.builder.prim(PrimitiveOp.NE, right.reg, zero2, dst=result)
+        return _Value(result, _BOOL_TYPE)
+
+    def _is_pointer(self, type_expr: ast.TypeExpr) -> bool:
+        return self.env.resolve(type_expr).pointer_depth > 0
+
+    # --------------------------------------------------------------- lvalues
+
+    def _lower_address(self, expr: ast.Expr) -> tuple[str, ast.TypeExpr]:
+        """Lower an lvalue to (address register, type of the stored value)."""
+        if isinstance(expr, ast.Name):
+            name = expr.ident
+            if name in self.locals:
+                raise LoweringError(
+                    f"cannot take the address of local variable {name!r}",
+                    expr.location,
+                )
+            if name in self.parent.global_bases:
+                address = self.builder.const(self.parent.global_bases[name])
+                return address, self.parent.global_types[name]
+            raise LoweringError(f"unknown identifier {name!r}", expr.location)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            pointer = self._lower_expr(expr.operand)
+            resolved = self.env.resolve(pointer.type)
+            if resolved.pointer_depth == 0:
+                raise LoweringError("cannot dereference a non-pointer",
+                                    expr.location)
+            return pointer.reg, resolved.pointee()
+        if isinstance(expr, ast.FieldAccess):
+            return self._lower_field_address(expr)
+        if isinstance(expr, ast.Index):
+            base_addr, base_type = self._lower_address(expr.base)
+            index = self._lower_expr(expr.index)
+            address = self.builder.prim(PrimitiveOp.ADD, base_addr, index.reg)
+            return address, base_type
+        raise LoweringError(
+            f"expression {type(expr).__name__} is not an lvalue", expr.location
+        )
+
+    def _lower_field_address(self, expr: ast.FieldAccess) -> tuple[str, ast.TypeExpr]:
+        if expr.arrow:
+            base = self._lower_expr(expr.base)
+            struct = self.env.pointee_struct(base.type)
+            base_addr = base.reg
+        else:
+            base_addr, base_type = self._lower_address(expr.base)
+            struct = self.env.struct_info(base_type)
+        offset = struct.offset_of(expr.field_name)
+        if offset == 0:
+            address = base_addr
+        else:
+            offset_reg = self.builder.const(offset)
+            address = self.builder.prim(PrimitiveOp.ADD, base_addr, offset_reg)
+        return address, struct.field_types[expr.field_name]
+
+    # ------------------------------------------------------------------ calls
+
+    def _lower_call(self, expr: ast.CallExpr) -> _Value | None:
+        name = expr.func
+        if name == "fence":
+            return self._builtin_fence(expr)
+        if name in ("assert", "assume"):
+            return self._builtin_assert_assume(expr)
+        if name == "cas":
+            return self._builtin_cas(expr)
+        if name == "dcas":
+            return self._builtin_dcas(expr)
+        if name == "lock":
+            return self._builtin_lock(expr)
+        if name == "unlock":
+            return self._builtin_unlock(expr)
+        if name == "choose":
+            return self._builtin_choose(expr)
+        if name in self.parent.functions:
+            return self._call_defined(expr)
+        if name in self.parent.prototypes:
+            return self._call_extern(expr)
+        raise LoweringError(f"call to unknown function {name!r}", expr.location)
+
+    def _builtin_fence(self, expr: ast.CallExpr) -> None:
+        if len(expr.args) != 1 or not isinstance(expr.args[0], ast.StringLiteral):
+            raise LoweringError('fence() expects a string literal such as '
+                                '"store-store"', expr.location)
+        try:
+            kind = FenceKind.from_string(expr.args[0].value)
+        except ValueError as exc:
+            raise LoweringError(str(exc), expr.location) from exc
+        self.builder.fence(kind)
+        return None
+
+    def _builtin_assert_assume(self, expr: ast.CallExpr) -> None:
+        if len(expr.args) != 1:
+            raise LoweringError(f"{expr.func}() expects one argument",
+                                expr.location)
+        cond = self._lower_expr(expr.args[0])
+        if expr.func == "assert":
+            self.builder.assert_(cond.reg)
+        else:
+            self.builder.assume(cond.reg)
+        return None
+
+    def _builtin_cas(self, expr: ast.CallExpr) -> _Value:
+        if len(expr.args) != 3:
+            raise LoweringError("cas() expects (location, old, new)",
+                                expr.location)
+        location = self._lower_expr(expr.args[0])
+        old = self._lower_expr(expr.args[1])
+        new = self._lower_expr(expr.args[2])
+        result = self.builder.fresh_reg("cas")
+        with self.builder.atomic():
+            current = self.builder.load(location.reg)
+            self.builder.prim(PrimitiveOp.EQ, current, old.reg, dst=result)
+            with self.builder.block() as tag:
+                failed = self.builder.prim(PrimitiveOp.NOT, result)
+                self.builder.break_if(failed, tag)
+                self.builder.store(location.reg, new.reg)
+        return _Value(result, _BOOL_TYPE)
+
+    def _builtin_dcas(self, expr: ast.CallExpr) -> _Value:
+        if len(expr.args) != 6:
+            raise LoweringError(
+                "dcas() expects (loc1, old1, new1, loc2, old2, new2)",
+                expr.location,
+            )
+        loc1 = self._lower_expr(expr.args[0])
+        old1 = self._lower_expr(expr.args[1])
+        new1 = self._lower_expr(expr.args[2])
+        loc2 = self._lower_expr(expr.args[3])
+        old2 = self._lower_expr(expr.args[4])
+        new2 = self._lower_expr(expr.args[5])
+        result = self.builder.fresh_reg("dcas")
+        with self.builder.atomic():
+            current1 = self.builder.load(loc1.reg)
+            current2 = self.builder.load(loc2.reg)
+            eq1 = self.builder.prim(PrimitiveOp.EQ, current1, old1.reg)
+            eq2 = self.builder.prim(PrimitiveOp.EQ, current2, old2.reg)
+            self.builder.prim(PrimitiveOp.AND, eq1, eq2, dst=result)
+            with self.builder.block() as tag:
+                failed = self.builder.prim(PrimitiveOp.NOT, result)
+                self.builder.break_if(failed, tag)
+                self.builder.store(loc1.reg, new1.reg)
+                self.builder.store(loc2.reg, new2.reg)
+        return _Value(result, _BOOL_TYPE)
+
+    def _builtin_lock(self, expr: ast.CallExpr) -> None:
+        """Blocking lock acquisition (the paper's spin-loop reduction)."""
+        if len(expr.args) != 1:
+            raise LoweringError("lock() expects one argument", expr.location)
+        location = self._lower_expr(expr.args[0])
+        with self.builder.atomic():
+            current = self.builder.load(location.reg)
+            zero = self.builder.const(0)
+            is_free = self.builder.prim(PrimitiveOp.EQ, current, zero)
+            self.builder.assume(is_free)
+            one = self.builder.const(1)
+            self.builder.store(location.reg, one)
+        self.builder.fence(FenceKind.LOAD_LOAD)
+        self.builder.fence(FenceKind.LOAD_STORE)
+        return None
+
+    def _builtin_unlock(self, expr: ast.CallExpr) -> None:
+        if len(expr.args) != 1:
+            raise LoweringError("unlock() expects one argument", expr.location)
+        location = self._lower_expr(expr.args[0])
+        self.builder.fence(FenceKind.LOAD_STORE)
+        self.builder.fence(FenceKind.STORE_STORE)
+        with self.builder.atomic():
+            current = self.builder.load(location.reg)
+            one = self.builder.const(1)
+            held = self.builder.prim(PrimitiveOp.EQ, current, one)
+            self.builder.assert_(held)
+            zero = self.builder.const(0)
+            self.builder.store(location.reg, zero)
+        return None
+
+    def _builtin_choose(self, expr: ast.CallExpr) -> _Value:
+        choices = tuple(self._constant_arg(a) for a in expr.args) or (0, 1)
+        return _Value(self.builder.choose(choices), _INT_TYPE)
+
+    def _constant_arg(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        raise LoweringError("choose() arguments must be integer literals",
+                            expr.location)
+
+    def _call_defined(self, expr: ast.CallExpr) -> _Value | None:
+        function = self.parent.functions[expr.func]
+        if len(expr.args) != len(function.params):
+            raise LoweringError(
+                f"{expr.func}() expects {len(function.params)} arguments, "
+                f"got {len(expr.args)}",
+                expr.location,
+            )
+        arg_regs = [self._lower_expr(a).reg for a in expr.args]
+        resolved_ret = self.env.resolve(function.return_type)
+        returns_value = (
+            resolved_ret.base != "void" or resolved_ret.pointer_depth > 0
+        )
+        if returns_value:
+            ret_reg = self.builder.fresh_reg(f"{expr.func}_ret")
+            self.builder.call(expr.func, arg_regs, [ret_reg])
+            return _Value(ret_reg, function.return_type)
+        self.builder.call(expr.func, arg_regs, [])
+        return None
+
+    def _call_extern(self, expr: ast.CallExpr) -> _Value | None:
+        proto = self.parent.prototypes[expr.func]
+        resolved_ret = self.env.resolve(proto.return_type)
+        # Allocation: an extern returning a pointer to a struct.
+        if resolved_ret.pointer_depth == 1 and self.env.has_struct(resolved_ret.base):
+            struct = self.env.struct_info(resolved_ret.base)
+            reg = self.builder.alloc(
+                struct.num_cells, struct.name, struct.cells, init="havoc"
+            )
+            return _Value(reg, proto.return_type)
+        # Deallocation: extern void delete_*/free_* (ignored by the checker).
+        if resolved_ret.base == "void" and resolved_ret.pointer_depth == 0 and (
+            expr.func.startswith("delete") or expr.func.startswith("free")
+        ):
+            if len(expr.args) == 1:
+                pointer = self._lower_expr(expr.args[0])
+                self.builder.free(pointer.reg)
+            return None
+        raise LoweringError(
+            f"call to extern function {expr.func!r} is not supported",
+            expr.location,
+        )

@@ -1,0 +1,15 @@
+"""Litmus tests comparing the supported memory models (Fig. 2, Sec. 2.3.3)."""
+
+from repro.litmus.catalog import (
+    LitmusTest,
+    available_litmus_tests,
+    iriw_allowed,
+    observation_allowed,
+)
+
+__all__ = [
+    "LitmusTest",
+    "available_litmus_tests",
+    "iriw_allowed",
+    "observation_allowed",
+]

@@ -1,0 +1,166 @@
+"""Convenience builder for constructing LSL statement lists.
+
+Used by the C front-end's lowering pass and by tests that construct LSL
+programs directly.  The builder manages fresh register names and fresh block
+tags and exposes one method per LSL statement.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.lsl.instructions import (
+    Alloc,
+    Assert,
+    Assume,
+    Atomic,
+    Block,
+    BreakIf,
+    Call,
+    Choose,
+    ConstAssign,
+    ContinueIf,
+    Fence,
+    FenceKind,
+    Free,
+    Load,
+    Observe,
+    PrimOp,
+    PrimitiveOp,
+    Statement,
+    Store,
+)
+from repro.lsl.values import Value
+
+
+class LslBuilder:
+    """Accumulates a list of LSL statements."""
+
+    def __init__(self, prefix: str = "") -> None:
+        self.prefix = prefix
+        self._statements: list[Statement] = []
+        self._stack: list[list[Statement]] = [self._statements]
+        self._reg_counter = 0
+        self._tag_counter = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def statements(self) -> list[Statement]:
+        return self._statements
+
+    def emit(self, stmt: Statement) -> Statement:
+        self._stack[-1].append(stmt)
+        return stmt
+
+    def fresh_reg(self, hint: str = "t") -> str:
+        self._reg_counter += 1
+        return f"{self.prefix}{hint}%{self._reg_counter}"
+
+    def fresh_tag(self, hint: str = "B") -> str:
+        self._tag_counter += 1
+        return f"{self.prefix}{hint}@{self._tag_counter}"
+
+    # ----------------------------------------------------------- statements
+
+    def const(self, value: Value, dst: str | None = None) -> str:
+        dst = dst or self.fresh_reg("c")
+        self.emit(ConstAssign(dst, value))
+        return dst
+
+    def prim(self, op: PrimitiveOp, *args: str, dst: str | None = None) -> str:
+        dst = dst or self.fresh_reg(op.value)
+        self.emit(PrimOp(dst, op, tuple(args)))
+        return dst
+
+    def move(self, src: str, dst: str | None = None) -> str:
+        return self.prim(PrimitiveOp.MOVE, src, dst=dst)
+
+    def load(self, addr: str, dst: str | None = None) -> str:
+        dst = dst or self.fresh_reg("l")
+        self.emit(Load(dst, addr))
+        return dst
+
+    def store(self, addr: str, src: str) -> None:
+        self.emit(Store(addr, src))
+
+    def fence(self, kind: FenceKind | str) -> None:
+        if isinstance(kind, str):
+            kind = FenceKind.from_string(kind)
+        self.emit(Fence(kind))
+
+    def call(self, proc: str, args: Sequence[str] = (), rets: Sequence[str] = ()) -> None:
+        self.emit(Call(proc, tuple(args), tuple(rets)))
+
+    def break_if(self, cond: str, tag: str) -> None:
+        self.emit(BreakIf(cond, tag))
+
+    def continue_if(self, cond: str, tag: str) -> None:
+        self.emit(ContinueIf(cond, tag))
+
+    def break_always(self, tag: str) -> None:
+        cond = self.const(1)
+        self.emit(BreakIf(cond, tag))
+
+    def continue_always(self, tag: str) -> None:
+        cond = self.const(1)
+        self.emit(ContinueIf(cond, tag))
+
+    def assert_(self, cond: str) -> None:
+        self.emit(Assert(cond))
+
+    def assume(self, cond: str) -> None:
+        self.emit(Assume(cond))
+
+    def alloc(
+        self,
+        num_cells: int,
+        type_name: str = "object",
+        field_names: Sequence[str] = (),
+        init: str = "havoc",
+        dst: str | None = None,
+    ) -> str:
+        dst = dst or self.fresh_reg("p")
+        self.emit(Alloc(dst, num_cells, type_name, tuple(field_names), init))
+        return dst
+
+    def free(self, addr: str) -> None:
+        self.emit(Free(addr))
+
+    def choose(
+        self,
+        choices: Sequence[int] = (0, 1),
+        label: str | None = None,
+        dst: str | None = None,
+    ) -> str:
+        dst = dst or self.fresh_reg("arg")
+        self.emit(Choose(dst, tuple(choices), label))
+        return dst
+
+    def observe(self, label: str, regs: Sequence[str]) -> None:
+        self.emit(Observe(label, tuple(regs)))
+
+    # -------------------------------------------------------------- nesting
+
+    @contextmanager
+    def block(self, tag: str | None = None) -> Iterator[str]:
+        """Open a tagged block; yields the tag."""
+        tag = tag or self.fresh_tag()
+        body: list[Statement] = []
+        self._stack[-1].append(Block(tag, body))
+        self._stack.append(body)
+        try:
+            yield tag
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def atomic(self) -> Iterator[None]:
+        body: list[Statement] = []
+        self._stack[-1].append(Atomic(body))
+        self._stack.append(body)
+        try:
+            yield
+        finally:
+            self._stack.pop()

@@ -1,0 +1,49 @@
+"""Pretty printing of LSL programs (for traces, debugging, and docs)."""
+
+from __future__ import annotations
+
+from repro.lsl.instructions import Atomic, Block, Statement
+from repro.lsl.program import Procedure, Program
+
+
+def format_body(body: list[Statement], indent: int = 0) -> list[str]:
+    """Render a statement list as indented text lines."""
+    lines: list[str] = []
+    pad = "  " * indent
+    for stmt in body:
+        if isinstance(stmt, Block):
+            lines.append(f"{pad}{stmt.tag}: {{")
+            lines.extend(format_body(stmt.body, indent + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(stmt, Atomic):
+            lines.append(f"{pad}atomic {{")
+            lines.extend(format_body(stmt.body, indent + 1))
+            lines.append(f"{pad}}}")
+        else:
+            lines.append(f"{pad}{stmt}")
+    return lines
+
+
+def format_procedure(proc: Procedure) -> str:
+    header = (
+        f"proc {proc.name}({', '.join(proc.params)})"
+        f" -> ({', '.join(proc.returns)}) {{"
+    )
+    lines = [header]
+    lines.extend(format_body(proc.body, 1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    sections: list[str] = [f"// program {program.name}"]
+    for struct in program.structs.values():
+        sections.append(
+            f"struct {struct.name} {{ {', '.join(struct.fields)} }}"
+        )
+    for decl in program.globals:
+        type_name = decl.struct.name if decl.struct else "cell"
+        sections.append(f"global {decl.name}: {type_name}")
+    for proc in program.procedures.values():
+        sections.append(format_procedure(proc))
+    return "\n\n".join(sections)

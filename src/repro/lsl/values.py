@@ -1,0 +1,72 @@
+"""Runtime values of the Load/Store Language (LSL).
+
+The paper keeps LSL untyped but tracks, at run time, whether a value is
+*undefined*, an *integer*, or a *pointer* (Section 3.1, "Values and types").
+In this reproduction pointers are flattened to *location indices* into a
+:class:`repro.lsl.layout.MemoryLayout` (the paper's ``[base, offset...]``
+sequences always denote a concrete scalar cell once the layout is fixed, so
+a single index carries the same information); index ``0`` is the null
+pointer.  Integers and pointers therefore share the ``int`` representation,
+and the only distinguished value is :data:`UNDEF`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class _Undefined:
+    """Singleton marker for undefined values (uninitialized memory/registers)."""
+
+    _instance: "_Undefined | None" = None
+
+    def __new__(cls) -> "_Undefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "undefined"
+
+    def __bool__(self) -> bool:
+        raise ValueError("undefined value used in a condition")
+
+
+#: The undefined value.
+UNDEF = _Undefined()
+
+#: The null pointer (location index 0 is reserved for it).
+NULL = 0
+
+#: An LSL value: an integer/pointer or the undefined marker.
+Value = Union[int, _Undefined]
+
+
+def is_undef(value: Value) -> bool:
+    return value is UNDEF
+
+
+def is_defined(value: Value) -> bool:
+    return not is_undef(value)
+
+
+def require_defined(value: Value, context: str = "value") -> int:
+    """Return the value as an int, raising if it is undefined.
+
+    The paper's tool flags the use of undefined values in computations or
+    conditions as a bug; the interpreter raises :class:`UndefinedValueError`
+    in the same situation.
+    """
+    if is_undef(value):
+        raise UndefinedValueError(f"undefined {context} used")
+    return value  # type: ignore[return-value]
+
+
+class UndefinedValueError(RuntimeError):
+    """Raised when an undefined value is used in a computation or condition."""
+
+
+def format_value(value: Value) -> str:
+    if is_undef(value):
+        return "undef"
+    return str(value)

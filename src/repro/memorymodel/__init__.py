@@ -1,0 +1,25 @@
+"""Axiomatic memory models: Seriality, SC, TSO, PSO, and the paper's Relaxed."""
+
+from repro.memorymodel.base import (
+    PSO,
+    RELAXED,
+    SEQUENTIAL_CONSISTENCY,
+    SERIAL,
+    TSO,
+    MemoryModel,
+    available_models,
+    get_model,
+    is_stronger,
+)
+
+__all__ = [
+    "PSO",
+    "RELAXED",
+    "SEQUENTIAL_CONSISTENCY",
+    "SERIAL",
+    "TSO",
+    "MemoryModel",
+    "available_models",
+    "get_model",
+    "is_stronger",
+]

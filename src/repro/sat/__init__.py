@@ -1,0 +1,31 @@
+"""SAT solving substrate (stands in for the zChaff solver used by the paper).
+
+Public surface:
+
+* :class:`repro.sat.cnf.CNF` — clause database.
+* :class:`repro.sat.solver.Solver` — incremental CDCL solver.
+* :class:`repro.sat.circuit.Circuit` / :class:`repro.sat.circuit.CnfLowering`
+  — boolean circuits with Tseitin conversion.
+* :class:`repro.sat.bitvec.BitVecBuilder` — fixed-width bit-vector terms.
+* :mod:`repro.sat.dimacs` — DIMACS import/export.
+"""
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver, SolverStats, solve_cnf
+from repro.sat.circuit import Circuit, CnfLowering
+from repro.sat.bitvec import BitVec, BitVecBuilder, width_for
+from repro.sat.dimacs import read_dimacs, write_dimacs
+
+__all__ = [
+    "CNF",
+    "Solver",
+    "SolverStats",
+    "solve_cnf",
+    "Circuit",
+    "CnfLowering",
+    "BitVec",
+    "BitVecBuilder",
+    "width_for",
+    "read_dimacs",
+    "write_dimacs",
+]

@@ -1,0 +1,224 @@
+"""Boolean circuits with structural hashing and Tseitin CNF conversion.
+
+The encoder (``repro.encoding``) builds the formula ``Phi`` as a circuit of
+AND/NOT gates (an AIG) plus named input variables, and then lowers it to CNF
+for the CDCL solver.  Nodes are referenced by signed integer *handles*: a
+positive handle names a node, a negative handle names its complement, and
+the special handles :data:`Circuit.TRUE` / :data:`Circuit.FALSE` are the
+constants.
+
+Keeping the circuit layer separate from the CNF layer mirrors the structure
+of the original tool, where the formula is assembled symbolically and only
+then flattened for the SAT solver, and it lets us share common subterms
+(structural hashing) before any clauses are emitted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.sat.cnf import CNF
+
+_CONST_INDEX = 1  # node index reserved for the constant TRUE
+
+
+class Circuit:
+    """An and-inverter graph with named inputs.
+
+    Handles returned by the construction methods are plain ints; negate a
+    handle with unary minus (or :meth:`not_`).
+    """
+
+    TRUE = _CONST_INDEX
+    FALSE = -_CONST_INDEX
+
+    def __init__(self) -> None:
+        # Node storage. Index 0 is unused, index 1 is the TRUE constant.
+        # Each node is either ("const",), ("var", name) or ("and", children).
+        self._nodes: list[tuple] = [None, ("const",)]
+        self._and_cache: dict[tuple[int, ...], int] = {}
+        self._input_names: dict[int, str] = {}
+
+    # --------------------------------------------------------------- inputs
+
+    def var(self, name: str | None = None) -> int:
+        """Create a fresh input variable and return its handle."""
+        index = len(self._nodes)
+        self._nodes.append(("var", name))
+        if name is not None:
+            self._input_names[index] = name
+        return index
+
+    def vars(self, count: int, prefix: str = "v") -> list[int]:
+        return [self.var(f"{prefix}[{i}]") for i in range(count)]
+
+    def name_of(self, handle: int) -> str | None:
+        return self._input_names.get(abs(handle))
+
+    # ---------------------------------------------------------- construction
+
+    def not_(self, a: int) -> int:
+        return -a
+
+    def and_(self, *args: int) -> int:
+        return self.and_many(args)
+
+    def and_many(self, args: Iterable[int]) -> int:
+        """N-ary conjunction with local simplifications."""
+        children: list[int] = []
+        seen: set[int] = set()
+        for a in args:
+            if a == self.FALSE:
+                return self.FALSE
+            if a == self.TRUE:
+                continue
+            if -a in seen:
+                return self.FALSE
+            if a in seen:
+                continue
+            seen.add(a)
+            children.append(a)
+        if not children:
+            return self.TRUE
+        if len(children) == 1:
+            return children[0]
+        key = tuple(sorted(children))
+        cached = self._and_cache.get(key)
+        if cached is not None:
+            return cached
+        index = len(self._nodes)
+        self._nodes.append(("and", key))
+        self._and_cache[key] = index
+        return index
+
+    def or_(self, *args: int) -> int:
+        return self.or_many(args)
+
+    def or_many(self, args: Iterable[int]) -> int:
+        return -self.and_many(-a for a in args)
+
+    def implies(self, a: int, b: int) -> int:
+        return self.or_(-a, b)
+
+    def xor(self, a: int, b: int) -> int:
+        return self.or_(self.and_(a, -b), self.and_(-a, b))
+
+    def iff(self, a: int, b: int) -> int:
+        return -self.xor(a, b)
+
+    def ite(self, cond: int, then_branch: int, else_branch: int) -> int:
+        """If-then-else (multiplexer) on single bits."""
+        if cond == self.TRUE:
+            return then_branch
+        if cond == self.FALSE:
+            return else_branch
+        if then_branch == else_branch:
+            return then_branch
+        return self.or_(
+            self.and_(cond, then_branch), self.and_(-cond, else_branch)
+        )
+
+    # ------------------------------------------------------------ statistics
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes) - 1
+
+    def is_input(self, handle: int) -> bool:
+        return self._nodes[abs(handle)][0] == "var"
+
+    # -------------------------------------------------------------- lowering
+
+    def node(self, handle: int) -> tuple:
+        return self._nodes[abs(handle)]
+
+
+class CnfLowering:
+    """Incremental Tseitin transformation of a :class:`Circuit` into CNF.
+
+    The lowering keeps a mapping from circuit nodes to SAT variables so the
+    same circuit can be lowered incrementally (e.g. as blocking clauses are
+    added during specification mining) without re-encoding shared subterms.
+    """
+
+    def __init__(self, circuit: Circuit, cnf: CNF | None = None) -> None:
+        self.circuit = circuit
+        self.cnf = cnf if cnf is not None else CNF()
+        self._node_to_var: dict[int, int] = {}
+        # The constant TRUE node gets a dedicated SAT variable forced to 1 so
+        # that handles can always be mapped uniformly to literals.
+        true_var = self.cnf.new_var("const_true")
+        self.cnf.add_unit(true_var)
+        self._node_to_var[Circuit.TRUE] = true_var
+
+    def literal(self, handle: int) -> int:
+        """Return the SAT literal representing ``handle``, emitting clauses
+        for any node not lowered yet."""
+        index = abs(handle)
+        var = self._node_to_var.get(index)
+        if var is None:
+            var = self._lower_node(index)
+        return var if handle > 0 else -var
+
+    def _lower_node(self, index: int) -> int:
+        # Iterative DFS to avoid recursion limits on deep circuits.
+        stack = [index]
+        while stack:
+            node_index = stack[-1]
+            if node_index in self._node_to_var:
+                stack.pop()
+                continue
+            kind = self.circuit.node(node_index)
+            if kind[0] == "var":
+                name = kind[1]
+                self._node_to_var[node_index] = self.cnf.new_var(name)
+                stack.pop()
+                continue
+            if kind[0] == "const":
+                stack.pop()
+                continue
+            # AND node: make sure all children are lowered first.
+            children = kind[1]
+            pending = [abs(c) for c in children if abs(c) not in self._node_to_var]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            out_var = self.cnf.new_var()
+            self._node_to_var[node_index] = out_var
+            child_lits = [
+                self._node_to_var[abs(c)] * (1 if c > 0 else -1)
+                for c in children
+            ]
+            # out -> child_i
+            for lit in child_lits:
+                self.cnf.add_clause([-out_var, lit])
+            # (AND children) -> out
+            self.cnf.add_clause([out_var] + [-lit for lit in child_lits])
+        return self._node_to_var[index]
+
+    def assert_true(self, handle: int) -> None:
+        """Constrain the formula so that ``handle`` is true."""
+        self.cnf.add_unit(self.literal(handle))
+
+    def assert_clause(self, handles: Sequence[int]) -> None:
+        """Constrain the disjunction of the given handles to be true."""
+        self.cnf.add_clause([self.literal(h) for h in handles])
+
+    def evaluate(self, handle: int, model: dict[int, bool]) -> bool:
+        """Evaluate a handle under a SAT model (for decoding solutions)."""
+        if abs(handle) == Circuit.TRUE:
+            return handle > 0
+        lit = self._node_to_var.get(abs(handle))
+        if lit is not None:
+            value = model.get(lit, False)
+            return value if handle > 0 else not value
+        # Node was never lowered; evaluate structurally.
+        kind = self.circuit.node(handle)
+        if kind[0] == "const":
+            value = True
+        elif kind[0] == "var":
+            raise KeyError(f"input node {handle} has no SAT variable")
+        else:
+            value = all(self.evaluate(c, model) for c in kind[1])
+        return value if handle > 0 else not value

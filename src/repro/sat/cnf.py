@@ -1,0 +1,133 @@
+"""Propositional CNF formulas.
+
+Literals follow the DIMACS convention: a variable is a positive integer
+``v >= 1`` and a literal is ``+v`` (the variable itself) or ``-v`` (its
+negation).  :class:`CNF` is the clause database that the rest of the system
+builds and that :class:`repro.sat.solver.Solver` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+def neg(literal: int) -> int:
+    """Return the negation of a literal."""
+    return -literal
+
+
+def var_of(literal: int) -> int:
+    """Return the variable of a literal (a positive integer)."""
+    return literal if literal > 0 else -literal
+
+
+def sign_of(literal: int) -> bool:
+    """Return True if the literal is positive."""
+    return literal > 0
+
+
+@dataclass
+class CNF:
+    """A growable CNF formula (clause database plus variable allocator)."""
+
+    num_vars: int = 0
+    clauses: list[tuple[int, ...]] = field(default_factory=list)
+    #: Optional human-readable names for variables (for trace decoding).
+    names: dict[int, str] = field(default_factory=dict)
+
+    def new_var(self, name: str | None = None) -> int:
+        """Allocate a fresh variable and return it (a positive integer)."""
+        self.num_vars += 1
+        if name is not None:
+            self.names[self.num_vars] = name
+        return self.num_vars
+
+    def new_vars(self, count: int, prefix: str | None = None) -> list[int]:
+        """Allocate ``count`` fresh variables."""
+        out = []
+        for i in range(count):
+            name = f"{prefix}[{i}]" if prefix is not None else None
+            out.append(self.new_var(name))
+        return out
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause (a disjunction of literals).
+
+        Tautological clauses (containing both ``l`` and ``-l``) are dropped
+        and duplicate literals are removed, which keeps the solver input
+        clean without changing satisfiability.
+        """
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            if var_of(lit) > self.num_vars:
+                # Allow callers to use variables they allocated elsewhere,
+                # but keep num_vars consistent.
+                self.num_vars = var_of(lit)
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                out.append(lit)
+        self.clauses.append(tuple(out))
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def extend(self, other: "CNF") -> None:
+        """Append all clauses of ``other`` (variables must already be shared)."""
+        self.num_vars = max(self.num_vars, other.num_vars)
+        self.clauses.extend(other.clauses)
+        self.names.update(other.names)
+
+    # -- convenience constraint builders ------------------------------------
+
+    def add_unit(self, literal: int) -> None:
+        self.add_clause([literal])
+
+    def add_implies(self, antecedent: int, consequent: int) -> None:
+        """Add ``antecedent -> consequent``."""
+        self.add_clause([-antecedent, consequent])
+
+    def add_iff(self, a: int, b: int) -> None:
+        """Add ``a <-> b``."""
+        self.add_clause([-a, b])
+        self.add_clause([a, -b])
+
+    def add_at_most_one(self, literals: Sequence[int]) -> None:
+        """Pairwise at-most-one constraint."""
+        for i in range(len(literals)):
+            for j in range(i + 1, len(literals)):
+                self.add_clause([-literals[i], -literals[j]])
+
+    def add_exactly_one(self, literals: Sequence[int]) -> None:
+        self.add_clause(list(literals))
+        self.add_at_most_one(literals)
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def num_literals(self) -> int:
+        return sum(len(c) for c in self.clauses)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def copy(self) -> "CNF":
+        out = CNF(num_vars=self.num_vars)
+        out.clauses = list(self.clauses)
+        out.names = dict(self.names)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CNF(vars={self.num_vars}, clauses={self.num_clauses})"

@@ -1,0 +1,65 @@
+"""DIMACS CNF reading and writing.
+
+The original CheckFence handed its formula to zChaff in DIMACS format; we
+provide the same interchange so that formulas produced by this reproduction
+can be exported to (or imported from) external SAT solvers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.sat.cnf import CNF
+
+
+def write_dimacs(cnf: CNF, target: TextIO | str | Path, comments: Iterable[str] = ()) -> None:
+    """Write ``cnf`` in DIMACS format to a file path or text stream."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            _write(cnf, handle, comments)
+    else:
+        _write(cnf, target, comments)
+
+
+def _write(cnf: CNF, handle: TextIO, comments: Iterable[str]) -> None:
+    for comment in comments:
+        handle.write(f"c {comment}\n")
+    handle.write(f"p cnf {cnf.num_vars} {cnf.num_clauses}\n")
+    for clause in cnf.clauses:
+        handle.write(" ".join(str(lit) for lit in clause) + " 0\n")
+
+
+def read_dimacs(source: TextIO | str | Path) -> CNF:
+    """Parse a DIMACS file into a :class:`CNF`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read(handle)
+    return _read(source)
+
+
+def _read(handle: TextIO) -> CNF:
+    cnf = CNF()
+    declared_vars = 0
+    current: list[int] = []
+    for raw_line in handle:
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            declared_vars = int(parts[2])
+            continue
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                cnf.add_clause(current)
+                current = []
+            else:
+                current.append(lit)
+    if current:
+        cnf.add_clause(current)
+    cnf.num_vars = max(cnf.num_vars, declared_vars)
+    return cnf

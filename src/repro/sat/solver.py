@@ -1,0 +1,592 @@
+"""A CDCL SAT solver.
+
+This module stands in for the zChaff solver used by the original CheckFence
+tool.  It implements the standard conflict-driven clause-learning algorithm:
+
+* two-watched-literal propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS-style activity-based decision heuristic with phase saving,
+* Luby restarts,
+* activity-based deletion of learned clauses, and
+* incremental solving under assumptions (used by the specification-mining
+  loop, which repeatedly re-solves the same formula with extra blocking
+  clauses).
+
+The implementation is pure Python and therefore much slower than a native
+solver, but it is complete and deterministic, which is what the checker
+needs.
+
+Internally literals are encoded as ``2*var`` (positive) and ``2*var + 1``
+(negative); the public interface uses DIMACS-style signed integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.sat.cnf import CNF
+
+_UNASSIGNED = -1
+_FALSE = 0
+_TRUE = 1
+
+
+def _to_internal(literal: int) -> int:
+    """Convert a DIMACS literal to the internal encoding."""
+    var = literal if literal > 0 else -literal
+    return 2 * var + (0 if literal > 0 else 1)
+
+
+def _to_external(ilit: int) -> int:
+    """Convert an internal literal back to DIMACS convention."""
+    var = ilit >> 1
+    return var if (ilit & 1) == 0 else -var
+
+
+@dataclass
+class SolverStats:
+    """Counters reported after each :meth:`Solver.solve` call."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    max_decision_level: int = 0
+
+    def merge(self, other: "SolverStats") -> None:
+        self.decisions += other.decisions
+        self.propagations += other.propagations
+        self.conflicts += other.conflicts
+        self.restarts += other.restarts
+        self.learned_clauses += other.learned_clauses
+        self.deleted_clauses += other.deleted_clauses
+        self.max_decision_level = max(
+            self.max_decision_level, other.max_decision_level
+        )
+
+
+class SolverError(RuntimeError):
+    """Raised on malformed solver input (e.g. literal 0)."""
+
+
+def _luby(index: int) -> int:
+    """The Luby restart sequence (0-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+
+    This follows the MiniSat formulation: find the finite subsequence that
+    contains ``index`` and the position within it.
+    """
+    size = 1
+    level = 0
+    while size < index + 1:
+        level += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) // 2
+        level -= 1
+        index = index % size
+    return 1 << level
+
+
+class Solver:
+    """An incremental CDCL SAT solver.
+
+    Typical use::
+
+        solver = Solver()
+        solver.add_cnf(cnf)
+        if solver.solve():
+            model = solver.model()        # dict var -> bool
+        solver.add_clause([-3, 5])        # incremental strengthening
+        solver.solve(assumptions=[7])
+    """
+
+    def __init__(self, cnf: CNF | None = None) -> None:
+        self._num_vars = 0
+        # Per-variable state, indexed by variable number (1-based, slot 0 unused).
+        self._assign: list[int] = [_UNASSIGNED]
+        self._level: list[int] = [0]
+        self._reason: list[list[int] | None] = [None]
+        self._activity: list[float] = [0.0]
+        self._phase: list[bool] = [True]
+        # Watches indexed by internal literal.
+        self._watches: list[list[list[int]]] = [[], []]
+        self._clauses: list[list[int]] = []
+        self._learned: list[list[int]] = []
+        self._learned_activity: list[float] = []
+        self._trail: list[int] = []  # internal literals in assignment order
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._ok = True
+        self._order_dirty = True
+        self._heap_cache: list[int] = []
+        self.stats = SolverStats()
+        self.total_stats = SolverStats()
+        self._model: dict[int, bool] = {}
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    # ------------------------------------------------------------------ setup
+
+    def ensure_vars(self, num_vars: int) -> None:
+        """Grow internal structures to accommodate ``num_vars`` variables."""
+        while self._num_vars < num_vars:
+            self._num_vars += 1
+            self._assign.append(_UNASSIGNED)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+            self._watches.append([])
+            self._watches.append([])
+            self._order_dirty = True
+
+    def add_cnf(self, cnf: CNF) -> None:
+        self.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            self.add_clause(clause)
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns False if the solver became trivially UNSAT."""
+        lits = []
+        seen = set()
+        for lit in literals:
+            if lit == 0:
+                raise SolverError("0 is not a valid literal")
+            self.ensure_vars(abs(lit))
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            lits.append(_to_internal(lit))
+        # Adding clauses is only supported at decision level 0 (the
+        # incremental interface backtracks fully before each solve()).
+        self._backtrack(0)
+        # Remove literals already false at level 0; satisfied clause -> skip.
+        filtered = []
+        for ilit in lits:
+            value = self._lit_value(ilit)
+            if value == _TRUE and self._level[ilit >> 1] == 0:
+                return True
+            if value == _FALSE and self._level[ilit >> 1] == 0:
+                continue
+            filtered.append(ilit)
+        lits = filtered
+        if not lits:
+            self._ok = False
+            return False
+        if len(lits) == 1:
+            if not self._enqueue(lits[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        clause = lits
+        self._clauses.append(clause)
+        self._watch_clause(clause)
+        return True
+
+    def _watch_clause(self, clause: list[int]) -> None:
+        self._watches[clause[0] ^ 1].append(clause)
+        self._watches[clause[1] ^ 1].append(clause)
+
+    # --------------------------------------------------------------- querying
+
+    def _lit_value(self, ilit: int) -> int:
+        assigned = self._assign[ilit >> 1]
+        if assigned == _UNASSIGNED:
+            return _UNASSIGNED
+        if ilit & 1:
+            return _TRUE if assigned == _FALSE else _FALSE
+        return assigned
+
+    def value(self, var: int) -> bool | None:
+        """Return the model value of ``var`` from the last SAT result."""
+        return self._model.get(var)
+
+    def model(self) -> dict[int, bool]:
+        """Return the satisfying assignment found by the last solve() call."""
+        return dict(self._model)
+
+    # ------------------------------------------------------------ assignments
+
+    def _enqueue(self, ilit: int, reason: list[int] | None) -> bool:
+        value = self._lit_value(ilit)
+        if value == _FALSE:
+            return False
+        if value == _TRUE:
+            return True
+        var = ilit >> 1
+        self._assign[var] = _FALSE if (ilit & 1) else _TRUE
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._phase[var] = not (ilit & 1)
+        self._trail.append(ilit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        target = self._trail_lim[level]
+        for ilit in reversed(self._trail[target:]):
+            var = ilit >> 1
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = None
+        del self._trail[target:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
+        self._order_dirty = True
+
+    # ------------------------------------------------------------ propagation
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        watches = self._watches
+        while self._qhead < len(self._trail):
+            ilit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            false_lit = ilit ^ 1
+            watch_list = watches[ilit]
+            new_watch_list = []
+            i = 0
+            n = len(watch_list)
+            while i < n:
+                clause = watch_list[i]
+                i += 1
+                # Normalize so the false literal is in slot 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == _TRUE:
+                    new_watch_list.append(clause)
+                    continue
+                # Look for a replacement watch.
+                found = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) != _FALSE:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watches[clause[1] ^ 1].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                new_watch_list.append(clause)
+                if not self._enqueue(first, clause):
+                    # Conflict: keep remaining watches and report.
+                    new_watch_list.extend(watch_list[i:])
+                    watches[ilit] = new_watch_list
+                    return clause
+            watches[ilit] = new_watch_list
+        return None
+
+    # ------------------------------------------------------- conflict analysis
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay_var_activity(self) -> None:
+        self._var_inc /= self._var_decay
+
+    def _bump_clause(self, index: int) -> None:
+        self._learned_activity[index] += self._cla_inc
+        if self._learned_activity[index] > 1e20:
+            for i in range(len(self._learned_activity)):
+                self._learned_activity[i] *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP conflict analysis.
+
+        Returns the learned clause (internal literals, asserting literal
+        first) and the backtrack level.
+        """
+        learned: list[int] = [0]  # slot for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        ilit = -1
+        reason: list[int] | None = conflict
+        index = len(self._trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            assert reason is not None
+            start = 0 if ilit == -1 else 1
+            for k in range(start, len(reason)):
+                q = reason[k]
+                var = q >> 1
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Select the next literal on the trail to resolve on.
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            ilit = self._trail[index]
+            index -= 1
+            var = ilit >> 1
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var]
+        learned[0] = ilit ^ 1
+
+        # Clause minimization: drop a literal whose reason clause is entirely
+        # covered by the other learned literals (or level-0 facts).
+        member = {q >> 1 for q in learned}
+        minimized = [learned[0]]
+        for q in learned[1:]:
+            reason = self._reason[q >> 1]
+            if reason is not None and all(
+                (r >> 1) in member or self._level[r >> 1] == 0
+                for r in reason[1:]
+            ):
+                continue
+            minimized.append(q)
+        learned = minimized
+
+        if len(learned) == 1:
+            backtrack_level = 0
+        else:
+            # Find the literal with the second-highest level and move it to
+            # slot 1 (watched position).
+            max_index = 1
+            max_level = self._level[learned[1] >> 1]
+            for k in range(2, len(learned)):
+                lvl = self._level[learned[k] >> 1]
+                if lvl > max_level:
+                    max_level = lvl
+                    max_index = k
+            learned[1], learned[max_index] = learned[max_index], learned[1]
+            backtrack_level = max_level
+        return learned, backtrack_level
+
+    # ---------------------------------------------------------------- deciding
+
+    def _rebuild_order(self) -> None:
+        unassigned = [
+            v for v in range(1, self._num_vars + 1)
+            if self._assign[v] == _UNASSIGNED
+        ]
+        unassigned.sort(key=lambda v: self._activity[v])
+        self._heap_cache = unassigned
+        self._order_dirty = False
+
+    def _pick_branch_var(self) -> int | None:
+        if self._order_dirty or not self._heap_cache:
+            self._rebuild_order()
+        while self._heap_cache:
+            var = self._heap_cache.pop()
+            if self._assign[var] == _UNASSIGNED:
+                return var
+        # Fall back to a linear scan (cheap because it only happens when the
+        # cache ran dry).
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == _UNASSIGNED:
+                return var
+        return None
+
+    # ------------------------------------------------------- learned DB mgmt
+
+    def _reduce_learned(self) -> None:
+        if len(self._learned) < 2:
+            return
+        order = sorted(
+            range(len(self._learned)),
+            key=lambda i: self._learned_activity[i],
+        )
+        to_delete = set(order[: len(order) // 2])
+        locked = set()
+        for var in range(1, self._num_vars + 1):
+            reason = self._reason[var]
+            if reason is not None:
+                locked.add(id(reason))
+        kept_clauses: list[list[int]] = []
+        kept_activity: list[float] = []
+        deleted: set[int] = set()
+        for i, clause in enumerate(self._learned):
+            if i in to_delete and len(clause) > 2 and id(clause) not in locked:
+                deleted.add(id(clause))
+                self.stats.deleted_clauses += 1
+            else:
+                kept_clauses.append(clause)
+                kept_activity.append(self._learned_activity[i])
+        if not deleted:
+            return
+        self._learned = kept_clauses
+        self._learned_activity = kept_activity
+        for ilit in range(2, 2 * self._num_vars + 2):
+            self._watches[ilit] = [
+                c for c in self._watches[ilit] if id(c) not in deleted
+            ]
+
+    # ------------------------------------------------------------------ solve
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+    ) -> bool | None:
+        """Solve the current formula.
+
+        Returns True (SAT), False (UNSAT), or None if ``conflict_limit`` was
+        exhausted before a result was reached.
+        """
+        self.stats = SolverStats()
+        self._model: dict[int, bool] = {}
+        self._backtrack(0)
+        if not self._ok:
+            self.total_stats.merge(self.stats)
+            return False
+        if self._propagate() is not None:
+            self._ok = False
+            self.total_stats.merge(self.stats)
+            return False
+
+        iassumptions = []
+        for lit in assumptions:
+            if lit == 0:
+                raise SolverError("0 is not a valid assumption literal")
+            self.ensure_vars(abs(lit))
+            iassumptions.append(_to_internal(lit))
+
+        restart_count = 0
+        conflicts_until_restart = 32 * _luby(restart_count)
+        conflicts_since_restart = 0
+        max_learned = max(1000, len(self._clauses) // 2)
+        total_conflicts = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                total_conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    self._ok_after_assumptions = False
+                    self.total_stats.merge(self.stats)
+                    if not iassumptions:
+                        self._ok = False
+                    return False
+                learned, backtrack_level = self._analyze(conflict)
+                # Never backtrack past the assumptions.
+                backtrack_level = max(backtrack_level, self._assumption_level(
+                    learned, backtrack_level, len(iassumptions)))
+                self._backtrack(backtrack_level)
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        self.total_stats.merge(self.stats)
+                        return False
+                else:
+                    self._learned.append(learned)
+                    self._learned_activity.append(0.0)
+                    self._bump_clause(len(self._learned) - 1)
+                    self._watch_clause(learned)
+                    self.stats.learned_clauses += 1
+                    if not self._enqueue(learned[0], learned):
+                        self.total_stats.merge(self.stats)
+                        return False
+                self._decay_var_activity()
+                self._cla_inc /= self._cla_decay
+                if conflict_limit is not None and total_conflicts >= conflict_limit:
+                    self._backtrack(0)
+                    self.total_stats.merge(self.stats)
+                    return None
+                if conflicts_since_restart >= conflicts_until_restart:
+                    self.stats.restarts += 1
+                    restart_count += 1
+                    conflicts_until_restart = 32 * _luby(restart_count)
+                    conflicts_since_restart = 0
+                    self._backtrack(0)
+                if len(self._learned) > max_learned:
+                    self._reduce_learned()
+                    max_learned = int(max_learned * 1.3)
+                continue
+
+            # No conflict: apply pending assumptions, then decide.
+            if self._decision_level() < len(iassumptions):
+                ilit = iassumptions[self._decision_level()]
+                value = self._lit_value(ilit)
+                if value == _TRUE:
+                    # Already satisfied; open an empty decision level so the
+                    # indexing of assumption levels stays aligned.
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if value == _FALSE:
+                    self._backtrack(0)
+                    self.total_stats.merge(self.stats)
+                    return False
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(ilit, None)
+                continue
+
+            var = self._pick_branch_var()
+            if var is None:
+                # All variables assigned: SAT.
+                self._model = {
+                    v: self._assign[v] == _TRUE
+                    for v in range(1, self._num_vars + 1)
+                }
+                self._backtrack(0)
+                self.total_stats.merge(self.stats)
+                return True
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self.stats.max_decision_level = max(
+                self.stats.max_decision_level, self._decision_level()
+            )
+            phase = self._phase[var]
+            ilit = 2 * var + (0 if phase else 1)
+            self._enqueue(ilit, None)
+
+    def _assumption_level(
+        self, learned: list[int], backtrack_level: int, num_assumptions: int
+    ) -> int:
+        """Clamp backtracking so assumption decisions are not undone
+        prematurely when the learned clause is asserting below them."""
+        if num_assumptions == 0:
+            return backtrack_level
+        return min(backtrack_level, self._decision_level())
+
+    # ------------------------------------------------------------- utilities
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    @property
+    def num_learned(self) -> int:
+        return len(self._learned)
+
+
+def solve_cnf(cnf: CNF, assumptions: Sequence[int] = ()) -> dict[int, bool] | None:
+    """One-shot convenience wrapper: returns a model or None if UNSAT."""
+    solver = Solver(cnf)
+    if solver.solve(assumptions=assumptions):
+        return solver.model()
+    return None

@@ -1,0 +1,224 @@
+"""Tests for inlining and loop unrolling.
+
+The key invariant: interpreting the transformed code must agree with
+interpreting the original code (as long as loop bounds are sufficient).
+"""
+
+import pytest
+
+from repro.analysis import Inliner, InlineError, find_loops, unroll
+from repro.lang import compile_c
+from repro.lsl import (
+    Block,
+    Call,
+    ContinueIf,
+    Interpreter,
+    MachineState,
+    MemoryLayout,
+    Procedure,
+    Program,
+    iter_statements,
+)
+
+
+SOURCE = """
+int counter;
+
+int bump(int amount) {
+    counter = counter + amount;
+    return counter;
+}
+
+int bump_twice(int amount) {
+    int a;
+    a = bump(amount);
+    a = bump(amount);
+    return a;
+}
+
+int sum_to(int n) {
+    int i = 1;
+    int total = 0;
+    while (i <= n) {
+        total = total + i;
+        i = i + 1;
+    }
+    return total;
+}
+
+int nested(int n) {
+    int i = 0;
+    int total = 0;
+    while (i < n) {
+        int j = 0;
+        while (j < n) {
+            total = total + 1;
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    return total;
+}
+"""
+
+
+def build_state(program):
+    layout = MemoryLayout()
+    for decl in program.globals:
+        layout.add_global(decl.name, decl.field_names, decl.initial)
+    return MachineState.initial(layout)
+
+
+def run_body(program, body, extra_args=None):
+    """Interpret a raw (inlined) statement list and return the registers."""
+    state = build_state(program)
+    interp = Interpreter(program, state)
+    return interp.run_statements(body), state
+
+
+class TestInlining:
+    def test_single_call_inlined(self):
+        program = compile_c(SOURCE, "inline")
+        inliner = Inliner(program)
+        body = inliner.inline_call("bump", ("amt",), ("out",))
+        # No Call statements remain.
+        assert not any(isinstance(s, Call) for s in iter_statements(body))
+
+    def test_inlined_code_behaves_like_call(self):
+        program = compile_c(SOURCE, "inline")
+        inliner = Inliner(program)
+        from repro.lsl import ConstAssign
+
+        body = [ConstAssign("amt", 5)] + inliner.inline_call(
+            "bump_twice", ("amt",), ("out",)
+        )
+        registers, state = run_body(program, body)
+        assert registers["out"] == 10
+        base = state.layout.global_base("counter")
+        assert state.memory[base] == 10
+
+    def test_nested_calls_inlined_recursively(self):
+        program = compile_c(SOURCE, "inline")
+        inliner = Inliner(program)
+        body = inliner.inline_call("bump_twice", ("amt",), ("out",))
+        assert not any(isinstance(s, Call) for s in iter_statements(body))
+
+    def test_distinct_call_sites_get_distinct_registers(self):
+        program = compile_c(SOURCE, "inline")
+        inliner = Inliner(program)
+        body = inliner.inline_call("bump_twice", ("amt",), ("out",))
+        # The two inlined copies of bump must not share register names for
+        # their internals (other than the shared globals).
+        prefixes = set()
+        for stmt in iter_statements(body):
+            dst = getattr(stmt, "dst", "")
+            for part in dst.split("::"):
+                if part.startswith("bump."):
+                    prefixes.add(part)
+        assert len(prefixes) >= 2
+
+    def test_unknown_procedure(self):
+        program = compile_c(SOURCE, "inline")
+        inliner = Inliner(program)
+        with pytest.raises(InlineError):
+            inliner.inline_call("missing", (), ())
+
+    def test_arity_mismatch(self):
+        program = compile_c(SOURCE, "inline")
+        inliner = Inliner(program)
+        with pytest.raises(InlineError):
+            inliner.inline_call("bump", (), ())
+
+    def test_recursion_detected(self):
+        program = Program("rec")
+        program.add_procedure(Procedure("loop", (), (), [Call("loop", (), ())]))
+        inliner = Inliner(program)
+        with pytest.raises(InlineError):
+            inliner.inline_call("loop", (), ())
+
+
+class TestUnrolling:
+    def _inlined(self, program, proc, args, rets):
+        return Inliner(program).inline_call(proc, args, rets)
+
+    def test_find_loops(self):
+        program = compile_c(SOURCE, "unroll")
+        body = self._inlined(program, "sum_to", ("n",), ("out",))
+        assert len(find_loops(body)) == 1
+
+    def test_no_continue_remains_after_unrolling(self):
+        program = compile_c(SOURCE, "unroll")
+        body = self._inlined(program, "sum_to", ("n",), ("out",))
+        result = unroll(body, default_bound=3)
+        assert not any(
+            isinstance(s, ContinueIf) for s in iter_statements(result.statements)
+        )
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 3])
+    def test_unrolled_loop_matches_original_when_bound_sufficient(self, n):
+        program = compile_c(SOURCE, "unroll")
+        from repro.lsl import ConstAssign
+
+        body = self._inlined(program, "sum_to", ("n",), ("out",))
+        result = unroll(body, default_bound=4)
+        full = [ConstAssign("n", n)] + result.statements
+        registers, _ = run_body(program, full)
+        assert registers["out"] == sum(range(1, n + 1))
+
+    def test_insufficient_bound_raises_assumption_failure(self):
+        from repro.lsl import AssumptionFailed, ConstAssign
+
+        program = compile_c(SOURCE, "unroll")
+        body = self._inlined(program, "sum_to", ("n",), ("out",))
+        result = unroll(body, default_bound=2)
+        full = [ConstAssign("n", 5)] + result.statements
+        state = build_state(program)
+        interp = Interpreter(program, state)
+        with pytest.raises(AssumptionFailed):
+            interp.run_statements(full)
+
+    def test_flag_mode_sets_overflow_register(self):
+        from repro.lsl import ConstAssign
+
+        program = compile_c(SOURCE, "unroll")
+        body = self._inlined(program, "sum_to", ("n",), ("out",))
+        result = unroll(body, default_bound=2, overflow="flag")
+        assert len(result.overflow_registers) == 1
+        flag = next(iter(result.overflow_registers.values()))
+        full = [ConstAssign("n", 5)] + result.statements
+        registers, _ = run_body(program, full)
+        assert registers[flag] == 1
+        # With a sufficient bound the flag stays 0.
+        result = unroll(body, default_bound=6, overflow="flag")
+        flag = next(iter(result.overflow_registers.values()))
+        full = [ConstAssign("n", 5)] + result.statements
+        registers, _ = run_body(program, full)
+        assert registers[flag] == 0
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 3])
+    def test_nested_loops_unroll_correctly(self, n):
+        from repro.lsl import ConstAssign
+
+        program = compile_c(SOURCE, "unroll")
+        body = self._inlined(program, "nested", ("n",), ("out",))
+        result = unroll(body, default_bound=4)
+        full = [ConstAssign("n", n)] + result.statements
+        registers, _ = run_body(program, full)
+        assert registers["out"] == n * n
+
+    def test_per_loop_bounds(self):
+        program = compile_c(SOURCE, "unroll")
+        body = self._inlined(program, "sum_to", ("n",), ("out",))
+        loops = find_loops(body)
+        result = unroll(body, bounds={loops[0]: 7}, default_bound=1)
+        assert result.bounds_used[loops[0]] == 7
+
+    def test_unique_block_tags_after_unrolling(self):
+        program = compile_c(SOURCE, "unroll")
+        body = self._inlined(program, "nested", ("n",), ("out",))
+        result = unroll(body, default_bound=3)
+        tags = [
+            s.tag for s in iter_statements(result.statements)
+            if isinstance(s, Block)
+        ]
+        assert len(tags) == len(set(tags))

@@ -1,0 +1,187 @@
+"""Tests for allocation resolution and the range analysis."""
+
+import pytest
+
+from repro.analysis import (
+    DisabledRanges,
+    Inliner,
+    RangeAnalysis,
+    build_layout,
+    resolve_allocations,
+    unroll,
+)
+from repro.lang import compile_c
+from repro.lsl import Alloc, iter_statements
+
+
+QUEUE_SOURCE = """
+typedef struct node {
+    struct node *next;
+    int value;
+} node_t;
+
+typedef struct queue {
+    node_t *head;
+    node_t *tail;
+} queue_t;
+
+queue_t queue;
+
+extern node_t *new_node();
+
+void init_queue() {
+    node_t *node;
+    node = new_node();
+    node->next = NULL;
+    node->value = 0;
+    queue.head = node;
+    queue.tail = node;
+}
+
+void enqueue(int value) {
+    node_t *node;
+    node_t *tail;
+    node = new_node();
+    node->value = value;
+    node->next = NULL;
+    tail = queue.tail;
+    tail->next = node;
+    queue.tail = node;
+}
+"""
+
+
+def prepare(test_calls, bound=1):
+    """Compile, inline the given calls as one thread each, unroll, link."""
+    program = compile_c(QUEUE_SOURCE, "queue")
+    inliner = Inliner(program)
+    threads = []
+    for index, (proc, args) in enumerate(test_calls):
+        from repro.lsl import ConstAssign
+
+        body = []
+        arg_regs = []
+        for argindex, value in enumerate(args):
+            reg = f"t{index}_arg{argindex}"
+            body.append(ConstAssign(reg, value))
+            arg_regs.append(reg)
+        body += inliner.inline_call(proc, tuple(arg_regs), (), prefix=f"t{index}::")
+        threads.append(unroll(body, default_bound=bound).statements)
+    layout = build_layout(program)
+    allocation = resolve_allocations(threads, layout)
+    return program, threads, layout, allocation
+
+
+class TestAllocation:
+    def test_each_alloc_gets_distinct_object(self):
+        _, threads, layout, allocation = prepare(
+            [("init_queue", []), ("enqueue", [1])]
+        )
+        allocs = [
+            s for body in threads for s in iter_statements(body)
+            if isinstance(s, Alloc)
+        ]
+        assert len(allocs) == 2
+        bases = {allocation.base_for(a) for a in allocs}
+        assert len(bases) == 2
+        for base in bases:
+            assert layout.info(base).is_heap
+
+    def test_layout_contains_globals_first(self):
+        program, _, layout, _ = prepare([("init_queue", [])])
+        assert layout.global_base("queue") == 1
+        assert layout.name_of(1) == "queue.head"
+        assert layout.name_of(2) == "queue.tail"
+
+
+class TestRangeAnalysis:
+    def test_register_value_sets(self):
+        _, threads, layout, allocation = prepare(
+            [("init_queue", []), ("enqueue", [1])]
+        )
+        info = RangeAnalysis(layout, allocation).analyze(threads)
+        # The queue.head cell can only hold its initial value (0) or the
+        # address of the node allocated by init_queue.
+        head_values = info.loc_values[layout.global_base("queue")]
+        assert head_values is not None
+        assert all(v == 0 or layout.info(v).is_heap for v in head_values)
+        assert any(v != 0 and layout.info(v).is_heap for v in head_values)
+
+    def test_alias_sets_prune_locations(self):
+        _, threads, layout, allocation = prepare(
+            [("init_queue", []), ("enqueue", [1])]
+        )
+        info = RangeAnalysis(layout, allocation).analyze(threads)
+        # Find a store to node->value and check its address set is small.
+        from repro.lsl import Store
+
+        store_addrs = []
+        for body in threads:
+            for stmt in iter_statements(body):
+                if isinstance(stmt, Store):
+                    addresses = info.possible_addresses(stmt.addr)
+                    store_addrs.append(addresses)
+        assert all(a is not None for a in store_addrs)
+        assert all(len(a) <= 4 for a in store_addrs)
+
+    def test_width_covers_all_locations(self):
+        _, threads, layout, allocation = prepare(
+            [("init_queue", []), ("enqueue", [1])]
+        )
+        info = RangeAnalysis(layout, allocation).analyze(threads)
+        assert (1 << info.width()) > layout.num_locations - 1
+
+    def test_havoc_domain_includes_baseline(self):
+        _, threads, layout, allocation = prepare([("enqueue", [1])])
+        info = RangeAnalysis(layout, allocation).analyze(threads)
+        heap_cells = [i for i in layout.valid_indices() if layout.info(i).is_heap]
+        for cell in heap_cells:
+            domain = info.location_domain(cell)
+            assert domain is None or {0, 1} <= domain
+
+    def test_choose_values_propagate(self):
+        from repro.lsl import Choose, ConstAssign, Load, Store
+
+        source = """
+        int slot;
+        void put(int v) { slot = v; }
+        """
+        program = compile_c(source, "choose")
+        inliner = Inliner(program)
+        body = [Choose("arg", (0, 1))] + inliner.inline_call("put", ("arg",), ())
+        layout = build_layout(program)
+        allocation = resolve_allocations([body], layout)
+        info = RangeAnalysis(layout, allocation).analyze([body])
+        slot = layout.global_base("slot")
+        assert info.loc_values[slot] == {0, 1}
+
+    def test_disabled_ranges_report_everything(self):
+        _, threads, layout, allocation = prepare([("enqueue", [1])])
+        info = DisabledRanges(layout)
+        assert info.possible_addresses("anything") is None
+        assert info.location_domain(1) is None
+        assert info.width() >= 8
+
+    def test_fixpoint_terminates_on_unrolled_arithmetic(self):
+        source = """
+        int total;
+        void accumulate(int n) {
+            int i = 0;
+            while (i < n) {
+                total = total + 1;
+                i = i + 1;
+            }
+        }
+        """
+        program = compile_c(source, "acc")
+        inliner = Inliner(program)
+        from repro.lsl import ConstAssign
+
+        body = [ConstAssign("n", 3)] + inliner.inline_call("accumulate", ("n",), ())
+        unrolled = unroll(body, default_bound=5).statements
+        layout = build_layout(program)
+        allocation = resolve_allocations([unrolled], layout)
+        info = RangeAnalysis(layout, allocation).analyze([unrolled])
+        total = layout.global_base("total")
+        assert info.loc_values[total] is not None
+        assert max(info.loc_values[total]) >= 3

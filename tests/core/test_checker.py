@@ -1,0 +1,145 @@
+"""Tests for the CheckFence driver, counterexamples, and the baselines."""
+
+import pytest
+
+from repro.core import (
+    CheckFence,
+    CheckOptions,
+    check,
+    refine_loop_bounds,
+    run_commit_point_check,
+)
+from repro.datatypes import get_implementation
+from repro.encoding import compile_test
+from repro.harness.catalog import get_test
+from repro.memorymodel import RELAXED, SEQUENTIAL_CONSISTENCY, get_model
+
+
+class TestCheckerOnNonblockingQueue:
+    def test_fenced_queue_passes_relaxed(self):
+        result = check(get_implementation("msn"), get_test("queue", "T0"), "relaxed")
+        assert result.passed
+        assert result.counterexample is None
+        assert result.stats.observation_set_size == 4
+
+    def test_unfenced_queue_fails_relaxed_with_trace(self):
+        result = check(
+            get_implementation("msn-unfenced"), get_test("queue", "T0"), "relaxed"
+        )
+        assert result.failed
+        trace = result.counterexample
+        assert trace is not None
+        assert trace.kind == "observation"
+        assert trace.memory_model == "relaxed"
+        assert trace.steps, "trace should list the executed accesses"
+        text = trace.format()
+        assert "observation" in text
+        assert "memory order" in text
+
+    def test_unfenced_queue_passes_sequential_consistency(self):
+        result = check(
+            get_implementation("msn-unfenced"), get_test("queue", "T0"), "sc"
+        )
+        assert result.passed
+
+    def test_two_lock_queue(self):
+        assert check(get_implementation("ms2"), get_test("queue", "T0"), "relaxed").passed
+        assert check(
+            get_implementation("ms2-unfenced"), get_test("queue", "T0"), "sc"
+        ).passed
+        assert check(
+            get_implementation("ms2-unfenced"), get_test("queue", "T0"), "relaxed"
+        ).failed
+
+    def test_statistics_populated(self):
+        result = check(get_implementation("msn"), get_test("queue", "T0"), "relaxed")
+        stats = result.stats
+        assert stats.loads > 0 and stats.stores > 0
+        assert stats.cnf_clauses > 1000
+        assert stats.cnf_variables > 100
+        assert stats.total_seconds > 0
+        assert stats.encode_seconds > 0
+        assert "PASS" in result.summary()
+
+    def test_specification_cached_across_models(self):
+        checker = CheckFence(get_implementation("msn"))
+        test = get_test("queue", "T0")
+        first = checker.check(test, "sc")
+        second = checker.check(test, "relaxed")
+        assert first.specification is second.specification
+
+
+class TestCheckerOptions:
+    def test_sat_specification_method(self):
+        options = CheckOptions(specification_method="sat")
+        result = check(
+            get_implementation("msn"), get_test("queue", "T0"), "relaxed", options
+        )
+        assert result.passed
+        assert result.specification.method == "sat"
+
+    def test_range_analysis_off_still_correct(self):
+        options = CheckOptions(use_range_analysis=False)
+        result = check(
+            get_implementation("msn"), get_test("queue", "T0"), "relaxed", options
+        )
+        assert result.passed
+
+    def test_range_analysis_reduces_formula_size(self):
+        with_ranges = check(
+            get_implementation("msn"), get_test("queue", "T0"), "relaxed"
+        )
+        without_ranges = check(
+            get_implementation("msn"), get_test("queue", "T0"), "relaxed",
+            CheckOptions(use_range_analysis=False),
+        )
+        assert with_ranges.stats.cnf_clauses < without_ranges.stats.cnf_clauses
+
+    def test_disable_assertion_check(self):
+        options = CheckOptions(check_assertions=False)
+        result = check(
+            get_implementation("ms2"), get_test("queue", "T0"), "relaxed", options
+        )
+        assert result.passed
+
+
+class TestLoopBounds:
+    def test_refinement_converges_on_t0(self):
+        implementation = get_implementation("msn")
+        outcome = refine_loop_bounds(
+            implementation, get_test("queue", "T0"), get_model("relaxed"),
+            max_rounds=3,
+        )
+        assert outcome.refinement_rounds >= 1
+        assert outcome.compiled is not None
+
+    def test_lazy_bounds_option_runs(self):
+        options = CheckOptions(lazy_loop_bounds=True)
+        result = check(
+            get_implementation("msn"), get_test("queue", "T0"), "relaxed", options
+        )
+        assert result.passed
+
+
+class TestCommitPointBaseline:
+    def test_agrees_on_passing_check(self):
+        compiled = compile_test(get_implementation("msn"), get_test("queue", "T0"))
+        outcome = run_commit_point_check(compiled, RELAXED)
+        assert outcome.passed
+        assert outcome.solver_calls >= 1
+        assert len(outcome.validated_observations) >= 1
+
+    def test_detects_failure_on_unfenced_queue(self):
+        compiled = compile_test(
+            get_implementation("msn-unfenced"), get_test("queue", "T0")
+        )
+        outcome = run_commit_point_check(compiled, RELAXED)
+        assert not outcome.passed
+        assert outcome.counterexample is not None
+
+    def test_agrees_under_sequential_consistency(self):
+        compiled = compile_test(
+            get_implementation("msn-unfenced"), get_test("queue", "T0")
+        )
+        outcome = run_commit_point_check(compiled, SEQUENTIAL_CONSISTENCY)
+        assert outcome.passed

@@ -1,0 +1,163 @@
+"""Tests for the data type registry, C sources, and reference implementations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datatypes import (
+    EMPTY,
+    ReferenceDeque,
+    ReferenceQueue,
+    ReferenceSet,
+    TABLE1,
+    available_implementations,
+    base_implementations,
+    category_of,
+    get_implementation,
+)
+from repro.lang import compile_c
+
+
+class TestRegistry:
+    def test_table1_lists_five_implementations(self):
+        assert [row[0] for row in TABLE1] == ["ms2", "msn", "lazylist", "harris", "snark"]
+        assert base_implementations() == ["ms2", "msn", "lazylist", "harris", "snark"]
+
+    def test_every_variant_builds(self):
+        for name in available_implementations():
+            implementation = get_implementation(name)
+            assert implementation.name == name
+            assert implementation.operations
+            assert implementation.source.strip()
+
+    def test_unknown_implementation(self):
+        with pytest.raises(KeyError):
+            get_implementation("nope")
+
+    def test_categories(self):
+        assert category_of("msn") == "queue"
+        assert category_of("msn-unfenced") == "queue"
+        assert category_of("lazylist-buggy") == "set"
+        assert category_of("snark") == "deque"
+        with pytest.raises(KeyError):
+            category_of("mystery")
+
+    def test_every_source_compiles_to_lsl(self):
+        for name in available_implementations():
+            implementation = get_implementation(name)
+            program = compile_c(implementation.source, name)
+            for spec in implementation.operations.values():
+                assert spec.proc in program.procedures, (
+                    f"{name}: operation {spec.name} refers to missing "
+                    f"function {spec.proc}"
+                )
+
+    def test_fenced_and_unfenced_differ(self):
+        for base in ("ms2", "msn", "lazylist", "harris", "snark"):
+            fenced = get_implementation(base)
+            unfenced = get_implementation(f"{base}-unfenced")
+            assert fenced.source != unfenced.source
+            assert 'fence("' in fenced.source
+            assert 'fence("' not in unfenced.source
+
+    def test_operation_lookup(self):
+        msn = get_implementation("msn")
+        assert msn.operation("enqueue").num_value_args == 1
+        assert msn.operation("dequeue").num_out_params == 1
+        with pytest.raises(KeyError):
+            msn.operation("pop")
+
+    def test_with_source_variant_helper(self):
+        msn = get_implementation("msn")
+        variant = msn.with_source(msn.source + "\n// tweaked\n", "tweaked")
+        assert variant.name == "msn-tweaked"
+        assert variant.operations == msn.operations
+
+
+class TestReferenceQueue:
+    def test_fifo_order(self):
+        queue = ReferenceQueue()
+        queue.init()
+        queue.enqueue(1)
+        queue.enqueue(0)
+        assert queue.dequeue() == (1, 1)
+        assert queue.dequeue() == (1, 0)
+        assert queue.dequeue() == (0, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 1), max_size=8))
+    def test_matches_python_list(self, values):
+        queue = ReferenceQueue()
+        queue.init()
+        for value in values:
+            queue.enqueue(value)
+        for expected in values:
+            assert queue.dequeue() == (1, expected)
+        assert queue.dequeue() == (0, 0)
+
+
+class TestReferenceSet:
+    def test_add_remove_contains(self):
+        s = ReferenceSet()
+        s.init()
+        assert s.contains(1) == 0
+        assert s.add(1) == 1
+        assert s.add(1) == 0
+        assert s.contains(1) == 1
+        assert s.remove(1) == 1
+        assert s.remove(1) == 0
+        assert s.contains(1) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["add", "remove", "contains"]),
+                              st.integers(0, 1)), max_size=12))
+    def test_matches_python_set(self, operations):
+        reference = ReferenceSet()
+        reference.init()
+        model = set()
+        for op, value in operations:
+            if op == "add":
+                expected = int(value not in model)
+                model.add(value)
+                assert reference.add(value) == expected
+            elif op == "remove":
+                expected = int(value in model)
+                model.discard(value)
+                assert reference.remove(value) == expected
+            else:
+                assert reference.contains(value) == int(value in model)
+
+
+class TestReferenceDeque:
+    def test_both_ends(self):
+        d = ReferenceDeque()
+        d.init()
+        d.add_left(1)
+        d.add_right(0)
+        assert d.remove_right() == 0
+        assert d.remove_right() == 1
+        assert d.remove_right() == EMPTY
+        assert d.remove_left() == EMPTY
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(
+        ["add_left", "add_right", "remove_left", "remove_right"]),
+        st.integers(0, 1)), max_size=12))
+    def test_matches_collections_deque(self, operations):
+        from collections import deque
+
+        reference = ReferenceDeque()
+        reference.init()
+        model = deque()
+        for op, value in operations:
+            if op == "add_left":
+                reference.add_left(value)
+                model.appendleft(value)
+            elif op == "add_right":
+                reference.add_right(value)
+                model.append(value)
+            elif op == "remove_left":
+                expected = model.popleft() if model else EMPTY
+                assert reference.remove_left() == expected
+            else:
+                expected = model.pop() if model else EMPTY
+                assert reference.remove_right() == expected

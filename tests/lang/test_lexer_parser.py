@@ -1,0 +1,240 @@
+"""Tests for the C-subset lexer and parser."""
+
+import pytest
+
+from repro.lang import LexError, ParseError, parse, tokenize
+from repro.lang import ast
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("int foo while whiledone")
+        kinds = [(t.kind, t.text) for t in tokens[:-1]]
+        assert kinds == [
+            ("keyword", "int"),
+            ("ident", "foo"),
+            ("keyword", "while"),
+            ("ident", "whiledone"),
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("0 42 0x1F 7U 100L")
+        values = [t.text for t in tokens if t.kind == "number"]
+        assert values == ["0", "42", "0x1F", "7U", "100L"]
+
+    def test_operators_maximal_munch(self):
+        tokens = tokenize("a->b == c && d != e")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["->", "==", "&&", "!="]
+
+    def test_string_literal(self):
+        tokens = tokenize('fence("store-store");')
+        strings = [t for t in tokens if t.kind == "string"]
+        assert len(strings) == 1
+        assert strings[0].text == "store-store"
+
+    def test_comments_stripped(self):
+        tokens = tokenize("int x; // comment\n/* block\ncomment */ int y;")
+        idents = [t.text for t in tokens if t.kind == "ident"]
+        assert idents == ["x", "y"]
+
+    def test_preprocessor_lines_skipped(self):
+        tokens = tokenize("#include <stdio.h>\nint x;")
+        idents = [t.text for t in tokens if t.kind == "ident"]
+        assert idents == ["x"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("int\n  foo;")
+        foo = [t for t in tokens if t.text == "foo"][0]
+        assert foo.location.line == 2
+        assert foo.location.column == 3
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("int @x;")
+
+    def test_char_literal(self):
+        tokens = tokenize("'A'")
+        assert tokens[0].kind == "number"
+        assert tokens[0].text == str(ord("A"))
+
+
+class TestParserDeclarations:
+    def test_typedef_struct(self):
+        unit = parse(
+            """
+            typedef struct node {
+                struct node *next;
+                int value;
+            } node_t;
+            """
+        )
+        assert len(unit.structs) == 1
+        struct = unit.structs[0]
+        assert struct.name == "node_t"
+        assert [f.name for f in struct.fields] == ["next", "value"]
+        assert struct.fields[0].type.pointer_depth == 1
+
+    def test_typedef_enum(self):
+        unit = parse("typedef enum { free, held } lock_t;")
+        assert unit.enums[0].enumerators == [("free", 0), ("held", 1)]
+
+    def test_typedef_alias(self):
+        unit = parse("typedef unsigned value_t; value_t x;")
+        assert unit.typedefs[0].name == "value_t"
+        assert unit.globals[0].name == "x"
+
+    def test_struct_with_array_field(self):
+        unit = parse("typedef struct { long a; int b[3]; } x_t;")
+        fields = unit.structs[0].fields
+        assert fields[1].array_size == 3
+
+    def test_global_variables(self):
+        unit = parse("int x; int y = 5; int a, b;")
+        names = [g.name for g in unit.globals]
+        assert names == ["x", "y", "a", "b"]
+        assert isinstance(unit.globals[1].init, ast.IntLiteral)
+
+    def test_extern_prototype(self):
+        unit = parse(
+            """
+            typedef struct node { struct node *next; } node_t;
+            extern node_t *new_node();
+            extern void delete_node(node_t *node);
+            """
+        )
+        names = [p.name for p in unit.prototypes]
+        assert names == ["new_node", "delete_node"]
+
+    def test_function_definition(self):
+        unit = parse("int add(int a, int b) { return a + b; }")
+        function = unit.functions[0]
+        assert function.name == "add"
+        assert [p.name for p in function.params] == ["a", "b"]
+        assert isinstance(function.body.statements[0], ast.ReturnStmt)
+
+    def test_void_params(self):
+        unit = parse("void f(void) { }")
+        assert unit.functions[0].params == []
+
+    def test_extern_with_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse("extern int f() { return 1; }")
+
+    def test_for_loop_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void f() { for (;;) { } }")
+
+
+class TestParserStatements:
+    def _body(self, code):
+        unit = parse(f"void f() {{ {code} }}")
+        return unit.functions[0].body.statements
+
+    def test_if_else(self):
+        statements = self._body("if (x == 1) { y = 2; } else { y = 3; }")
+        assert isinstance(statements[0], ast.IfStmt)
+        assert statements[0].else_body is not None
+
+    def test_if_without_braces(self):
+        statements = self._body("if (x) y = 1;")
+        assert isinstance(statements[0], ast.IfStmt)
+        assert len(statements[0].then_body.statements) == 1
+
+    def test_while_and_controls(self):
+        statements = self._body("while (true) { if (x) break; continue; }")
+        loop = statements[0]
+        assert isinstance(loop, ast.WhileStmt)
+        assert isinstance(loop.body.statements[1], ast.ContinueStmt)
+
+    def test_do_while(self):
+        statements = self._body("do { x = 1; } while (x != 0);")
+        assert isinstance(statements[0], ast.DoWhileStmt)
+
+    def test_atomic_block(self):
+        statements = self._body("atomic { x = 1; }")
+        assert isinstance(statements[0], ast.AtomicStmt)
+
+    def test_local_declarations(self):
+        statements = self._body("int a = 1; int *p, *q;")
+        assert isinstance(statements[0], ast.DeclStmt)
+
+    def test_return_void(self):
+        statements = self._body("return;")
+        assert statements[0].value is None
+
+
+class TestParserExpressions:
+    def _expr(self, code):
+        unit = parse(f"void f() {{ x = {code}; }}")
+        stmt = unit.functions[0].body.statements[0]
+        return stmt.expr.value
+
+    def test_field_access_chain(self):
+        expr = self._expr("queue->head->next")
+        assert isinstance(expr, ast.FieldAccess)
+        assert expr.field_name == "next"
+        assert isinstance(expr.base, ast.FieldAccess)
+
+    def test_address_of_field(self):
+        expr = self._expr("&tail->next")
+        assert isinstance(expr, ast.Unary)
+        assert expr.op == "&"
+
+    def test_cast(self):
+        expr = self._expr("(unsigned) next")
+        assert isinstance(expr, ast.Cast)
+
+    def test_call_with_casts(self):
+        expr = self._expr("cas(&tail->next, (unsigned) next, (unsigned) node)")
+        assert isinstance(expr, ast.CallExpr)
+        assert len(expr.args) == 3
+
+    def test_logical_operators_precedence(self):
+        expr = self._expr("a == 1 && b == 2 || c == 3")
+        assert isinstance(expr, ast.Binary)
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_relational_and_additive(self):
+        expr = self._expr("a + 1 < b - 2")
+        assert expr.op == "<"
+        assert expr.left.op == "+"
+
+    def test_null_and_bool_literals(self):
+        assert isinstance(self._expr("NULL"), ast.NullLiteral)
+        assert isinstance(self._expr("true"), ast.BoolLiteral)
+
+    def test_unary_operators(self):
+        expr = self._expr("!*p")
+        assert expr.op == "!"
+        assert expr.operand.op == "*"
+
+    def test_chained_assignment(self):
+        unit = parse("void f() { a = b = c; }")
+        stmt = unit.functions[0].body.statements[0]
+        assert isinstance(stmt.expr, ast.Assign)
+        assert isinstance(stmt.expr.value, ast.Assign)
+
+    def test_index_expression(self):
+        expr = self._expr("arr[i]")
+        assert isinstance(expr, ast.Index)
+
+    def test_parse_error_reports_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("void f() { x = ; }")
+        assert "line" in str(excinfo.value)
+
+    def test_sizeof_accepted(self):
+        expr = self._expr("sizeof(node_t)") if False else None
+        # sizeof requires a known type name; use a typedef first.
+        unit = parse(
+            "typedef struct n { int v; } node_t;\n"
+            "void f() { x = sizeof(node_t); }"
+        )
+        stmt = unit.functions[0].body.statements[0]
+        assert isinstance(stmt.expr.value, ast.IntLiteral)

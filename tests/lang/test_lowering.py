@@ -1,0 +1,366 @@
+"""Tests for lowering C to LSL, validated by interpreting the result."""
+
+import pytest
+
+from repro.lang import LoweringError, compile_c
+from repro.lsl import (
+    Fence,
+    FenceKind,
+    Interpreter,
+    MachineState,
+    MemoryLayout,
+    UNDEF,
+    iter_statements,
+)
+
+
+def make_state(program):
+    """Build a machine state whose layout matches the lowering's assumption:
+    globals are laid out in declaration order starting at index 1."""
+    layout = MemoryLayout()
+    for decl in program.globals:
+        layout.add_global(decl.name, decl.field_names, decl.initial)
+    return MachineState.initial(layout)
+
+
+def run(program, proc, args=()):
+    state = make_state(program)
+    interp = Interpreter(program, state)
+    return interp.call(proc, args), state, interp
+
+
+COUNTER_SOURCE = """
+int counter;
+int limit = 10;
+
+void reset() { counter = 0; }
+
+int increment(int amount) {
+    int old;
+    old = counter;
+    counter = old + amount;
+    return counter;
+}
+
+int is_at_limit() {
+    if (counter >= limit) {
+        return 1;
+    } else {
+        return 0;
+    }
+}
+
+int sum_to(int n) {
+    int i = 1;
+    int total = 0;
+    while (i <= n) {
+        total = total + i;
+        i = i + 1;
+    }
+    return total;
+}
+"""
+
+
+class TestScalarGlobals:
+    def test_reset_and_increment(self):
+        program = compile_c(COUNTER_SOURCE, "counter")
+        state = make_state(program)
+        interp = Interpreter(program, state)
+        interp.call("reset")
+        assert interp.call("increment", (5,)).returns == (5,)
+        assert interp.call("increment", (3,)).returns == (8,)
+
+    def test_global_initializer(self):
+        program = compile_c(COUNTER_SOURCE, "counter")
+        decls = {d.name: d.initial for d in program.globals}
+        assert decls["limit"] == 10
+        assert decls["counter"] == 0
+
+    def test_if_else(self):
+        program = compile_c(COUNTER_SOURCE, "counter")
+        state = make_state(program)
+        interp = Interpreter(program, state)
+        interp.call("reset")
+        assert interp.call("is_at_limit").returns == (0,)
+        interp.call("increment", (10,))
+        assert interp.call("is_at_limit").returns == (1,)
+
+    def test_while_loop(self):
+        program = compile_c(COUNTER_SOURCE, "counter")
+        result, _, _ = run(program, "sum_to", (5,))
+        assert result.returns == (15,)
+
+    def test_zero_iterations(self):
+        program = compile_c(COUNTER_SOURCE, "counter")
+        result, _, _ = run(program, "sum_to", (0,))
+        assert result.returns == (0,)
+
+
+STRUCT_SOURCE = """
+typedef struct node {
+    struct node *next;
+    int value;
+} node_t;
+
+typedef struct queue {
+    node_t *head;
+    node_t *tail;
+} queue_t;
+
+queue_t queue;
+
+extern node_t *new_node();
+extern void delete_node(node_t *node);
+
+void init_queue() {
+    node_t *node;
+    node = new_node();
+    node->next = NULL;
+    node->value = 0;
+    queue.head = node;
+    queue.tail = node;
+}
+
+void enqueue(int value) {
+    node_t *node;
+    node_t *tail;
+    node = new_node();
+    node->value = value;
+    node->next = NULL;
+    tail = queue.tail;
+    tail->next = node;
+    queue.tail = node;
+}
+
+int dequeue() {
+    node_t *head;
+    node_t *next;
+    head = queue.head;
+    next = head->next;
+    if (next == NULL) {
+        return 0 - 1;
+    }
+    queue.head = next;
+    delete_node(head);
+    return next->value;
+}
+
+int queue_is_empty() {
+    node_t *head;
+    head = queue.head;
+    return head->next == NULL;
+}
+"""
+
+
+class TestStructsAndHeap:
+    def test_sequential_queue_fifo(self):
+        program = compile_c(STRUCT_SOURCE, "seqqueue")
+        state = make_state(program)
+        interp = Interpreter(program, state)
+        interp.call("init_queue")
+        assert interp.call("queue_is_empty").returns == (1,)
+        interp.call("enqueue", (7,))
+        interp.call("enqueue", (8,))
+        assert interp.call("queue_is_empty").returns == (0,)
+        assert interp.call("dequeue").returns == (7,)
+        assert interp.call("dequeue").returns == (8,)
+        assert interp.call("dequeue").returns == (-1,)
+
+    def test_struct_layout_registered(self):
+        program = compile_c(STRUCT_SOURCE, "seqqueue")
+        assert set(program.structs) >= {"node_t", "queue_t"}
+        assert program.structs["node_t"].fields == ("next", "value")
+
+    def test_global_struct_occupies_cells(self):
+        program = compile_c(STRUCT_SOURCE, "seqqueue")
+        queue_decl = [g for g in program.globals if g.name == "queue"][0]
+        assert queue_decl.field_names == ("head", "tail")
+
+    def test_havoc_allocation_field_undefined_until_written(self):
+        source = """
+        typedef struct node { int value; int other; } node_t;
+        extern node_t *new_node();
+        int probe() {
+            node_t *n;
+            n = new_node();
+            n->value = 4;
+            return n->other == 0;
+        }
+        """
+        program = compile_c(source, "probe")
+        state = make_state(program)
+        interp = Interpreter(program, state)
+        from repro.lsl import UndefinedValueError
+
+        with pytest.raises(UndefinedValueError):
+            interp.call("probe")
+
+
+SYNC_SOURCE = """
+typedef enum { free, held } lock_t;
+
+int shared;
+lock_t mutex;
+
+void locked_add(int amount) {
+    lock(&mutex);
+    shared = shared + amount;
+    unlock(&mutex);
+}
+
+int try_swap(int old, int new) {
+    int ok;
+    ok = cas(&shared, old, new);
+    return ok;
+}
+
+void fenced_store(int value) {
+    shared = value;
+    fence("store-store");
+}
+
+void checked_store(int value) {
+    assert(value >= 0);
+    shared = value;
+}
+"""
+
+
+class TestSynchronizationBuiltins:
+    def test_cas_success_and_failure(self):
+        program = compile_c(SYNC_SOURCE, "sync")
+        state = make_state(program)
+        interp = Interpreter(program, state)
+        assert interp.call("try_swap", (0, 5)).returns == (1,)
+        assert interp.call("try_swap", (0, 9)).returns == (0,)
+        assert interp.call("try_swap", (5, 9)).returns == (1,)
+
+    def test_lock_unlock_roundtrip(self):
+        program = compile_c(SYNC_SOURCE, "sync")
+        state = make_state(program)
+        interp = Interpreter(program, state)
+        interp.call("locked_add", (4,))
+        interp.call("locked_add", (6,))
+        base = state.layout.global_base("shared")
+        assert state.memory[base] == 10
+        mutex = state.layout.global_base("mutex")
+        assert state.memory[mutex] == 0  # released
+
+    def test_fence_lowered(self):
+        program = compile_c(SYNC_SOURCE, "sync")
+        body = program.procedure("fenced_store").body
+        fences = [
+            s for s in iter_statements(body)
+            if isinstance(s, Fence)
+        ]
+        assert [f.kind for f in fences] == [FenceKind.STORE_STORE]
+
+    def test_assert_passes_and_fails(self):
+        program = compile_c(SYNC_SOURCE, "sync")
+        state = make_state(program)
+        interp = Interpreter(program, state)
+        interp.call("checked_store", (3,))
+        from repro.lsl import AssertionViolation
+
+        with pytest.raises(AssertionViolation):
+            interp.call("checked_store", (-1,))
+
+    def test_unknown_fence_kind_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_c('void f() { fence("sideways"); }', "bad")
+
+
+class TestShortCircuitAndPointers:
+    def test_short_circuit_and_protects_null_deref(self):
+        source = """
+        typedef struct node { struct node *next; int value; } node_t;
+        node_t *head;
+        int safe_check(int expected) {
+            node_t *p;
+            p = head;
+            return p != NULL && p->value == expected;
+        }
+        """
+        program = compile_c(source, "sc")
+        state = make_state(program)
+        interp = Interpreter(program, state)
+        # head is NULL: the right operand must not be evaluated.
+        assert interp.call("safe_check", (3,)).returns == (0,)
+
+    def test_short_circuit_or(self):
+        source = """
+        int x;
+        int either(int a, int b) { return a == 1 || b == 1; }
+        """
+        program = compile_c(source, "sc2")
+        state = make_state(program)
+        interp = Interpreter(program, state)
+        assert interp.call("either", (1, 0)).returns == (1,)
+        assert interp.call("either", (0, 1)).returns == (1,)
+        assert interp.call("either", (0, 0)).returns == (0,)
+
+    def test_pointer_swing_through_param(self):
+        source = """
+        int cell;
+        void set_through(int *p, int v) { *p = v; }
+        int get() { return cell; }
+        int run() { set_through(&cell, 42); return get(); }
+        """
+        program = compile_c(source, "ptr")
+        result, _, _ = run(program, "run")
+        assert result.returns == (42,)
+
+    def test_dcas_builtin(self):
+        source = """
+        int a;
+        int b;
+        int try_both(int oa, int ob) {
+            return dcas(&a, oa, 1, &b, ob, 2);
+        }
+        """
+        program = compile_c(source, "dcas")
+        state = make_state(program)
+        interp = Interpreter(program, state)
+        assert interp.call("try_both", (0, 0)).returns == (1,)
+        assert interp.call("try_both", (0, 0)).returns == (0,)  # already set
+        base_a = state.layout.global_base("a")
+        base_b = state.layout.global_base("b")
+        assert state.memory[base_a] == 1
+        assert state.memory[base_b] == 2
+
+
+class TestLoweringErrors:
+    def test_address_of_local_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_c("void f() { int x; int *p; p = &x; }", "bad")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_c("void f() { mystery(); }", "bad")
+
+    def test_unknown_identifier_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_c("void f() { x = 1; }", "bad")
+
+    def test_continue_in_do_while_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_c("void f() { do { continue; } while (0); }", "bad")
+
+    def test_missing_return_value_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_c("int f() { return; }", "bad")
+
+    def test_void_call_as_value_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_c("void g() { } void f() { int x; x = g(); }", "bad")
+
+    def test_enum_constants_available(self):
+        source = """
+        typedef enum { free, held } lock_t;
+        int which() { return held; }
+        """
+        program = compile_c(source, "enum")
+        result, _, _ = run(program, "which")
+        assert result.returns == (1,)

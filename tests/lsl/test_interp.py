@@ -1,0 +1,289 @@
+"""Tests for the LSL builder, printer, and serial interpreter."""
+
+import pytest
+
+from repro.lsl import (
+    AssertionViolation,
+    AssumptionFailed,
+    Block,
+    FenceKind,
+    GlobalDecl,
+    Interpreter,
+    LslBuilder,
+    MachineState,
+    MemoryLayout,
+    NullDereference,
+    PrimitiveOp,
+    Procedure,
+    Program,
+    StepLimitExceeded,
+    StructLayout,
+    UNDEF,
+    UndefinedValueError,
+    count_memory_accesses,
+    count_statements,
+    format_procedure,
+    format_program,
+)
+
+
+def make_counter_program() -> Program:
+    """A tiny shared-counter data type: init, increment, read."""
+    program = Program("counter")
+    program.add_global(GlobalDecl("counter"))
+    program.add_procedure(Procedure("noop", (), (), []))
+
+    # init: counter = 0
+    b = LslBuilder()
+    addr = b.const(1, dst="addr")  # counter is the first location
+    zero = b.const(0)
+    b.store(addr, zero)
+    program.add_procedure(Procedure("init", (), (), b.statements))
+
+    # inc: counter = counter + 1, returns new value
+    b = LslBuilder()
+    addr = b.const(1, dst="addr")
+    old = b.load(addr)
+    one = b.const(1)
+    new = b.prim(PrimitiveOp.ADD, old, one, dst="new")
+    b.store(addr, new)
+    program.add_procedure(Procedure("inc", (), ("new",), b.statements))
+
+    # get: returns counter
+    b = LslBuilder()
+    addr = b.const(1, dst="addr")
+    val = b.load(addr, dst="val")
+    program.add_procedure(Procedure("get", (), ("val",), b.statements))
+    return program
+
+
+def fresh_state() -> MachineState:
+    layout = MemoryLayout()
+    layout.add_global("counter")
+    return MachineState.initial(layout)
+
+
+class TestInterpreterBasics:
+    def test_store_load_roundtrip(self):
+        program = make_counter_program()
+        state = fresh_state()
+        interp = Interpreter(program, state)
+        interp.call("init")
+        assert interp.call("get").returns == (0,)
+        assert interp.call("inc").returns == (1,)
+        assert interp.call("inc").returns == (2,)
+        assert interp.call("get").returns == (2,)
+
+    def test_arguments_and_returns(self):
+        program = Program("args")
+        b = LslBuilder()
+        result = b.prim(PrimitiveOp.ADD, "a", "b", dst="sum")
+        program.add_procedure(Procedure("add", ("a", "b"), ("sum",), b.statements))
+        state = MachineState.initial(MemoryLayout())
+        interp = Interpreter(program, state)
+        assert interp.call("add", (3, 4)).returns == (7,)
+
+    def test_wrong_arity_raises(self):
+        program = make_counter_program()
+        interp = Interpreter(program, fresh_state())
+        with pytest.raises(TypeError):
+            interp.call("inc", (1,))
+
+    def test_missing_procedure(self):
+        program = make_counter_program()
+        interp = Interpreter(program, fresh_state())
+        with pytest.raises(KeyError):
+            interp.call("does_not_exist")
+
+    def test_undefined_return_register(self):
+        program = Program("p")
+        program.add_procedure(Procedure("f", (), ("never_set",), []))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        assert interp.call("f").returns == (UNDEF,)
+
+    def test_fences_are_serial_noops(self):
+        program = Program("p")
+        b = LslBuilder()
+        b.fence(FenceKind.STORE_STORE)
+        b.fence("load-load")
+        value = b.const(42, dst="out")
+        program.add_procedure(Procedure("f", (), ("out",), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        assert interp.call("f").returns == (42,)
+
+
+class TestControlFlow:
+    def test_loop_with_break(self):
+        # Sum 1..5 with a loop: while (i <= 5) { sum += i; i += 1 }
+        program = Program("loop")
+        b = LslBuilder()
+        i = b.const(1, dst="i")
+        total = b.const(0, dst="total")
+        limit = b.const(5)
+        one = b.const(1)
+        with b.block("L") as tag:
+            done = b.prim(PrimitiveOp.GT, "i", limit, dst="done")
+            b.break_if(done, tag)
+            b.prim(PrimitiveOp.ADD, "total", "i", dst="total")
+            b.prim(PrimitiveOp.ADD, "i", one, dst="i")
+            b.continue_always(tag)
+        program.add_procedure(Procedure("sum5", (), ("total",), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        assert interp.call("sum5").returns == (15,)
+
+    def test_break_out_of_nested_block(self):
+        program = Program("nested")
+        b = LslBuilder()
+        out = b.const(0, dst="out")
+        with b.block("outer") as outer:
+            with b.block("inner"):
+                cond = b.const(1)
+                b.break_if(cond, outer)
+            # This statement is skipped because the break targets "outer".
+            b.const(99, dst="out")
+        program.add_procedure(Procedure("f", (), ("out",), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        assert interp.call("f").returns == (0,)
+
+    def test_infinite_loop_hits_step_limit(self):
+        program = Program("spin")
+        b = LslBuilder()
+        with b.block("L") as tag:
+            b.continue_always(tag)
+        program.add_procedure(Procedure("f", (), (), b.statements))
+        interp = Interpreter(
+            program, MachineState.initial(MemoryLayout()), max_steps=200
+        )
+        with pytest.raises(StepLimitExceeded):
+            interp.call("f")
+
+    def test_atomic_block_executes_inline(self):
+        program = Program("atomic")
+        b = LslBuilder()
+        with b.atomic():
+            b.const(5, dst="x")
+        program.add_procedure(Procedure("f", (), ("x",), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        assert interp.call("f").returns == (5,)
+
+    def test_procedure_call(self):
+        program = Program("calls")
+        b = LslBuilder()
+        b.prim(PrimitiveOp.ADD, "a", "a", dst="doubled")
+        program.add_procedure(
+            Procedure("double", ("a",), ("doubled",), b.statements)
+        )
+        b = LslBuilder()
+        x = b.const(21, dst="x")
+        b.call("double", [x], ["y"])
+        program.add_procedure(Procedure("main", (), ("y",), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        assert interp.call("main").returns == (42,)
+
+
+class TestErrorsAndNondeterminism:
+    def test_assert_failure(self):
+        program = Program("p")
+        b = LslBuilder()
+        zero = b.const(0)
+        b.assert_(zero)
+        program.add_procedure(Procedure("f", (), (), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        with pytest.raises(AssertionViolation):
+            interp.call("f")
+
+    def test_assume_failure(self):
+        program = Program("p")
+        b = LslBuilder()
+        zero = b.const(0)
+        b.assume(zero)
+        program.add_procedure(Procedure("f", (), (), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        with pytest.raises(AssumptionFailed):
+            interp.call("f")
+
+    def test_null_dereference(self):
+        program = Program("p")
+        b = LslBuilder()
+        null = b.const(0)
+        b.load(null)
+        program.add_procedure(Procedure("f", (), (), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        with pytest.raises(NullDereference):
+            interp.call("f")
+
+    def test_undefined_value_in_condition(self):
+        program = Program("p")
+        b = LslBuilder()
+        b.break_if("never_assigned", "nowhere")
+        program.add_procedure(Procedure("f", (), (), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        with pytest.raises(UndefinedValueError):
+            interp.call("f")
+
+    def test_havoc_allocation_reads_are_undefined(self):
+        program = Program("p")
+        b = LslBuilder()
+        node = b.alloc(2, "node", ("next", "value"))
+        b.load(node, dst="first_field")
+        program.add_procedure(Procedure("f", (), ("first_field",), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        assert interp.call("f").returns == (UNDEF,)
+
+    def test_zero_allocation_reads_zero(self):
+        program = Program("p")
+        b = LslBuilder()
+        node = b.alloc(2, "node", ("next", "value"), init="zero")
+        b.load(node, dst="first_field")
+        program.add_procedure(Procedure("f", (), ("first_field",), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        assert interp.call("f").returns == (0,)
+
+    def test_choose_uses_chooser(self):
+        program = Program("p")
+        b = LslBuilder()
+        b.choose((0, 1), dst="x")
+        program.add_procedure(Procedure("f", (), ("x",), b.statements))
+        interp = Interpreter(
+            program,
+            MachineState.initial(MemoryLayout()),
+            chooser=lambda stmt: stmt.choices[-1],
+        )
+        assert interp.call("f").returns == (1,)
+
+    def test_observe_collects_values(self):
+        program = Program("p")
+        b = LslBuilder()
+        x = b.const(3, dst="x")
+        y = b.const(4, dst="y")
+        b.observe("pair", [x, y])
+        program.add_procedure(Procedure("f", (), (), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        result = interp.call("f")
+        assert result.observations == [("pair", (3, 4))]
+
+
+class TestStructuralHelpers:
+    def test_count_statements_and_accesses(self):
+        program = make_counter_program()
+        inc = program.procedure("inc")
+        assert count_statements(inc.body) == 5
+        assert count_memory_accesses(inc.body) == (1, 1)
+
+    def test_printer_output(self):
+        program = make_counter_program()
+        program.add_struct(StructLayout("node_t", ("next", "value")))
+        text = format_program(program)
+        assert "proc inc" in text
+        assert "struct node_t" in text
+        proc_text = format_procedure(program.procedure("inc"))
+        assert "*addr" in proc_text
+
+    def test_block_rendering(self):
+        b = LslBuilder()
+        with b.block("L") as tag:
+            b.break_always(tag)
+        from repro.lsl import format_body
+
+        lines = format_body(b.statements)
+        assert any("L: {" in line for line in lines)

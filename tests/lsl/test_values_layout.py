@@ -1,0 +1,109 @@
+"""Tests for LSL values and the memory layout."""
+
+import pytest
+
+from repro.lsl import NULL, UNDEF, MemoryLayout, UndefinedValueError, is_undef
+from repro.lsl.values import format_value, is_defined, require_defined
+
+
+class TestValues:
+    def test_undef_is_singleton(self):
+        from repro.lsl.values import _Undefined
+
+        assert _Undefined() is UNDEF
+
+    def test_undef_in_condition_raises(self):
+        with pytest.raises(ValueError):
+            bool(UNDEF)
+
+    def test_is_undef(self):
+        assert is_undef(UNDEF)
+        assert not is_undef(0)
+        assert not is_undef(5)
+        assert is_defined(3)
+        assert not is_defined(UNDEF)
+
+    def test_require_defined(self):
+        assert require_defined(7) == 7
+        with pytest.raises(UndefinedValueError):
+            require_defined(UNDEF)
+
+    def test_format_value(self):
+        assert format_value(UNDEF) == "undef"
+        assert format_value(12) == "12"
+
+    def test_null_is_zero(self):
+        assert NULL == 0
+
+
+class TestMemoryLayout:
+    def test_null_slot_reserved(self):
+        layout = MemoryLayout()
+        assert layout.num_locations == 1
+        assert layout.name_of(NULL) == "null"
+
+    def test_scalar_global(self):
+        layout = MemoryLayout()
+        base = layout.add_global("x", initial=7)
+        assert base == 1
+        assert layout.name_of(base) == "x"
+        assert layout.initial_value(base) == 7
+        assert layout.global_base("x") == base
+
+    def test_struct_global(self):
+        layout = MemoryLayout()
+        base = layout.add_global("queue", field_names=("head", "tail"))
+        assert layout.name_of(base) == "queue.head"
+        assert layout.name_of(base + 1) == "queue.tail"
+        assert layout.num_locations == 3
+
+    def test_struct_global_with_initials(self):
+        layout = MemoryLayout()
+        base = layout.add_global("pair", ("a", "b"), initial=(3, 4))
+        assert layout.initial_value(base) == 3
+        assert layout.initial_value(base + 1) == 4
+
+    def test_initial_mismatch_rejected(self):
+        layout = MemoryLayout()
+        with pytest.raises(ValueError):
+            layout.add_global("pair", ("a", "b"), initial=(1,))
+
+    def test_duplicate_global_rejected(self):
+        layout = MemoryLayout()
+        layout.add_global("x")
+        with pytest.raises(ValueError):
+            layout.add_global("x")
+
+    def test_heap_object(self):
+        layout = MemoryLayout()
+        layout.add_global("x")
+        base = layout.add_heap_object("node#1", ("next", "value"))
+        assert layout.info(base).is_heap
+        assert layout.name_of(base) == "node#1.next"
+        assert is_undef(layout.initial_value(base))
+
+    def test_initial_memory_excludes_null(self):
+        layout = MemoryLayout()
+        layout.add_global("x", initial=5)
+        layout.add_global("y", initial=0)
+        memory = layout.initial_memory()
+        assert NULL not in memory
+        assert memory[layout.global_base("x")] == 5
+
+    def test_valid_indices(self):
+        layout = MemoryLayout()
+        layout.add_global("x")
+        layout.add_global("y")
+        assert list(layout.valid_indices()) == [1, 2]
+
+    def test_copy_is_independent(self):
+        layout = MemoryLayout()
+        layout.add_global("x")
+        clone = layout.copy()
+        clone.add_global("y")
+        assert layout.num_locations == 2
+        assert clone.num_locations == 3
+
+    def test_name_of_out_of_range(self):
+        layout = MemoryLayout()
+        assert "loc 42" in layout.name_of(42)

@@ -1,0 +1,236 @@
+"""Unit and property tests for the CDCL solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CNF, Solver, solve_cnf
+
+
+def brute_force_satisfiable(cnf: CNF) -> bool:
+    """Reference check by enumerating all assignments (small formulas only)."""
+    variables = list(range(1, cnf.num_vars + 1))
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if all(
+            any(assignment[abs(l)] == (l > 0) for l in clause)
+            for clause in cnf.clauses
+        ):
+            return True
+    return not cnf.clauses or cnf.num_vars == 0 and not cnf.clauses
+
+
+def check_model(cnf: CNF, model: dict[int, bool]) -> bool:
+    return all(
+        any(model.get(abs(l), False) == (l > 0) for l in clause)
+        for clause in cnf.clauses
+    )
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        solver = Solver()
+        assert solver.solve() is True
+
+    def test_single_unit_clause(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_unit(v)
+        model = solve_cnf(cnf)
+        assert model is not None
+        assert model[v] is True
+
+    def test_contradictory_units_unsat(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_unit(v)
+        cnf.add_unit(-v)
+        assert solve_cnf(cnf) is None
+
+    def test_simple_sat_instance(self):
+        cnf = CNF()
+        a, b, c = cnf.new_vars(3)
+        cnf.add_clause([a, b])
+        cnf.add_clause([-a, c])
+        cnf.add_clause([-b, c])
+        model = solve_cnf(cnf)
+        assert model is not None
+        assert check_model(cnf, model)
+
+    def test_implication_chain_propagates(self):
+        cnf = CNF()
+        variables = cnf.new_vars(20)
+        cnf.add_unit(variables[0])
+        for x, y in zip(variables, variables[1:]):
+            cnf.add_clause([-x, y])
+        model = solve_cnf(cnf)
+        assert model is not None
+        assert all(model[v] for v in variables)
+
+    def test_unsat_chain(self):
+        cnf = CNF()
+        variables = cnf.new_vars(10)
+        cnf.add_unit(variables[0])
+        for x, y in zip(variables, variables[1:]):
+            cnf.add_clause([-x, y])
+        cnf.add_unit(-variables[-1])
+        assert solve_cnf(cnf) is None
+
+    def test_tautology_is_dropped(self):
+        cnf = CNF()
+        a = cnf.new_var()
+        cnf.add_clause([a, -a])
+        assert cnf.num_clauses == 0
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+    def test_xor_constraints(self):
+        # x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 is unsatisfiable.
+        cnf = CNF()
+        x1, x2, x3 = cnf.new_vars(3)
+        for a, b in [(x1, x2), (x2, x3), (x1, x3)]:
+            cnf.add_clause([a, b])
+            cnf.add_clause([-a, -b])
+        assert solve_cnf(cnf) is None
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_pigeonhole_unsat(self, holes):
+        """n+1 pigeons cannot fit in n holes — classic hard UNSAT family."""
+        pigeons = holes + 1
+        cnf = CNF()
+        grid = [[cnf.new_var() for _ in range(holes)] for _ in range(pigeons)]
+        for p in range(pigeons):
+            cnf.add_clause(grid[p])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    cnf.add_clause([-grid[p1][h], -grid[p2][h]])
+        assert solve_cnf(cnf) is None
+
+    @pytest.mark.parametrize("holes", [3, 4, 5])
+    def test_exact_fit_sat(self, holes):
+        pigeons = holes
+        cnf = CNF()
+        grid = [[cnf.new_var() for _ in range(holes)] for _ in range(pigeons)]
+        for p in range(pigeons):
+            cnf.add_clause(grid[p])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    cnf.add_clause([-grid[p1][h], -grid[p2][h]])
+        model = solve_cnf(cnf)
+        assert model is not None
+        assert check_model(cnf, model)
+
+
+class TestIncremental:
+    def test_blocking_clauses_enumerate_all_models(self):
+        cnf = CNF()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([a, b])
+        solver = Solver(cnf)
+        models = []
+        while solver.solve():
+            model = solver.model()
+            models.append((model[a], model[b]))
+            solver.add_clause(
+                [(-a if model[a] else a), (-b if model[b] else b)]
+            )
+        assert sorted(models) == [(False, True), (True, False), (True, True)]
+
+    def test_assumptions_sat_and_unsat(self):
+        cnf = CNF()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([-a, b])
+        solver = Solver(cnf)
+        assert solver.solve(assumptions=[a]) is True
+        assert solver.model()[b] is True
+        solver.add_clause([-b])
+        assert solver.solve(assumptions=[a]) is False
+        # Without the assumption the formula is still satisfiable.
+        assert solver.solve() is True
+        assert solver.model()[a] is False
+
+    def test_adding_clauses_between_solves(self):
+        cnf = CNF()
+        variables = cnf.new_vars(4)
+        solver = Solver(cnf)
+        assert solver.solve() is True
+        solver.add_clause([variables[0]])
+        solver.add_clause([-variables[0], variables[1]])
+        assert solver.solve() is True
+        model = solver.model()
+        assert model[variables[0]] and model[variables[1]]
+        solver.add_clause([-variables[1]])
+        assert solver.solve() is False
+
+    def test_conflict_limit_returns_none_or_result(self):
+        cnf = CNF()
+        holes = 5
+        pigeons = holes + 1
+        grid = [[cnf.new_var() for _ in range(holes)] for _ in range(pigeons)]
+        for p in range(pigeons):
+            cnf.add_clause(grid[p])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    cnf.add_clause([-grid[p1][h], -grid[p2][h]])
+        solver = Solver(cnf)
+        result = solver.solve(conflict_limit=3)
+        assert result in (None, False)
+
+
+class TestStats:
+    def test_stats_populated(self):
+        cnf = CNF()
+        variables = cnf.new_vars(8)
+        for i in range(0, 8, 2):
+            cnf.add_clause([variables[i], variables[i + 1]])
+            cnf.add_clause([-variables[i], -variables[i + 1]])
+        solver = Solver(cnf)
+        assert solver.solve() is True
+        assert solver.stats.decisions >= 1
+        assert solver.stats.propagations >= 1
+
+
+@st.composite
+def random_cnf(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=8))
+    num_clauses = draw(st.integers(min_value=1, max_value=24))
+    cnf = CNF()
+    cnf.new_vars(num_vars)
+    for _ in range(num_clauses):
+        size = draw(st.integers(min_value=1, max_value=3))
+        clause = [
+            draw(st.integers(min_value=1, max_value=num_vars))
+            * (1 if draw(st.booleans()) else -1)
+            for _ in range(size)
+        ]
+        cnf.add_clause(clause)
+    return cnf
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(random_cnf())
+    def test_matches_brute_force(self, cnf):
+        expected = brute_force_satisfiable(cnf)
+        model = solve_cnf(cnf)
+        if expected:
+            assert model is not None
+            assert check_model(cnf, model)
+        else:
+            assert model is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_cnf())
+    def test_model_satisfies_formula(self, cnf):
+        model = solve_cnf(cnf)
+        if model is not None:
+            assert check_model(cnf, model)

@@ -1,0 +1,47 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "msn" in out and "lazylist" in out
+        assert "relaxed" in out
+        assert "T0" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Two-lock queue" in out and "snark" in out
+
+    def test_check_pass(self, capsys):
+        code = main(["check", "--impl", "msn", "--test", "T0", "--model", "relaxed"])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_check_fail_returns_nonzero(self, capsys):
+        code = main([
+            "check", "--impl", "msn-unfenced", "--test", "T0", "--model", "relaxed",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "counterexample" in out
+
+    def test_spec(self, capsys):
+        assert main(["spec", "--impl", "msn", "--test", "T0"]) == 0
+        out = capsys.readouterr().out
+        assert "4 observations" in out
+
+    def test_litmus(self, capsys):
+        assert main(["litmus", "--model", "sc"]) == 0
+        out = capsys.readouterr().out
+        assert "store-buffering" in out
+        assert "forbidden" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
