@@ -34,11 +34,12 @@ _FLAT = [(impl, test) for impl, tests in _CASES for test in tests]
 
 
 @pytest.mark.parametrize("implementation,test_name", _FLAT)
-def test_inclusion_check_row(benchmark, implementation, test_name):
+def test_inclusion_check_row(benchmark, attach_solver_stats, implementation, test_name):
     row = benchmark.pedantic(
         inclusion_row, args=(implementation, test_name, "relaxed"),
         rounds=1, iterations=1,
     )
+    attach_solver_stats(row.solver_dict())
     assert row.passed, f"{implementation}/{test_name} unexpectedly failed"
     assert row.cnf_clauses > 0
     _ROWS.append(row)

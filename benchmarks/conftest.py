@@ -25,3 +25,26 @@ def run_once(benchmark):
         )
 
     return runner
+
+
+@pytest.fixture
+def attach_solver_stats(benchmark):
+    """Embed per-backend solver counters in the benchmark JSON
+    (``--benchmark-json``), giving perf work a trajectory to compare
+    against: decisions, conflicts, restarts, learned/deleted clauses.
+
+    Accepts a dict (e.g. ``CheckStatistics.solver_dict()`` /
+    ``InclusionRow.solver_dict()``) or a backend name plus a
+    :class:`repro.sat.solver.SolverStats`.
+    """
+
+    def attach(stats, backend=None):
+        if hasattr(stats, "as_dict"):
+            payload = {"backend": backend or "", **stats.as_dict()}
+        else:
+            payload = dict(stats)
+            if backend is not None:
+                payload.setdefault("backend", backend)
+        benchmark.extra_info["solver"] = payload
+
+    return attach

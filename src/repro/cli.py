@@ -4,6 +4,8 @@ Examples::
 
     checkfence list
     checkfence check --impl msn-unfenced --test T0 --model relaxed
+    checkfence check --impl msn --test T0 --solver dimacs:kissat
+    checkfence sweep --impl msn --test T0 --models serial,sc,tso,pso,relaxed
     checkfence spec --impl msn --test T0
     checkfence litmus --model relaxed
 """
@@ -14,6 +16,7 @@ import argparse
 import sys
 
 from repro.core.checker import CheckFence, CheckOptions
+from repro.core.session import CheckSession
 from repro.datatypes.registry import (
     TABLE1,
     available_implementations,
@@ -54,11 +57,59 @@ def _cmd_check(args) -> int:
         use_range_analysis=not args.no_range_analysis,
         lazy_loop_bounds=args.lazy_bounds,
         default_loop_bound=args.bound,
+        solver_backend=args.solver,
     )
     checker = CheckFence(implementation, options)
     result = checker.check(test, get_model(args.model))
     print(result.summary())
+    if result.stats.solver_backend:
+        if result.stats.solver_counters_available:
+            print(
+                f"solver: {result.stats.solver_backend} "
+                f"({result.stats.solver_decisions} decisions, "
+                f"{result.stats.solver_conflicts} conflicts, "
+                f"{result.stats.solver_restarts} restarts)"
+            )
+        else:
+            print(
+                f"solver: {result.stats.solver_backend} "
+                "(external backend; counters unavailable)"
+            )
     return 0 if result.passed else 1
+
+
+def _cmd_sweep(args) -> int:
+    implementation = get_implementation(args.impl)
+    category = category_of(args.impl)
+    test = get_test(category, args.test)
+    options = CheckOptions(
+        specification_method=args.spec_method,
+        solver_backend=args.solver,
+    )
+    session = CheckSession(implementation, options)
+    models = [get_model(name.strip()) for name in args.models.split(",")]
+    results = session.sweep(test, models)
+    rows = [
+        (
+            r.memory_model,
+            "PASS" if r.passed else "FAIL",
+            r.stats.observation_set_size,
+            r.stats.cnf_clauses,
+            r.stats.solver_backend,
+            f"{r.stats.total_seconds:.2f}s",
+        )
+        for r in results
+    ]
+    print(
+        f"sweep of {args.impl} / {args.test} over "
+        f"{', '.join(m.name for m in models)} "
+        f"(compiled {session.cache_stats['compile']}x, "
+        f"spec mined {session.cache_stats['mine']}x):"
+    )
+    print(format_table(
+        ["model", "verdict", "spec size", "clauses", "backend", "total"], rows
+    ))
+    return 0 if all(r.passed for r in results) else 1
 
 
 def _cmd_spec(args) -> int:
@@ -86,7 +137,7 @@ def _cmd_litmus(args) -> int:
     for name, litmus in available_litmus_tests().items():
         if not litmus.observation:
             continue
-        allowed = observation_allowed(litmus, model)
+        allowed = observation_allowed(litmus, model, backend_spec=args.solver)
         rows.append((name, litmus.observation, "allowed" if allowed else "forbidden"))
     print(f"litmus outcomes under {model.name}:")
     print(format_table(["test", "observation", "verdict"], rows))
@@ -104,6 +155,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list implementations, models, and tests")
     sub.add_parser("table1", help="print Table 1 of the paper")
 
+    solver_help = (
+        "SAT backend: auto, internal, dimacs, or dimacs:<command> "
+        "(default: CHECKFENCE_SOLVER or auto)"
+    )
+
     check_parser = sub.add_parser("check", help="run one check")
     check_parser.add_argument("--impl", required=True)
     check_parser.add_argument("--test", required=True)
@@ -116,6 +172,22 @@ def build_parser() -> argparse.ArgumentParser:
                               help="refine loop bounds lazily (Section 3.3)")
     check_parser.add_argument("--no-range-analysis", action="store_true",
                               help="disable the range analysis (Fig. 11c)")
+    check_parser.add_argument("--solver", default=None, help=solver_help)
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="check one test under several memory models in one session "
+        "(compiles and mines the specification once)",
+    )
+    sweep_parser.add_argument("--impl", required=True)
+    sweep_parser.add_argument("--test", required=True)
+    sweep_parser.add_argument(
+        "--models", default="serial,sc,tso,pso,relaxed",
+        help="comma-separated memory models",
+    )
+    sweep_parser.add_argument("--spec-method", default="auto",
+                              choices=["auto", "reference", "sat"])
+    sweep_parser.add_argument("--solver", default=None, help=solver_help)
 
     spec_parser = sub.add_parser("spec", help="mine and print an observation set")
     spec_parser.add_argument("--impl", required=True)
@@ -125,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     litmus_parser = sub.add_parser("litmus", help="evaluate the litmus catalog")
     litmus_parser.add_argument("--model", default="relaxed")
+    litmus_parser.add_argument("--solver", default=None, help=solver_help)
 
     return parser
 
@@ -136,6 +209,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "table1": _cmd_table1,
         "check": _cmd_check,
+        "sweep": _cmd_sweep,
         "spec": _cmd_spec,
         "litmus": _cmd_litmus,
     }

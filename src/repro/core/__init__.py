@@ -10,6 +10,7 @@ from repro.core.inclusion import (
 )
 from repro.core.loop_bounds import LoopBoundResult, refine_loop_bounds
 from repro.core.results import CheckResult, CheckStatistics
+from repro.core.session import CheckSession
 from repro.core.specification import (
     ObservationSet,
     ReferenceSpecificationMiner,
@@ -35,6 +36,7 @@ __all__ = [
     "refine_loop_bounds",
     "CheckResult",
     "CheckStatistics",
+    "CheckSession",
     "ObservationSet",
     "ReferenceSpecificationMiner",
     "SatSpecificationMiner",

@@ -5,28 +5,34 @@ against the implementation, mine the specification, and run the assertion
 and inclusion checks under the requested memory model, returning a
 :class:`repro.core.results.CheckResult` with a counterexample trace when the
 check fails.
+
+The heavy lifting (and all caching / incremental-solver state) lives in
+:class:`repro.core.session.CheckSession`; ``CheckFence`` is the stable
+facade over one session.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
-from repro.core.inclusion import run_assertion_check, run_inclusion_check
-from repro.core.loop_bounds import refine_loop_bounds
-from repro.core.results import CheckResult, CheckStatistics
-from repro.core.specification import ObservationSet, mine_specification
+from repro.core.results import CheckResult
+from repro.core.session import CheckSession
+from repro.core.specification import ObservationSet
 from repro.datatypes.spec import DataTypeImplementation
-from repro.encoding.formula import encode_test
-from repro.encoding.testprogram import CompiledTest, compile_test
-from repro.lang.lower import compile_c
+from repro.encoding.testprogram import CompiledTest
 from repro.lsl.program import Program, SymbolicTest
-from repro.memorymodel.base import MemoryModel, get_model
+from repro.memorymodel.base import MemoryModel
 
 
 @dataclass
 class CheckOptions:
-    """Knobs controlling one check run."""
+    """Knobs controlling one check run.
+
+    Options are read when a :class:`CheckFence` / ``CheckSession`` is
+    constructed (the solver backend is resolved and caches are keyed
+    accordingly); mutating them afterwards has no effect on that checker —
+    build a new one instead.
+    """
 
     #: "auto", "reference", or "sat" (Section 3.2 / Fig. 11a "refset").
     specification_method: str = "auto"
@@ -40,6 +46,9 @@ class CheckOptions:
     use_range_analysis: bool = True
     #: Also search for assertion violations (Section 4.1 bugs).
     check_assertions: bool = True
+    #: SAT backend spec: "auto"/"internal", "dimacs", or "dimacs:<command>"
+    #: (see :mod:`repro.sat.backend`).  None uses CHECKFENCE_SOLVER or auto.
+    solver_backend: str | None = None
 
 
 class CheckFence:
@@ -50,118 +59,40 @@ class CheckFence:
         implementation: DataTypeImplementation,
         options: CheckOptions | None = None,
     ) -> None:
-        self.implementation = implementation
-        self.options = options or CheckOptions()
-        #: The lowered LSL program is deterministic; cache it across tests.
-        self.program: Program = compile_c(implementation.source, implementation.name)
-        self._specifications: dict[str, ObservationSet] = {}
+        self.session = CheckSession(implementation, options or CheckOptions())
+
+    @property
+    def implementation(self) -> DataTypeImplementation:
+        return self.session.implementation
+
+    @property
+    def options(self) -> CheckOptions:
+        return self.session.options
+
+    @property
+    def program(self) -> Program:
+        return self.session.program
 
     # --------------------------------------------------------------- public
 
     def compile(self, test: SymbolicTest, model: MemoryModel | str) -> CompiledTest:
         """Compile (inline + unroll + analyze) a test, honoring the options."""
-        model = get_model(model)
-        if self.options.lazy_loop_bounds:
-            refined = refine_loop_bounds(
-                self.implementation,
-                test,
-                model,
-                initial_bound=self.options.default_loop_bound
-                or self.implementation.default_loop_bound,
-                program=self.program,
-                use_range_analysis=self.options.use_range_analysis,
-            )
-            merged = dict(refined.bounds)
-            if self.options.loop_bounds:
-                merged.update(self.options.loop_bounds)
-            return compile_test(
-                self.implementation,
-                test,
-                loop_bounds=merged,
-                default_bound=self.options.default_loop_bound,
-                use_range_analysis=self.options.use_range_analysis,
-                program=self.program,
-            )
-        return compile_test(
-            self.implementation,
-            test,
-            loop_bounds=self.options.loop_bounds,
-            default_bound=self.options.default_loop_bound,
-            use_range_analysis=self.options.use_range_analysis,
-            program=self.program,
-        )
+        return self.session.compile(test, model)
 
-    def specification(self, test: SymbolicTest, compiled: CompiledTest | None = None) -> ObservationSet:
+    def specification(
+        self, test: SymbolicTest, compiled: CompiledTest | None = None
+    ) -> ObservationSet:
         """Mine (and cache) the observation set of a test."""
-        cached = self._specifications.get(test.name)
-        if cached is not None:
-            return cached
-        if compiled is None:
-            compiled = self.compile(test, "serial")
-        spec = mine_specification(compiled, self.options.specification_method)
-        self._specifications[test.name] = spec
-        return spec
+        return self.session.specification(test, compiled)
 
     def check(self, test: SymbolicTest, memory_model: MemoryModel | str) -> CheckResult:
         """Run the full check of Fig. 1 for one test and memory model."""
-        model = get_model(memory_model)
-        total_start = time.perf_counter()
-        compiled = self.compile(test, model)
-        specification = self.specification(test, compiled)
-        encoded = encode_test(compiled, model)
+        return self.session.check(test, memory_model)
 
-        stats = CheckStatistics(
-            implementation=self.implementation.name,
-            test=test.name,
-            memory_model=model.name,
-        )
-        stats.merge_encoding(encoded.stats)
-        stats.observation_set_size = len(specification)
-        stats.mining_seconds = specification.mining_seconds
-
-        counterexample = None
-        notes: list[str] = []
-        passed = True
-
-        if self.options.check_assertions:
-            assertion_outcome = run_assertion_check(
-                compiled, model, specification.labels, encoded=encoded
-            )
-            stats.solve_seconds += assertion_outcome.solve_seconds
-            if not assertion_outcome.passed:
-                passed = False
-                counterexample = assertion_outcome.counterexample
-                notes.append("an assertion in the implementation can fail")
-
-        if passed:
-            inclusion_outcome = run_inclusion_check(
-                compiled, model, specification, encoded=encoded
-            )
-            stats.solve_seconds += inclusion_outcome.solve_seconds
-            if not inclusion_outcome.passed:
-                passed = False
-                counterexample = inclusion_outcome.counterexample
-                notes.append(
-                    "an execution is not observationally equivalent to any "
-                    "serial execution"
-                )
-
-        if encoded.solver_stats is not None:
-            stats.solver_conflicts = encoded.solver_stats.conflicts
-            stats.solver_decisions = encoded.solver_stats.decisions
-        stats.total_seconds = time.perf_counter() - total_start
-
-        return CheckResult(
-            passed=passed,
-            implementation=self.implementation.name,
-            test=test.name,
-            memory_model=model.name,
-            specification=specification,
-            counterexample=counterexample,
-            stats=stats,
-            loop_bounds=dict(compiled.loop_bounds),
-            notes=notes,
-        )
+    def sweep(self, test: SymbolicTest, memory_models) -> list[CheckResult]:
+        """Check one test under several memory models, sharing the compiled
+        test and the mined specification across them."""
+        return self.session.sweep(test, memory_models)
 
 
 def check(

@@ -32,6 +32,7 @@ from repro.core.specification import ObservationSet, ReferenceSpecificationMiner
 from repro.encoding.formula import encode_test
 from repro.encoding.testprogram import CompiledTest
 from repro.memorymodel.base import MemoryModel
+from repro.sat.backend import BackendFactory
 
 
 @dataclass
@@ -50,13 +51,14 @@ def run_commit_point_check(
     compiled: CompiledTest,
     model: MemoryModel,
     max_iterations: int = 100_000,
+    backend_factory: BackendFactory | None = None,
 ) -> CommitPointResult:
     """Check the test with the lazy validation baseline."""
     start = time.perf_counter()
     miner = ReferenceSpecificationMiner(compiled)
     labels = compiled.observation_labels()
     validated = ObservationSet(labels=labels, method="commit-point")
-    encoded = encode_test(compiled, model)
+    encoded = encode_test(compiled, model, backend_factory=backend_factory)
     solver_calls = 0
     counterexample = None
     passed = True

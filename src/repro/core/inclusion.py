@@ -18,6 +18,7 @@ from repro.core.specification import ObservationSet
 from repro.encoding.formula import EncodedTest, encode_test
 from repro.encoding.testprogram import CompiledTest
 from repro.memorymodel.base import MemoryModel
+from repro.sat.backend import BackendFactory
 
 
 @dataclass
@@ -35,10 +36,21 @@ def run_inclusion_check(
     model: MemoryModel,
     specification: ObservationSet,
     encoded: EncodedTest | None = None,
+    backend_factory: BackendFactory | None = None,
 ) -> InclusionOutcome:
-    """Check ``obs(E_{T,I,Y}) ⊆ S``; returns a counterexample if it fails."""
+    """Check ``obs(E_{T,I,Y}) ⊆ S``; returns a counterexample if it fails.
+
+    The "observation not in S" constraint is added as permanent clauses —
+    deliberately, because root-level blocking clauses propagate much more
+    strongly than guard-literal variants and the inclusion query is the last
+    query of a check.  The encoded test is contaminated afterwards (the
+    assertion query must not run on it again); callers that cache encodings,
+    like :class:`repro.core.session.CheckSession`, evict it.  For a fully
+    reusable formula use :meth:`EncodedTest.not_in_guard` and solve under
+    the guard assumption instead.
+    """
     if encoded is None:
-        encoded = encode_test(compiled, model)
+        encoded = encode_test(compiled, model, backend_factory=backend_factory)
     encoded.require_not_in(specification.observations)
     start = time.perf_counter()
     satisfiable = encoded.solve()
@@ -54,10 +66,11 @@ def run_assertion_check(
     model: MemoryModel,
     labels: list[str],
     encoded: EncodedTest | None = None,
+    backend_factory: BackendFactory | None = None,
 ) -> InclusionOutcome:
     """Search for an execution that violates an ``assert`` statement."""
     if encoded is None:
-        encoded = encode_test(compiled, model)
+        encoded = encode_test(compiled, model, backend_factory=backend_factory)
     if not encoded.assertions:
         return InclusionOutcome(True, None, 0.0, encoded)
     some_violation = encoded.ctx.circuit.or_many(

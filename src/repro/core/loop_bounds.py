@@ -17,6 +17,7 @@ from repro.encoding.formula import encode_test
 from repro.encoding.testprogram import CompiledTest, compile_test
 from repro.lsl.program import Program, SymbolicTest
 from repro.memorymodel.base import MemoryModel
+from repro.sat.backend import BackendFactory
 
 
 @dataclass
@@ -39,6 +40,7 @@ def refine_loop_bounds(
     max_bound: int = 8,
     program: Program | None = None,
     use_range_analysis: bool = True,
+    backend_factory: BackendFactory | None = None,
 ) -> LoopBoundResult:
     """Find loop bounds sufficient for all executions of ``test``."""
     start = time.perf_counter()
@@ -57,7 +59,7 @@ def refine_loop_bounds(
             use_range_analysis=use_range_analysis,
             program=program,
         )
-        encoded = encode_test(compiled, model)
+        encoded = encode_test(compiled, model, backend_factory=backend_factory)
         if not encoded.overflow_handles:
             converged = True
             break

@@ -29,6 +29,42 @@ class CheckStatistics:
     total_seconds: float = 0.0
     solver_conflicts: int = 0
     solver_decisions: int = 0
+    solver_propagations: int = 0
+    solver_restarts: int = 0
+    solver_learned_clauses: int = 0
+    solver_deleted_clauses: int = 0
+    solver_backend: str = ""
+    #: False when the backend cannot report counters (external DIMACS
+    #: solvers), so zeros are not mistaken for a trivially easy instance.
+    solver_counters_available: bool = True
+
+    def merge_solver(self, stats, backend_name: str | None = None) -> None:
+        """Record the solver counters of one check (a SolverStats delta);
+        ``stats=None`` marks the counters as unavailable."""
+        if stats is not None:
+            self.solver_conflicts = stats.conflicts
+            self.solver_decisions = stats.decisions
+            self.solver_propagations = stats.propagations
+            self.solver_restarts = stats.restarts
+            self.solver_learned_clauses = stats.learned_clauses
+            self.solver_deleted_clauses = stats.deleted_clauses
+        else:
+            self.solver_counters_available = False
+        if backend_name:
+            self.solver_backend = backend_name
+
+    def solver_dict(self) -> dict:
+        """The per-backend solver counters, for benchmark JSON output."""
+        return {
+            "backend": self.solver_backend,
+            "counters_available": self.solver_counters_available,
+            "decisions": self.solver_decisions,
+            "propagations": self.solver_propagations,
+            "conflicts": self.solver_conflicts,
+            "restarts": self.solver_restarts,
+            "learned_clauses": self.solver_learned_clauses,
+            "deleted_clauses": self.solver_deleted_clauses,
+        }
 
     def merge_encoding(self, stats: EncodingStatistics) -> None:
         self.instructions = stats.instructions

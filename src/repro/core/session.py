@@ -1,0 +1,262 @@
+"""Incremental check sessions.
+
+A :class:`CheckSession` owns the state that is expensive to rebuild and
+profitable to share across checks of one implementation:
+
+* the lowered LSL program (compiled once per session);
+* compiled tests (inline + unroll + analyze), keyed so that a sweep of the
+  same test over several memory models compiles once;
+* mined specifications (one observation set per test, regardless of how
+  many models the test is later checked under);
+* encoded tests and their solver backend, keyed by (test, model), so the
+  assertion query and the inclusion query of one check share one
+  incremental solver and its learned clauses.  The inclusion query adds
+  permanent blocking clauses (measurably stronger than guard-literal
+  variants), so the session evicts the encoding afterwards rather than let
+  a later assertion query run on the contaminated formula.
+
+:class:`repro.core.checker.CheckFence` is now a thin facade over a session;
+use a session directly (or :meth:`CheckSession.sweep`) when checking one
+test under several memory models, as ``harness.runner`` does.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.inclusion import run_assertion_check, run_inclusion_check
+from repro.core.loop_bounds import refine_loop_bounds
+from repro.core.results import CheckResult, CheckStatistics
+from repro.core.specification import ObservationSet, mine_specification
+from repro.datatypes.spec import DataTypeImplementation
+from repro.encoding.formula import EncodedTest, encode_test
+from repro.encoding.testprogram import CompiledTest, compile_test
+from repro.lang.lower import compile_c
+from repro.lsl.program import Program, SymbolicTest
+from repro.memorymodel.base import MemoryModel, get_model
+from repro.sat.backend import make_backend_factory
+from repro.sat.solver import SolverStats
+
+
+class CheckSession:
+    """Caches and incremental solver state for checking one implementation."""
+
+    def __init__(
+        self,
+        implementation: DataTypeImplementation,
+        options=None,
+    ) -> None:
+        # Imported here to avoid a cycle: checker imports this module.
+        from repro.core.checker import CheckOptions
+
+        self.implementation = implementation
+        self.options = options if options is not None else CheckOptions()
+        self.program: Program = compile_c(
+            implementation.source, implementation.name
+        )
+        self.backend_factory = make_backend_factory(self.options.solver_backend)
+        self._compiled: dict[tuple, CompiledTest] = {}
+        self._specifications: dict[tuple, ObservationSet] = {}
+        self._encoded: dict[tuple, EncodedTest] = {}
+        #: How often each cacheable stage actually ran (observability for
+        #: sweeps and tests of the reuse behavior).
+        self.cache_stats = {
+            "compile": 0, "compile_hits": 0,
+            "mine": 0, "mine_hits": 0,
+            "encode": 0, "encode_hits": 0,
+        }
+
+    # ------------------------------------------------------------- pipeline
+
+    @staticmethod
+    def _test_key(test: SymbolicTest) -> tuple:
+        """Content fingerprint of a test, so two distinct tests that happen
+        to share a name are never conflated by the caches (Invocation and
+        its fields have deterministic dataclass reprs)."""
+        return (test.name, repr(test.init), repr(test.threads))
+
+    def compile(self, test: SymbolicTest, model: MemoryModel | str) -> CompiledTest:
+        """Compile (inline + unroll + analyze) a test, honoring the options.
+
+        Compilation is model-independent unless lazy loop-bound refinement
+        is on (the refinement solves under the model), so the cache key only
+        includes the model in that case and a cross-model sweep compiles the
+        test exactly once.
+        """
+        model = get_model(model)
+        key = (
+            self._test_key(test),
+            model.name if self.options.lazy_loop_bounds else None,
+        )
+        cached = self._compiled.get(key)
+        if cached is not None:
+            self.cache_stats["compile_hits"] += 1
+            return cached
+        self.cache_stats["compile"] += 1
+        compiled = self._compile_uncached(test, model)
+        self._compiled[key] = compiled
+        return compiled
+
+    def _compile_uncached(
+        self, test: SymbolicTest, model: MemoryModel
+    ) -> CompiledTest:
+        if self.options.lazy_loop_bounds:
+            refined = refine_loop_bounds(
+                self.implementation,
+                test,
+                model,
+                initial_bound=self.options.default_loop_bound
+                or self.implementation.default_loop_bound,
+                program=self.program,
+                use_range_analysis=self.options.use_range_analysis,
+                backend_factory=self.backend_factory,
+            )
+            merged = dict(refined.bounds)
+            if self.options.loop_bounds:
+                merged.update(self.options.loop_bounds)
+            return compile_test(
+                self.implementation,
+                test,
+                loop_bounds=merged,
+                default_bound=self.options.default_loop_bound,
+                use_range_analysis=self.options.use_range_analysis,
+                program=self.program,
+            )
+        return compile_test(
+            self.implementation,
+            test,
+            loop_bounds=self.options.loop_bounds,
+            default_bound=self.options.default_loop_bound,
+            use_range_analysis=self.options.use_range_analysis,
+            program=self.program,
+        )
+
+    def specification(
+        self, test: SymbolicTest, compiled: CompiledTest | None = None
+    ) -> ObservationSet:
+        """Mine (and cache) the observation set of a test.
+
+        The specification only depends on the test and the implementation —
+        never on the memory model under check — so a sweep mines it once.
+        """
+        key = self._test_key(test)
+        cached = self._specifications.get(key)
+        if cached is not None:
+            self.cache_stats["mine_hits"] += 1
+            return cached
+        self.cache_stats["mine"] += 1
+        if compiled is None:
+            compiled = self.compile(test, "serial")
+        spec = mine_specification(
+            compiled,
+            self.options.specification_method,
+            backend_factory=self.backend_factory,
+        )
+        self._specifications[key] = spec
+        return spec
+
+    def encoded(self, test: SymbolicTest, model: MemoryModel | str) -> EncodedTest:
+        """The encoded formula (and its live solver backend) for a pair."""
+        model = get_model(model)
+        key = (self._test_key(test), model.name)
+        cached = self._encoded.get(key)
+        if cached is not None:
+            self.cache_stats["encode_hits"] += 1
+            return cached
+        self.cache_stats["encode"] += 1
+        compiled = self.compile(test, model)
+        encoded = encode_test(
+            compiled, model, backend_factory=self.backend_factory
+        )
+        self._encoded[key] = encoded
+        return encoded
+
+    # ---------------------------------------------------------------- check
+
+    def check(self, test: SymbolicTest, memory_model: MemoryModel | str) -> CheckResult:
+        """Run the full check of Fig. 1 for one test and memory model."""
+        model = get_model(memory_model)
+        total_start = time.perf_counter()
+        compiled = self.compile(test, model)
+        specification = self.specification(test, compiled=compiled)
+        encoded = self.encoded(test, model)
+
+        stats = CheckStatistics(
+            implementation=self.implementation.name,
+            test=test.name,
+            memory_model=model.name,
+        )
+        stats.merge_encoding(encoded.stats)
+        stats.observation_set_size = len(specification)
+        stats.mining_seconds = specification.mining_seconds
+        solver_before = (
+            encoded.solver_stats.copy()
+            if encoded.solver_stats is not None
+            else SolverStats()
+        )
+
+        counterexample = None
+        notes: list[str] = []
+        passed = True
+
+        if self.options.check_assertions:
+            assertion_outcome = run_assertion_check(
+                compiled, model, specification.labels, encoded=encoded
+            )
+            stats.solve_seconds += assertion_outcome.solve_seconds
+            if not assertion_outcome.passed:
+                passed = False
+                counterexample = assertion_outcome.counterexample
+                notes.append("an assertion in the implementation can fail")
+
+        if passed:
+            # The inclusion check adds permanent blocking clauses, so this
+            # encoding must not serve another assertion query: evict it even
+            # if the solve fails mid-way (e.g. an external backend error).
+            try:
+                inclusion_outcome = run_inclusion_check(
+                    compiled, model, specification, encoded=encoded
+                )
+            finally:
+                self._encoded.pop((self._test_key(test), model.name), None)
+            stats.solve_seconds += inclusion_outcome.solve_seconds
+            if not inclusion_outcome.passed:
+                passed = False
+                counterexample = inclusion_outcome.counterexample
+                notes.append(
+                    "an execution is not observationally equivalent to any "
+                    "serial execution"
+                )
+
+        final_solver_stats = encoded.solver_stats
+        stats.merge_solver(
+            final_solver_stats.since(solver_before)
+            if final_solver_stats is not None
+            else None,
+            encoded.backend_name,
+        )
+        stats.total_seconds = time.perf_counter() - total_start
+
+        return CheckResult(
+            passed=passed,
+            implementation=self.implementation.name,
+            test=test.name,
+            memory_model=model.name,
+            specification=specification,
+            counterexample=counterexample,
+            stats=stats,
+            loop_bounds=dict(compiled.loop_bounds),
+            notes=notes,
+        )
+
+    def sweep(
+        self,
+        test: SymbolicTest,
+        memory_models,
+    ) -> list[CheckResult]:
+        """Check one test under several memory models.
+
+        The test is compiled once and its specification mined once; each
+        model gets its own encoded formula and incremental backend.
+        """
+        return [self.check(test, model) for model in memory_models]

@@ -24,6 +24,7 @@ from repro.encoding.formula import EncodedTest, encode_test
 from repro.encoding.testprogram import CompiledTest, INIT_THREAD
 from repro.lsl.program import Invocation, SymbolicTest
 from repro.memorymodel.base import SERIAL
+from repro.sat.backend import BackendFactory
 
 
 @dataclass
@@ -59,13 +60,23 @@ class SpecificationError(RuntimeError):
 class SatSpecificationMiner:
     """Mines the observation set with the SAT back-end (Seriality model)."""
 
-    def __init__(self, compiled: CompiledTest, max_observations: int = 100_000):
+    def __init__(
+        self,
+        compiled: CompiledTest,
+        max_observations: int = 100_000,
+        backend_factory: BackendFactory | None = None,
+    ):
         self.compiled = compiled
         self.max_observations = max_observations
+        self.backend_factory = backend_factory
 
     def mine(self) -> ObservationSet:
         start = time.perf_counter()
-        encoded: EncodedTest = encode_test(self.compiled, SERIAL)
+        # One incremental backend serves the whole blocking-clause loop:
+        # learned clauses survive across the repeated solve() calls.
+        encoded: EncodedTest = encode_test(
+            self.compiled, SERIAL, backend_factory=self.backend_factory
+        )
         spec = ObservationSet(
             labels=self.compiled.observation_labels(), method="sat"
         )
@@ -267,6 +278,7 @@ def _interleave(sequences, prefix):
 def mine_specification(
     compiled: CompiledTest,
     method: str = "auto",
+    backend_factory: BackendFactory | None = None,
 ) -> ObservationSet:
     """Mine the observation set with the requested method.
 
@@ -280,5 +292,7 @@ def mine_specification(
     if method == "reference":
         return ReferenceSpecificationMiner(compiled).mine()
     if method == "sat":
-        return SatSpecificationMiner(compiled).mine()
+        return SatSpecificationMiner(
+            compiled, backend_factory=backend_factory
+        ).mine()
     raise ValueError(f"unknown specification mining method {method!r}")

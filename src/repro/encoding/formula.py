@@ -25,9 +25,9 @@ from repro.encoding.testprogram import INIT_THREAD, CompiledInvocation, Compiled
 from repro.lsl.instructions import Alloc
 from repro.lsl.values import is_undef
 from repro.memorymodel.base import MemoryModel
+from repro.sat.backend import BackendFactory, InternalBackend, SolverBackend
 from repro.sat.bitvec import BitVec, BitVecBuilder
 from repro.sat.circuit import Circuit, CnfLowering
-from repro.sat.solver import Solver
 
 
 class EncodingContext:
@@ -144,6 +144,7 @@ class EncodedTest:
         assertions: list[tuple[int, str]],
         overflow_handles: dict[str, int],
         stats: EncodingStatistics,
+        backend_factory: BackendFactory | None = None,
     ) -> None:
         self.ctx = context
         self.model = model
@@ -154,8 +155,10 @@ class EncodedTest:
         self.assertions = assertions
         self.overflow_handles = overflow_handles
         self.stats = stats
-        self._solver: Solver | None = None
+        self.backend_factory = backend_factory
+        self._backend: SolverBackend | None = None
         self._synced_clauses = 0
+        self._not_in_guards: dict[frozenset, int] = {}
 
     # ------------------------------------------------------------ solver use
 
@@ -163,30 +166,39 @@ class EncodedTest:
     def cnf(self):
         return self.ctx.lowering.cnf
 
-    def _ensure_solver(self) -> Solver:
-        if self._solver is None:
-            self._solver = Solver()
+    def _ensure_backend(self) -> SolverBackend:
+        if self._backend is None:
+            factory = self.backend_factory or InternalBackend
+            self._backend = factory()
         cnf = self.cnf
-        self._solver.ensure_vars(cnf.num_vars)
-        while self._synced_clauses < len(cnf.clauses):
-            self._solver.add_clause(cnf.clauses[self._synced_clauses])
-            self._synced_clauses += 1
-        return self._solver
+        self._backend.ensure_vars(cnf.num_vars)
+        if self._synced_clauses < len(cnf.clauses):
+            # CNF clauses are already normalized, so the bulk path applies.
+            self._backend.add_clauses(cnf.clauses[self._synced_clauses:])
+            self._synced_clauses = len(cnf.clauses)
+        return self._backend
 
     def solve(self, assumptions=()):
         """Solve the current formula; returns True/False (or None on limit)."""
         assumption_lits = [self.ctx.lowering.literal(h) for h in assumptions]
-        solver = self._ensure_solver()
-        return solver.solve(assumptions=assumption_lits)
+        backend = self._ensure_backend()
+        return backend.solve(assumptions=assumption_lits)
 
     def model_values(self) -> dict[int, bool]:
-        if self._solver is None:
+        if self._backend is None:
             raise RuntimeError("solve() has not produced a model yet")
-        return self._solver.model()
+        return self._backend.model()
 
     @property
     def solver_stats(self):
-        return self._solver.total_stats if self._solver else None
+        return self._backend.stats() if self._backend else None
+
+    @property
+    def backend_name(self) -> str | None:
+        """Name of the backend once one has been instantiated."""
+        if self._backend is None and self.backend_factory is None:
+            return InternalBackend.name
+        return self._backend.name if self._backend else None
 
     # ---------------------------------------------------------- observations
 
@@ -209,6 +221,28 @@ class EncodedTest:
         """Constrain the observation to differ from every element of a set."""
         for observation in observations:
             self.block_observation(observation)
+
+    def not_in_guard(self, observations) -> int:
+        """A guard handle that, when assumed, excludes every observation in
+        the given set.
+
+        Unlike :meth:`require_not_in` the constraint is inert unless the
+        returned handle is passed as an assumption, so the same encoded test
+        (and its learned clauses) can serve the assertion query, the
+        inclusion query, and later re-checks without the blocking clauses of
+        one query leaking into another.  The guarded clauses are emitted only
+        once per distinct observation set.
+        """
+        key = frozenset(observations)
+        cached = self._not_in_guards.get(key)
+        if cached is not None:
+            return cached
+        guard = self.ctx.circuit.var(f"not_in_guard{len(self._not_in_guards)}")
+        for observation in observations:
+            equalities = self.observation_equals(observation)
+            self.ctx.assert_clause([-guard] + [-h for h in equalities])
+        self._not_in_guards[key] = guard
+        return guard
 
     def decode_observation(self, model: dict[int, bool]) -> tuple[int, ...]:
         return tuple(
@@ -259,7 +293,11 @@ class EncodedTest:
         ]
 
 
-def encode_test(compiled: CompiledTest, model: MemoryModel) -> EncodedTest:
+def encode_test(
+    compiled: CompiledTest,
+    model: MemoryModel,
+    backend_factory: BackendFactory | None = None,
+) -> EncodedTest:
     """Build the formula ``Phi`` for a compiled test under a memory model."""
     start = time.perf_counter()
     context = EncodingContext(compiled)
@@ -322,4 +360,5 @@ def encode_test(compiled: CompiledTest, model: MemoryModel) -> EncodedTest:
         assertions=assertions,
         overflow_handles=overflow_handles,
         stats=stats,
+        backend_factory=backend_factory,
     )

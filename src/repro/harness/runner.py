@@ -24,6 +24,7 @@ from dataclasses import asdict, dataclass, field
 from repro.core.checker import CheckFence, CheckOptions
 from repro.core.commitpoint import run_commit_point_check
 from repro.core.results import CheckResult
+from repro.core.session import CheckSession
 from repro.core.specification import (
     ReferenceSpecificationMiner,
     SatSpecificationMiner,
@@ -55,9 +56,28 @@ class InclusionRow:
     solve_seconds: float
     total_seconds: float
     passed: bool
+    solver_backend: str = ""
+    solver_counters_available: bool = True
+    solver_decisions: int = 0
+    solver_conflicts: int = 0
+    solver_propagations: int = 0
+    solver_restarts: int = 0
+    solver_learned_clauses: int = 0
+    solver_deleted_clauses: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
+
+    def solver_dict(self) -> dict:
+        """Per-backend solver counters (embedded in benchmark JSON); the
+        same key set as :meth:`CheckStatistics.solver_dict`, derived
+        mechanically from the ``solver_*`` fields."""
+        prefix = "solver_"
+        return {
+            key[len(prefix):]: value
+            for key, value in asdict(self).items()
+            if key.startswith(prefix)
+        }
 
 
 def check_catalog_test(
@@ -72,6 +92,22 @@ def check_catalog_test(
     test = get_test(category, test_name)
     checker = CheckFence(implementation, options)
     return checker.check(test, get_model(memory_model))
+
+
+def model_sweep(
+    implementation_name: str,
+    test_name: str,
+    memory_models,
+    options: CheckOptions | None = None,
+) -> list[CheckResult]:
+    """Check one catalog test under several memory models with one
+    :class:`CheckSession`: the test is compiled once and its specification
+    mined once, instead of once per model."""
+    implementation = get_implementation(implementation_name)
+    category = category_of(implementation_name)
+    test = get_test(category, test_name)
+    session = CheckSession(implementation, options)
+    return session.sweep(test, [get_model(m) for m in memory_models])
 
 
 def inclusion_row(
@@ -99,6 +135,8 @@ def inclusion_row(
         solve_seconds=stats.solve_seconds,
         total_seconds=stats.total_seconds,
         passed=result.passed,
+        # One source of truth for the counter set: CheckStatistics.
+        **{f"solver_{key}": value for key, value in stats.solver_dict().items()},
     )
 
 

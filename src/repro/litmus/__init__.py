@@ -1,15 +1,21 @@
 """Litmus tests comparing the supported memory models (Fig. 2, Sec. 2.3.3)."""
 
 from repro.litmus.catalog import (
+    LitmusOutcome,
     LitmusTest,
     available_litmus_tests,
+    compiled_litmus,
     iriw_allowed,
     observation_allowed,
+    observation_outcome,
 )
 
 __all__ = [
+    "LitmusOutcome",
     "LitmusTest",
     "available_litmus_tests",
+    "compiled_litmus",
     "iriw_allowed",
     "observation_allowed",
+    "observation_outcome",
 ]

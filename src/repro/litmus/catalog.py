@@ -21,8 +21,11 @@ from dataclasses import dataclass
 
 from repro.datatypes.spec import DataTypeImplementation, OperationSpec
 from repro.encoding import compile_test, encode_test
+from repro.encoding.testprogram import CompiledTest
 from repro.lsl.program import Invocation, SymbolicTest
 from repro.memorymodel.base import MemoryModel, get_model
+from repro.sat.backend import make_backend_factory
+from repro.sat.solver import SolverStats
 
 
 @dataclass
@@ -242,21 +245,83 @@ def available_litmus_tests() -> dict[str, LitmusTest]:
     return {t.name: t for t in tests}
 
 
+#: Compilation is model-independent, so litmus tests are compiled once and
+#: shared across all memory-model queries (a sweep over sc/tso/pso/relaxed
+#: compiles each shape once instead of four times).  The key is the test's
+#: *content* — not just its name — so a caller-supplied variant that reuses
+#: a catalog name still gets its own compilation.
+_COMPILED_CACHE: dict[tuple, CompiledTest] = {}
+
+
+def _litmus_cache_key(litmus: LitmusTest) -> tuple:
+    return (
+        litmus.name,
+        litmus.implementation.source,
+        tuple(litmus.threads),
+        # OperationSpec is a dataclass, so repr captures the full contents
+        # (proc mapping, arity, ...), not just the operation names.
+        repr(sorted(litmus.implementation.operations.items())),
+    )
+
+
+def compiled_litmus(litmus: LitmusTest) -> CompiledTest:
+    """The (cached) compiled form of a litmus test."""
+    key = _litmus_cache_key(litmus)
+    cached = _COMPILED_CACHE.get(key)
+    if cached is None:
+        cached = compile_test(litmus.implementation, litmus.symbolic_test())
+        _COMPILED_CACHE[key] = cached
+    return cached
+
+
+@dataclass
+class LitmusOutcome:
+    """Verdict of one litmus query plus the solver work it took."""
+
+    allowed: bool
+    backend: str
+    solver_stats: SolverStats | None
+
+
+def observation_outcome(
+    litmus: LitmusTest,
+    model: MemoryModel | str,
+    observation: tuple[int, ...] | None = None,
+    backend_spec: str | None = None,
+) -> LitmusOutcome:
+    """Like :func:`observation_allowed`, but also reports which backend ran
+    and its solver counters (for the benchmark JSON trajectories)."""
+    model = get_model(model)
+    compiled = compiled_litmus(litmus)
+    encoded = encode_test(
+        compiled, model, backend_factory=make_backend_factory(backend_spec)
+    )
+    target = observation if observation is not None else litmus.observation
+    handles = encoded.observation_equals(target)
+    allowed = bool(encoded.solve(assumptions=handles))
+    stats = encoded.solver_stats
+    return LitmusOutcome(
+        allowed=allowed,
+        backend=encoded.backend_name or "internal",
+        solver_stats=stats.copy() if stats is not None else None,
+    )
+
+
 def observation_allowed(
     litmus: LitmusTest,
     model: MemoryModel | str,
     observation: tuple[int, ...] | None = None,
+    backend_spec: str | None = None,
 ) -> bool:
     """Is the litmus observation reachable under the given memory model?"""
-    model = get_model(model)
-    compiled = compile_test(litmus.implementation, litmus.symbolic_test())
-    encoded = encode_test(compiled, model)
-    target = observation if observation is not None else litmus.observation
-    handles = encoded.observation_equals(target)
-    return bool(encoded.solve(assumptions=handles))
+    return observation_outcome(
+        litmus, model, observation, backend_spec=backend_spec
+    ).allowed
 
 
-def iriw_allowed(model: MemoryModel | str) -> bool:
+def iriw_allowed(
+    model: MemoryModel | str, backend_spec: str | None = None
+) -> bool:
     """Fig. 2: can the two readers observe the writes in opposite orders?
 
     Reader 1 sees x=1 then y=0, reader 2 sees y=1 then x=0 (with load-load
@@ -265,8 +330,10 @@ def iriw_allowed(model: MemoryModel | str) -> bool:
     """
     litmus = _iriw()
     model = get_model(model)
-    compiled = compile_test(litmus.implementation, litmus.symbolic_test())
-    encoded = encode_test(compiled, model)
+    compiled = compiled_litmus(litmus)
+    encoded = encode_test(
+        compiled, model, backend_factory=make_backend_factory(backend_spec)
+    )
     # Locate the r1a/r1b/r2a/r2b cells by their global layout position:
     # globals are x, y, r1a, r1b, r2a, r2b -> indices 1..6.
     layout = compiled.layout

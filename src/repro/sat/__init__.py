@@ -4,14 +4,30 @@ Public surface:
 
 * :class:`repro.sat.cnf.CNF` — clause database.
 * :class:`repro.sat.solver.Solver` — incremental CDCL solver.
+* :class:`repro.sat.backend.SolverBackend` — pluggable solving backends
+  (:class:`repro.sat.backend.InternalBackend`,
+  :class:`repro.sat.backend.DimacsBackend`) plus the spec resolver
+  :func:`repro.sat.backend.make_backend_factory`.
 * :class:`repro.sat.circuit.Circuit` / :class:`repro.sat.circuit.CnfLowering`
   — boolean circuits with Tseitin conversion.
 * :class:`repro.sat.bitvec.BitVecBuilder` — fixed-width bit-vector terms.
-* :mod:`repro.sat.dimacs` — DIMACS import/export.
+* :mod:`repro.sat.dimacs` — DIMACS import/export (and
+  :mod:`repro.sat.dimacs_cli`, a competition-style CLI around the internal
+  solver).
 """
 
 from repro.sat.cnf import CNF
 from repro.sat.solver import Solver, SolverStats, solve_cnf
+from repro.sat.backend import (
+    BackendError,
+    BackendFactory,
+    DimacsBackend,
+    InternalBackend,
+    SolverBackend,
+    default_backend_spec,
+    find_dimacs_solver,
+    make_backend_factory,
+)
 from repro.sat.circuit import Circuit, CnfLowering
 from repro.sat.bitvec import BitVec, BitVecBuilder, width_for
 from repro.sat.dimacs import read_dimacs, write_dimacs
@@ -21,6 +37,14 @@ __all__ = [
     "Solver",
     "SolverStats",
     "solve_cnf",
+    "BackendError",
+    "BackendFactory",
+    "DimacsBackend",
+    "InternalBackend",
+    "SolverBackend",
+    "default_backend_spec",
+    "find_dimacs_solver",
+    "make_backend_factory",
     "Circuit",
     "CnfLowering",
     "BitVec",

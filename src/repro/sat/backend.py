@@ -1,0 +1,348 @@
+"""Pluggable SAT solver backends.
+
+The checker never talks to :class:`repro.sat.solver.Solver` directly any
+more; it goes through the :class:`SolverBackend` protocol, which captures
+the small solving surface the pipeline needs (grow variables, add clauses,
+solve under assumptions, read the model and statistics).  Two
+implementations are provided:
+
+* :class:`InternalBackend` — wraps the in-tree incremental CDCL solver;
+* :class:`DimacsBackend` — shells out to an external DIMACS solver found on
+  PATH (kissat, cadical, minisat, ...), re-exporting the clause database per
+  call; when no external solver is installed it falls back to the internal
+  solver (the fallback is visible in :attr:`DimacsBackend.name`).
+
+Backend choice is a string *spec* threaded through
+:class:`repro.core.checker.CheckOptions`, the CLI (``--solver``) and the
+``CHECKFENCE_SOLVER`` environment variable:
+
+* ``auto`` / ``internal`` — the internal CDCL solver (deterministic default);
+* ``dimacs`` — the first external DIMACS solver found on PATH, internal
+  fallback when none is installed;
+* ``dimacs:<command>`` — a specific solver command, e.g.
+  ``dimacs:kissat -q`` or
+  ``dimacs:python -m repro.sat.dimacs_cli`` (the in-tree solver behind a
+  subprocess/DIMACS pipe, useful for differential testing).
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import shutil
+import subprocess
+import tempfile
+from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver, SolverStats
+
+BackendFactory = Callable[[], "SolverBackend"]
+
+SAT_EXIT_CODE = 10
+UNSAT_EXIT_CODE = 20
+
+
+class BackendError(RuntimeError):
+    """An external solver failed or produced unparseable output."""
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """The solving surface the checking pipeline relies on."""
+
+    name: str
+
+    def ensure_vars(self, num_vars: int) -> None: ...
+
+    def add_clause(self, literals: Iterable[int]) -> bool: ...
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool: ...
+
+    def add_cnf(self, cnf: CNF) -> None: ...
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+    ) -> bool | None: ...
+
+    def model(self) -> dict[int, bool]: ...
+
+    def stats(self) -> SolverStats | None: ...
+
+
+class InternalBackend:
+    """The in-tree incremental CDCL solver behind the backend protocol."""
+
+    name = "internal"
+
+    def __init__(self, solver: Solver | None = None) -> None:
+        self.solver = solver if solver is not None else Solver()
+
+    def ensure_vars(self, num_vars: int) -> None:
+        self.solver.ensure_vars(num_vars)
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        return self.solver.add_clause(literals)
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
+        """Bulk-add pre-normalized clauses (no duplicate literals or
+        tautologies), e.g. straight from a :class:`CNF` database."""
+        return self.solver.add_clauses_trusted(clauses)
+
+    def add_cnf(self, cnf: CNF) -> None:
+        self.solver.add_cnf(cnf)
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+    ) -> bool | None:
+        return self.solver.solve(
+            assumptions=assumptions, conflict_limit=conflict_limit
+        )
+
+    def model(self) -> dict[int, bool]:
+        return self.solver.model()
+
+    def stats(self) -> SolverStats:
+        return self.solver.total_stats
+
+
+#: External solvers probed on PATH, in order of preference, with their
+#: output style: "stdout" solvers print ``s``/``v`` lines, "minisat" style
+#: solvers write the result into an output file given as a second argument.
+_KNOWN_SOLVERS: tuple[tuple[str, str], ...] = (
+    ("kissat", "stdout"),
+    ("cadical", "stdout"),
+    ("cryptominisat5", "stdout"),
+    ("picosat", "stdout"),
+    ("minisat", "minisat"),
+)
+
+
+def find_dimacs_solver() -> tuple[list[str], str] | None:
+    """Locate an external DIMACS solver on PATH; ``(command, style)``."""
+    for name, style in _KNOWN_SOLVERS:
+        path = shutil.which(name)
+        if path is not None:
+            return [path], style
+    return None
+
+
+class DimacsBackend:
+    """Solve by exporting DIMACS to an external solver process.
+
+    The external process is stateless, so every :meth:`solve` re-exports the
+    clause database (assumptions become temporary unit clauses).  When no
+    command is given and nothing suitable is on PATH, the backend degrades
+    to :class:`InternalBackend` so callers never have to special-case
+    missing solvers; the degradation is visible in :attr:`name`.
+    """
+
+    def __init__(
+        self,
+        command: Sequence[str] | None = None,
+        style: str | None = None,
+        fallback: bool = True,
+    ) -> None:
+        self._fallback: InternalBackend | None = None
+        if command is None:
+            found = find_dimacs_solver()
+            if found is None:
+                if not fallback:
+                    raise BackendError(
+                        "no external DIMACS solver found on PATH "
+                        f"(tried {', '.join(n for n, _ in _KNOWN_SOLVERS)})"
+                    )
+                self._fallback = InternalBackend()
+                self.name = "dimacs(fallback:internal)"
+                return
+            command, detected_style = found
+            style = style or detected_style
+        self._command = list(command)
+        self._style = style or "stdout"
+        self.name = f"dimacs({os.path.basename(self._command[0])})"
+        self._num_vars = 0
+        self._clauses: list[tuple[int, ...]] = []
+        self._unsat = False
+        self._model: dict[int, bool] = {}
+
+    # ----------------------------------------------------------- clause I/O
+
+    def ensure_vars(self, num_vars: int) -> None:
+        if self._fallback is not None:
+            self._fallback.ensure_vars(num_vars)
+            return
+        self._num_vars = max(self._num_vars, num_vars)
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        if self._fallback is not None:
+            return self._fallback.add_clause(literals)
+        clause = tuple(literals)
+        for lit in clause:
+            if lit == 0:
+                raise BackendError("0 is not a valid literal")
+            self._num_vars = max(self._num_vars, abs(lit))
+        if not clause:
+            self._unsat = True
+            return False
+        self._clauses.append(clause)
+        return True
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
+        if self._fallback is not None:
+            return self._fallback.add_clauses(clauses)
+        ok = True
+        for clause in clauses:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    def add_cnf(self, cnf: CNF) -> None:
+        self.ensure_vars(cnf.num_vars)
+        self.add_clauses(cnf.clauses)
+
+    # -------------------------------------------------------------- solving
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+    ) -> bool | None:
+        if self._fallback is not None:
+            return self._fallback.solve(
+                assumptions=assumptions, conflict_limit=conflict_limit
+            )
+        # conflict_limit is a budget hint for the internal solver; external
+        # solvers run to completion.
+        self._model = {}
+        if self._unsat:
+            return False
+        with tempfile.TemporaryDirectory(prefix="checkfence-dimacs-") as tmp:
+            problem = os.path.join(tmp, "problem.cnf")
+            self._write_problem(problem, assumptions)
+            command = self._command + [problem]
+            result_file = None
+            if self._style == "minisat":
+                result_file = os.path.join(tmp, "result.txt")
+                command.append(result_file)
+            try:
+                proc = subprocess.run(
+                    command, capture_output=True, text=True, check=False
+                )
+            except OSError as exc:
+                raise BackendError(
+                    f"failed to run {self._command[0]!r}: {exc}"
+                ) from exc
+            output = proc.stdout
+            from_result_file = False
+            if result_file is not None and os.path.exists(result_file):
+                with open(result_file, "r", encoding="utf-8") as handle:
+                    output = handle.read()
+                from_result_file = True
+            return self._parse_result(
+                proc.returncode, output, proc.stderr, from_result_file
+            )
+
+    def _write_problem(self, path: str, assumptions: Sequence[int]) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                f"p cnf {self._num_vars} "
+                f"{len(self._clauses) + len(assumptions)}\n"
+            )
+            for clause in self._clauses:
+                handle.write(" ".join(str(lit) for lit in clause) + " 0\n")
+            for lit in assumptions:
+                handle.write(f"{lit} 0\n")
+
+    def _parse_result(
+        self,
+        returncode: int,
+        output: str,
+        stderr: str,
+        from_result_file: bool = False,
+    ) -> bool:
+        status: bool | None = None
+        literals: list[int] = []
+        for line in output.splitlines():
+            line = line.strip()
+            if line.startswith("s "):
+                verdict = line[2:].strip().upper()
+                if verdict == "SATISFIABLE":
+                    status = True
+                elif verdict == "UNSATISFIABLE":
+                    status = False
+            elif line == "SAT":  # minisat result-file format
+                status = True
+            elif line == "UNSAT":
+                status = False
+            elif line.startswith("v "):
+                literals.extend(int(tok) for tok in line[2:].split())
+            elif (
+                from_result_file
+                and status is True
+                and line
+                and line[0] in "-0123456789"
+            ):
+                # Only minisat result files put the model on a bare line;
+                # stdout solvers may print digit-leading stats lines that
+                # must not be mistaken for a model.
+                literals.extend(int(tok) for tok in line.split())
+        if status is None:
+            if returncode == SAT_EXIT_CODE:
+                status = True
+            elif returncode == UNSAT_EXIT_CODE:
+                status = False
+            else:
+                raise BackendError(
+                    f"solver {self._command[0]!r} produced no verdict "
+                    f"(exit code {returncode}): {stderr.strip() or output.strip()!r}"
+                )
+        if status:
+            model = {var: False for var in range(1, self._num_vars + 1)}
+            for lit in literals:
+                if lit != 0:
+                    model[abs(lit)] = lit > 0
+            self._model = model
+        return status
+
+    def model(self) -> dict[int, bool]:
+        if self._fallback is not None:
+            return self._fallback.model()
+        return dict(self._model)
+
+    def stats(self) -> SolverStats | None:
+        """External solvers do not report counters in a common format, so
+        this is None (counters unavailable) unless the internal fallback is
+        active, which reports its real numbers."""
+        if self._fallback is not None:
+            return self._fallback.stats()
+        return None
+
+
+# ----------------------------------------------------------- spec resolution
+
+
+def default_backend_spec() -> str:
+    """The backend spec used when none is given (``CHECKFENCE_SOLVER``)."""
+    return os.environ.get("CHECKFENCE_SOLVER", "auto")
+
+
+def make_backend_factory(spec: str | None = None) -> BackendFactory:
+    """Turn a backend spec string into a factory of fresh backends."""
+    spec = spec if spec is not None else default_backend_spec()
+    spec = spec.strip()
+    if spec in ("", "auto", "internal"):
+        return InternalBackend
+    if spec == "dimacs":
+        return DimacsBackend
+    if spec.startswith("dimacs:"):
+        command = shlex.split(spec[len("dimacs:"):])
+        if not command:
+            raise ValueError(f"empty solver command in spec {spec!r}")
+        return lambda: DimacsBackend(command=command)
+    raise ValueError(
+        f"unknown solver backend spec {spec!r} "
+        "(expected auto, internal, dimacs, or dimacs:<command>)"
+    )

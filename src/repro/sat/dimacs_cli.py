@@ -1,0 +1,50 @@
+"""A DIMACS competition-style command line around the internal solver.
+
+``python -m repro.sat.dimacs_cli FILE.cnf`` reads a DIMACS file, solves it
+with :class:`repro.sat.solver.Solver`, and reports the result in the SAT
+competition output format: an ``s SATISFIABLE`` / ``s UNSATISFIABLE`` status
+line, ``v`` lines with the model, and exit code 10 (SAT) or 20 (UNSAT).
+
+This gives :class:`repro.sat.backend.DimacsBackend` a solver process that is
+always available, so the subprocess/DIMACS interchange path can be exercised
+(and differentially tested) even on machines without minisat/kissat/cadical.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.sat.dimacs import read_dimacs
+from repro.sat.solver import Solver
+
+SAT_EXIT_CODE = 10
+UNSAT_EXIT_CODE = 20
+
+_LITERALS_PER_LINE = 16
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.sat.dimacs_cli FILE.cnf", file=sys.stderr)
+        return 2
+    cnf = read_dimacs(argv[0])
+    solver = Solver(cnf)
+    if not solver.solve():
+        print("s UNSATISFIABLE")
+        return UNSAT_EXIT_CODE
+    model = solver.model()
+    print("s SATISFIABLE")
+    literals = [
+        var if model.get(var, False) else -var
+        for var in range(1, cnf.num_vars + 1)
+    ]
+    for start in range(0, len(literals), _LITERALS_PER_LINE):
+        chunk = literals[start:start + _LITERALS_PER_LINE]
+        print("v " + " ".join(str(lit) for lit in chunk))
+    print("v 0")
+    return SAT_EXIT_CODE
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,9 +5,12 @@ tool.  It implements the standard conflict-driven clause-learning algorithm:
 
 * two-watched-literal propagation,
 * first-UIP conflict analysis with clause learning,
-* VSIDS-style activity-based decision heuristic with phase saving,
+* VSIDS activity-based decisions with phase saving, backed by a lazy
+  indexed binary heap (variables are reinserted on backtrack and popped
+  lazily, so no ordering work is proportional to the variable count),
 * Luby restarts,
-* activity-based deletion of learned clauses, and
+* LBD-aware deletion of learned clauses ("glue" clauses with literal
+  block distance <= 2 are never deleted), and
 * incremental solving under assumptions (used by the specification-mining
   loop, which repeatedly re-solves the same formula with extra blocking
   clauses).
@@ -23,6 +26,7 @@ Internally literals are encoded as ``2*var`` (positive) and ``2*var + 1``
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Iterable, Sequence
 
 from repro.sat.cnf import CNF
@@ -67,9 +71,112 @@ class SolverStats:
             self.max_decision_level, other.max_decision_level
         )
 
+    def copy(self) -> "SolverStats":
+        return SolverStats(
+            decisions=self.decisions,
+            propagations=self.propagations,
+            conflicts=self.conflicts,
+            restarts=self.restarts,
+            learned_clauses=self.learned_clauses,
+            deleted_clauses=self.deleted_clauses,
+            max_decision_level=self.max_decision_level,
+        )
+
+    def since(self, earlier: "SolverStats") -> "SolverStats":
+        """Counter delta between two cumulative snapshots (for attributing
+        solver work to one query when a backend is shared across queries)."""
+        return SolverStats(
+            decisions=self.decisions - earlier.decisions,
+            propagations=self.propagations - earlier.propagations,
+            conflicts=self.conflicts - earlier.conflicts,
+            restarts=self.restarts - earlier.restarts,
+            learned_clauses=self.learned_clauses - earlier.learned_clauses,
+            deleted_clauses=self.deleted_clauses - earlier.deleted_clauses,
+            max_decision_level=self.max_decision_level,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "restarts": self.restarts,
+            "learned_clauses": self.learned_clauses,
+            "deleted_clauses": self.deleted_clauses,
+            "max_decision_level": self.max_decision_level,
+        }
+
 
 class SolverError(RuntimeError):
     """Raised on malformed solver input (e.g. literal 0)."""
+
+
+class VarOrderHeap:
+    """Lazy binary max-heap of variables keyed by VSIDS activity.
+
+    Built on :mod:`heapq` (C-implemented push/pop) with lazy entries:
+
+    * a variable stays in the heap while assigned and is skipped when
+      popped, so backtracking can blindly reinsert;
+    * :meth:`insert` is a no-op for variables already present;
+    * bumping an *unassigned* variable pushes a fresh entry and lets the
+      stale one die on pop (variables bumped during conflict analysis are
+      assigned, so duplicates are rare in practice);
+    * activity rescaling invalidates stored keys, so the owner must call
+      :meth:`rebuild` then (rescales are rare — every ~1e100 of activity).
+
+    Entries are ``(-activity, -var)`` so :func:`heapq.heappop` yields the
+    most active variable, ties broken deterministically toward the highest
+    variable number (matching the stable sort the heap replaced).
+    """
+
+    __slots__ = ("_activity", "_heap", "_present")
+
+    def __init__(self, activity: list[float]) -> None:
+        self._activity = activity
+        self._heap: list[tuple[float, int]] = []
+        self._present: list[bool] = [False]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, var: int) -> bool:
+        return self._present[var]
+
+    def grow(self, num_vars: int) -> None:
+        while len(self._present) <= num_vars:
+            self._present.append(False)
+
+    def insert(self, var: int) -> None:
+        if self._present[var]:
+            return
+        self._present[var] = True
+        heappush(self._heap, (-self._activity[var], -var))
+
+    def bump(self, var: int) -> None:
+        """Refresh ``var``'s key after its activity increased."""
+        if self._present[var]:
+            heappush(self._heap, (-self._activity[var], -var))
+
+    def pop_max(self) -> int | None:
+        heap = self._heap
+        present = self._present
+        while heap:
+            var = -heappop(heap)[1]
+            if present[var]:
+                present[var] = False
+                return var
+        return None
+
+    def rebuild(self) -> None:
+        """Re-key every live entry (after an activity rescale)."""
+        activity = self._activity
+        self._heap = [
+            (-activity[var], -var)
+            for var in range(1, len(self._present))
+            if self._present[var]
+        ]
+        heapify(self._heap)
 
 
 def _luby(index: int) -> int:
@@ -116,6 +223,7 @@ class Solver:
         self._clauses: list[list[int]] = []
         self._learned: list[list[int]] = []
         self._learned_activity: list[float] = []
+        self._learned_lbd: list[int] = []
         self._trail: list[int] = []  # internal literals in assignment order
         self._trail_lim: list[int] = []
         self._qhead = 0
@@ -124,8 +232,7 @@ class Solver:
         self._cla_inc = 1.0
         self._cla_decay = 0.999
         self._ok = True
-        self._order_dirty = True
-        self._heap_cache: list[int] = []
+        self._order = VarOrderHeap(self._activity)
         self.stats = SolverStats()
         self.total_stats = SolverStats()
         self._model: dict[int, bool] = {}
@@ -145,12 +252,61 @@ class Solver:
             self._phase.append(False)
             self._watches.append([])
             self._watches.append([])
-            self._order_dirty = True
+            self._order.grow(self._num_vars)
+            self._order.insert(self._num_vars)
 
     def add_cnf(self, cnf: CNF) -> None:
         self.ensure_vars(cnf.num_vars)
-        for clause in cnf.clauses:
-            self.add_clause(clause)
+        self.add_clauses_trusted(cnf.clauses)
+
+    def add_clauses_trusted(self, clauses: Iterable[Sequence[int]]) -> bool:
+        """Bulk-add clauses that are already free of duplicate literals and
+        tautologies (as :class:`repro.sat.cnf.CNF` guarantees), skipping the
+        per-clause normalization of :meth:`add_clause`.
+
+        This is the clause-sync fast path used by
+        :class:`repro.sat.backend.InternalBackend` when an encoded test
+        streams its (pre-normalized) CNF into the solver.  Returns False if
+        the solver became UNSAT.
+        """
+        self._backtrack(0)
+        assign = self._assign
+        level = self._level
+        for clause in clauses:
+            lits = []
+            satisfied = False
+            for lit in clause:
+                if lit == 0:
+                    raise SolverError("0 is not a valid literal")
+                var = lit if lit > 0 else -lit
+                if var > self._num_vars:
+                    self.ensure_vars(var)
+                    assign = self._assign
+                    level = self._level
+                ilit = (var << 1) | (lit < 0)
+                value = assign[var]
+                if value >= 0 and level[var] == 0:
+                    if (value ^ (ilit & 1)) == 1:
+                        satisfied = True
+                        break
+                    continue  # false at root level: drop the literal
+                lits.append(ilit)
+            if satisfied:
+                continue
+            if not lits:
+                self._ok = False
+                return False
+            if len(lits) == 1:
+                if not self._enqueue(lits[0], None):
+                    self._ok = False
+                    return False
+                if self._propagate() is not None:
+                    self._ok = False
+                    return False
+            else:
+                self._clauses.append(lits)
+                self._watch_clause(lits)
+        return True
 
     def add_clause(self, literals: Iterable[int]) -> bool:
         """Add a clause; returns False if the solver became trivially UNSAT."""
@@ -241,27 +397,36 @@ class Solver:
         if self._decision_level() <= level:
             return
         target = self._trail_lim[level]
+        order = self._order
         for ilit in reversed(self._trail[target:]):
             var = ilit >> 1
             self._assign[var] = _UNASSIGNED
             self._reason[var] = None
+            order.insert(var)
         del self._trail[target:]
         del self._trail_lim[level:]
         self._qhead = min(self._qhead, len(self._trail))
-        self._order_dirty = True
 
     # ------------------------------------------------------------ propagation
 
     def _propagate(self) -> list[int] | None:
-        """Unit propagation; returns a conflicting clause or None."""
+        """Unit propagation; returns a conflicting clause or None.
+
+        This is the solver's hottest loop; literal values are computed
+        inline (``assign[var] ^ sign``: 1 = true, 0 = false, negative =
+        unassigned) instead of through :meth:`_lit_value`.
+        """
         watches = self._watches
-        while self._qhead < len(self._trail):
-            ilit = self._trail[self._qhead]
+        assign = self._assign
+        trail = self._trail
+        while self._qhead < len(trail):
+            ilit = trail[self._qhead]
             self._qhead += 1
             self.stats.propagations += 1
             false_lit = ilit ^ 1
             watch_list = watches[ilit]
             new_watch_list = []
+            append_kept = new_watch_list.append
             i = 0
             n = len(watch_list)
             while i < n:
@@ -271,20 +436,23 @@ class Solver:
                 if clause[0] == false_lit:
                     clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
-                if self._lit_value(first) == _TRUE:
-                    new_watch_list.append(clause)
+                value = assign[first >> 1]
+                if value >= 0 and (value ^ (first & 1)) == 1:
+                    append_kept(clause)
                     continue
-                # Look for a replacement watch.
+                # Look for a replacement watch (any non-false literal).
                 found = False
                 for k in range(2, len(clause)):
-                    if self._lit_value(clause[k]) != _FALSE:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        watches[clause[1] ^ 1].append(clause)
+                    q = clause[k]
+                    value = assign[q >> 1]
+                    if value < 0 or (value ^ (q & 1)) == 1:
+                        clause[1], clause[k] = q, clause[1]
+                        watches[q ^ 1].append(clause)
                         found = True
                         break
                 if found:
                     continue
-                new_watch_list.append(clause)
+                append_kept(clause)
                 if not self._enqueue(first, clause):
                     # Conflict: keep remaining watches and report.
                     new_watch_list.extend(watch_list[i:])
@@ -301,6 +469,8 @@ class Solver:
             for v in range(1, self._num_vars + 1):
                 self._activity[v] *= 1e-100
             self._var_inc *= 1e-100
+            self._order.rebuild()
+        self._order.bump(var)
 
     def _decay_var_activity(self) -> None:
         self._var_inc /= self._var_decay
@@ -384,58 +554,68 @@ class Solver:
 
     # ---------------------------------------------------------------- deciding
 
-    def _rebuild_order(self) -> None:
-        unassigned = [
-            v for v in range(1, self._num_vars + 1)
-            if self._assign[v] == _UNASSIGNED
-        ]
-        unassigned.sort(key=lambda v: self._activity[v])
-        self._heap_cache = unassigned
-        self._order_dirty = False
-
     def _pick_branch_var(self) -> int | None:
-        if self._order_dirty or not self._heap_cache:
-            self._rebuild_order()
-        while self._heap_cache:
-            var = self._heap_cache.pop()
-            if self._assign[var] == _UNASSIGNED:
+        # Assigned variables are skipped lazily; every unassigned variable is
+        # guaranteed to be in the heap (inserted on creation, reinserted on
+        # backtrack), so an empty heap means a complete assignment.
+        order = self._order
+        assign = self._assign
+        while True:
+            var = order.pop_max()
+            if var is None:
+                return None
+            if assign[var] == _UNASSIGNED:
                 return var
-        # Fall back to a linear scan (cheap because it only happens when the
-        # cache ran dry).
-        for var in range(1, self._num_vars + 1):
-            if self._assign[var] == _UNASSIGNED:
-                return var
-        return None
 
     # ------------------------------------------------------- learned DB mgmt
+
+    def _clause_lbd(self, clause: list[int]) -> int:
+        """Literal block distance: number of distinct (non-root) decision
+        levels among the clause's literals, computed while they are still
+        assigned."""
+        levels = {self._level[q >> 1] for q in clause}
+        levels.discard(0)
+        return max(1, len(levels))
 
     def _reduce_learned(self) -> None:
         if len(self._learned) < 2:
             return
-        order = sorted(
-            range(len(self._learned)),
-            key=lambda i: self._learned_activity[i],
-        )
-        to_delete = set(order[: len(order) // 2])
         locked = set()
         for var in range(1, self._num_vars + 1):
             reason = self._reason[var]
             if reason is not None:
                 locked.add(id(reason))
+        # Deletion candidates: non-binary, non-glue, not currently a reason.
+        candidates = [
+            i for i, clause in enumerate(self._learned)
+            if len(clause) > 2
+            and self._learned_lbd[i] > 2
+            and id(clause) not in locked
+        ]
+        if not candidates:
+            return
+        # Delete the worse half: high LBD first, ties broken by low activity.
+        candidates.sort(
+            key=lambda i: (-self._learned_lbd[i], self._learned_activity[i])
+        )
+        to_delete = set(candidates[: len(candidates) // 2])
+        if not to_delete:
+            return
         kept_clauses: list[list[int]] = []
         kept_activity: list[float] = []
+        kept_lbd: list[int] = []
         deleted: set[int] = set()
         for i, clause in enumerate(self._learned):
-            if i in to_delete and len(clause) > 2 and id(clause) not in locked:
+            if i in to_delete:
                 deleted.add(id(clause))
                 self.stats.deleted_clauses += 1
             else:
                 kept_clauses.append(clause)
                 kept_activity.append(self._learned_activity[i])
-        if not deleted:
-            return
+                kept_lbd.append(self._learned_lbd[i])
         self._learned = kept_clauses
         self._learned_activity = kept_activity
+        self._learned_lbd = kept_lbd
         for ilit in range(2, 2 * self._num_vars + 2):
             self._watches[ilit] = [
                 c for c in self._watches[ilit] if id(c) not in deleted
@@ -484,15 +664,13 @@ class Solver:
                 total_conflicts += 1
                 conflicts_since_restart += 1
                 if self._decision_level() == 0:
-                    self._ok_after_assumptions = False
                     self.total_stats.merge(self.stats)
                     if not iassumptions:
                         self._ok = False
                     return False
                 learned, backtrack_level = self._analyze(conflict)
-                # Never backtrack past the assumptions.
-                backtrack_level = max(backtrack_level, self._assumption_level(
-                    learned, backtrack_level, len(iassumptions)))
+                # LBD must be computed while the literals are still assigned.
+                lbd = self._clause_lbd(learned)
                 self._backtrack(backtrack_level)
                 if len(learned) == 1:
                     if not self._enqueue(learned[0], None):
@@ -501,6 +679,7 @@ class Solver:
                 else:
                     self._learned.append(learned)
                     self._learned_activity.append(0.0)
+                    self._learned_lbd.append(lbd)
                     self._bump_clause(len(self._learned) - 1)
                     self._watch_clause(learned)
                     self.stats.learned_clauses += 1
@@ -559,15 +738,6 @@ class Solver:
             phase = self._phase[var]
             ilit = 2 * var + (0 if phase else 1)
             self._enqueue(ilit, None)
-
-    def _assumption_level(
-        self, learned: list[int], backtrack_level: int, num_assumptions: int
-    ) -> int:
-        """Clamp backtracking so assumption decisions are not undone
-        prematurely when the learned clause is asserting below them."""
-        if num_assumptions == 0:
-            return backtrack_level
-        return min(backtrack_level, self._decision_level())
 
     # ------------------------------------------------------------- utilities
 

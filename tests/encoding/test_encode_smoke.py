@@ -157,3 +157,44 @@ class TestStoreBuffering:
         assert not observation_reachable(encoded, (0, 0))
         encoded = self._encode(RELAXED, fenced=True)
         assert observation_reachable(encoded, (1, 1))
+
+
+class TestNotInGuard:
+    """The guard-literal alternative to permanent blocking clauses: the
+    constraint only bites while the guard is assumed, so the same encoding
+    stays reusable for other queries afterwards."""
+
+    def _encode(self):
+        test = SymbolicTest(
+            name="sb",
+            threads=[[Invocation("left")], [Invocation("right")]],
+        )
+        return encode_test(compile_test(SB, test), SERIAL)
+
+    def test_guard_excludes_set_only_while_assumed(self):
+        encoded = self._encode()
+        guard = encoded.not_in_guard({(0, 1), (1, 0)})
+        # Serial store-buffering only produces (0,1) and (1,0): excluding
+        # both under the guard leaves nothing.
+        assert encoded.solve(assumptions=[guard]) is False
+        # Without the guard the formula is untouched.
+        assert encoded.solve() is True
+        assert observation_reachable(encoded, (0, 1))
+
+    def test_guard_is_cached_per_observation_set(self):
+        encoded = self._encode()
+        first = encoded.not_in_guard({(0, 1)})
+        again = encoded.not_in_guard({(1, 0), (0, 1)} - {(1, 0)})
+        other = encoded.not_in_guard({(1, 0)})
+        assert first == again
+        assert first != other
+        clauses_before = encoded.cnf.num_clauses
+        encoded.not_in_guard({(0, 1)})
+        assert encoded.cnf.num_clauses == clauses_before
+
+    def test_partial_exclusion_leaves_the_rest(self):
+        encoded = self._encode()
+        guard = encoded.not_in_guard({(0, 1)})
+        assert encoded.solve(assumptions=[guard]) is True
+        observation = encoded.decode_observation(encoded.model_values())
+        assert observation == (1, 0)

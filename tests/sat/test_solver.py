@@ -170,6 +170,46 @@ class TestIncremental:
         solver.add_clause([-variables[1]])
         assert solver.solve() is False
 
+    def test_unsat_under_assumptions_leaves_solver_reusable(self):
+        """Regression test: an UNSAT-under-assumptions result must not poison
+        the solver — later solves (with other assumptions or none) must still
+        work and produce valid models."""
+        cnf = CNF()
+        a, b, c = cnf.new_vars(3)
+        cnf.add_clause([-a, b])
+        cnf.add_clause([-b, c])
+        cnf.add_clause([-a, -c])  # a -> b -> c but a forbids c: a must be False
+        solver = Solver(cnf)
+        assert solver.solve(assumptions=[a]) is False
+        # The solver is still usable: plain solve, solve under the opposite
+        # assumption, and incremental clause addition all behave.
+        assert solver.solve() is True
+        assert check_model(cnf, solver.model())
+        assert solver.solve(assumptions=[-a]) is True
+        model = solver.model()
+        assert model[a] is False
+        assert check_model(cnf, model)
+        solver.add_clause([b])
+        assert solver.solve() is True
+        assert solver.model()[b] is True
+        assert solver.solve(assumptions=[a]) is False
+        assert solver.solve(assumptions=[c]) is True
+
+    def test_unsat_under_assumptions_many_rounds(self):
+        """Alternating UNSAT/SAT assumption queries on one solver instance
+        (the shape of the session's assertion + inclusion query reuse)."""
+        cnf = CNF()
+        variables = cnf.new_vars(12)
+        cnf.add_unit(variables[0])
+        for x, y in zip(variables, variables[1:]):
+            cnf.add_clause([-x, y])
+        solver = Solver(cnf)
+        for _ in range(5):
+            assert solver.solve(assumptions=[-variables[-1]]) is False
+            assert solver.solve(assumptions=[variables[-1]]) is True
+            assert solver.solve() is True
+            assert check_model(cnf, solver.model())
+
     def test_conflict_limit_returns_none_or_result(self):
         cnf = CNF()
         holes = 5
@@ -197,6 +237,76 @@ class TestStats:
         assert solver.solve() is True
         assert solver.stats.decisions >= 1
         assert solver.stats.propagations >= 1
+
+
+class TestVarOrderHeap:
+    def test_pops_by_activity_with_var_tiebreak(self):
+        from repro.sat.solver import VarOrderHeap
+
+        activity = [0.0, 1.0, 3.0, 2.0, 3.0]
+        heap = VarOrderHeap(activity)
+        heap.grow(4)
+        for var in (1, 2, 3, 4):
+            heap.insert(var)
+        # Max activity first; ties (vars 2 and 4) toward the higher var.
+        assert heap.pop_max() == 4
+        assert heap.pop_max() == 2
+        assert heap.pop_max() == 3
+        assert heap.pop_max() == 1
+        assert heap.pop_max() is None
+
+    def test_reinsert_and_bump_are_lazy(self):
+        from repro.sat.solver import VarOrderHeap
+
+        activity = [0.0, 1.0, 2.0]
+        heap = VarOrderHeap(activity)
+        heap.grow(2)
+        heap.insert(1)
+        heap.insert(1)  # duplicate insert is a no-op
+        heap.insert(2)
+        activity[1] = 5.0
+        heap.bump(1)  # stale entry for var 1 remains, fresh one wins
+        assert heap.pop_max() == 1
+        assert heap.pop_max() == 2
+        assert heap.pop_max() is None
+        assert 1 not in heap
+
+    def test_rebuild_after_rescale(self):
+        from repro.sat.solver import VarOrderHeap
+
+        activity = [0.0, 4.0, 8.0]
+        heap = VarOrderHeap(activity)
+        heap.grow(2)
+        heap.insert(1)
+        heap.insert(2)
+        activity[1] = 4e-100
+        activity[2] = 1e-100
+        heap.rebuild()
+        assert heap.pop_max() == 1
+        assert heap.pop_max() == 2
+
+
+class TestTrustedBulkAdd:
+    def test_matches_per_clause_add(self):
+        cnf = CNF()
+        a, b, c = cnf.new_vars(3)
+        cnf.add_clause([a, b])
+        cnf.add_clause([-a, c])
+        cnf.add_clause([-b, -c])
+        bulk = Solver()
+        bulk.ensure_vars(cnf.num_vars)
+        assert bulk.add_clauses_trusted(cnf.clauses) is True
+        single = Solver(cnf)
+        assert bulk.solve() == single.solve() is True
+        assert check_model(cnf, bulk.model())
+
+    def test_bulk_unit_conflict_is_unsat(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        solver = Solver()
+        solver.ensure_vars(1)
+        assert solver.add_clauses_trusted([(v,), (-v,)]) is False
+        assert solver.solve() is False
 
 
 @st.composite

@@ -45,3 +45,32 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_sweep(self, capsys):
+        code = main([
+            "sweep", "--impl", "msn", "--test", "T0",
+            "--models", "sc,relaxed",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compiled 1x" in out and "spec mined 1x" in out
+        assert "sc" in out and "relaxed" in out
+
+    def test_sweep_fail_returns_nonzero(self, capsys):
+        code = main([
+            "sweep", "--impl", "msn-unfenced", "--test", "T0",
+            "--models", "sc,relaxed",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_check_with_solver_flag(self, capsys):
+        code = main([
+            "check", "--impl", "msn", "--test", "T0",
+            "--model", "sc", "--solver", "internal",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "solver: internal" in out
