@@ -1,0 +1,55 @@
+"""Parallel check matrix: jobs=1 vs jobs=N on the Fig. 8 catalog.
+
+Every (test, model, implementation) cell is an independent SAT instance,
+so the catalog should scale near-linearly with cores.  This benchmark runs
+the same matrix serially and through the multiprocessing pool and records
+both wall-clock times (plus the speedup and the machine's CPU count, so a
+number recorded on a one-core CI runner is not mistaken for a regression)
+under ``extra_info["matrix"]`` in the benchmark JSON.
+
+Default scope is the small queue catalog x {sc, tso, pso, relaxed}; set
+``CHECKFENCE_LARGE=1`` to run every Table 1 implementation's small tests.
+"""
+
+import os
+
+from repro.harness.matrix import catalog_cells, run_matrix
+from repro.harness.runner import large_tests_enabled
+
+PARALLEL_JOBS = 4
+MODELS = ["sc", "tso", "pso", "relaxed"]
+
+
+def _cells():
+    implementations = ["msn"]
+    if large_tests_enabled():
+        implementations = ["ms2", "msn", "lazylist", "harris", "snark"]
+    return catalog_cells(implementations, models=MODELS, size="small")
+
+
+def test_matrix_parallel_speedup(run_once, benchmark):
+    cells = _cells()
+    serial = run_matrix(cells, jobs=1)
+    parallel = run_once(run_matrix, cells, jobs=PARALLEL_JOBS)
+
+    serial_verdicts = [(r.cell.key, r.verdict) for r in serial.results]
+    parallel_verdicts = [(r.cell.key, r.verdict) for r in parallel.results]
+    assert serial_verdicts == parallel_verdicts
+    assert serial.ok and parallel.ok
+
+    speedup = (
+        serial.elapsed_seconds / parallel.elapsed_seconds
+        if parallel.elapsed_seconds
+        else 0.0
+    )
+    benchmark.extra_info["matrix"] = {
+        "cells": len(cells),
+        "shards": serial.shard_count,
+        "models": MODELS,
+        "jobs1_seconds": serial.elapsed_seconds,
+        f"jobs{PARALLEL_JOBS}_seconds": parallel.elapsed_seconds,
+        "jobs": PARALLEL_JOBS,
+        "speedup": speedup,
+        "cpu_count": os.cpu_count(),
+        "cache_jobs1": serial.cache_totals(),
+    }

@@ -8,11 +8,14 @@ Examples::
     checkfence sweep --impl msn --test T0 --models serial,sc,tso,pso,relaxed
     checkfence spec --impl msn --test T0
     checkfence litmus --model relaxed
+    checkfence matrix --impls msn,ms2 --models sc,relaxed --jobs 4
+    checkfence matrix --litmus --models sc,tso,pso,relaxed --jobs 2 --json -
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.checker import CheckFence, CheckOptions
@@ -20,12 +23,20 @@ from repro.core.session import CheckSession
 from repro.datatypes.registry import (
     TABLE1,
     available_implementations,
+    base_implementations,
     category_of,
+    describe_implementation,
     get_implementation,
 )
 from repro.harness.catalog import get_test, test_names
+from repro.harness.matrix import (
+    SHARD_AXES,
+    catalog_cells,
+    litmus_cells,
+    run_matrix,
+)
 from repro.harness.reporting import format_table
-from repro.litmus.catalog import available_litmus_tests, observation_allowed
+from repro.litmus.catalog import available_litmus_tests
 from repro.memorymodel.base import available_models, get_model
 
 
@@ -33,8 +44,8 @@ def _cmd_list(_args) -> int:
     print("Implementations (Table 1 plus variants):")
     rows = []
     for name in available_implementations():
-        rows.append((name, category_of(name)))
-    print(format_table(["implementation", "category"], rows))
+        rows.append((name, category_of(name), describe_implementation(name)))
+    print(format_table(["implementation", "category", "description"], rows))
     print()
     print("Memory models:", ", ".join(m.name for m in available_models()))
     print()
@@ -45,6 +56,13 @@ def _cmd_list(_args) -> int:
 
 def _cmd_table1(_args) -> int:
     print(format_table(["name", "data type", "description"], TABLE1))
+    print()
+    print("Checkable variants:")
+    rows = [
+        (name, describe_implementation(name))
+        for name in available_implementations()
+    ]
+    print(format_table(["variant", "description"], rows))
     return 0
 
 
@@ -133,15 +151,76 @@ def _cmd_spec(args) -> int:
 
 def _cmd_litmus(args) -> int:
     model = get_model(args.model)
-    rows = []
-    for name, litmus in available_litmus_tests().items():
-        if not litmus.observation:
-            continue
-        allowed = observation_allowed(litmus, model, backend_spec=args.solver)
-        rows.append((name, litmus.observation, "allowed" if allowed else "forbidden"))
+    matrix = run_matrix(
+        litmus_cells([model.name]),
+        jobs=args.jobs,
+        options=CheckOptions(solver_backend=args.solver),
+    )
+    catalog = available_litmus_tests()
+    rows = [
+        (r.cell.test, catalog[r.cell.test].observation, r.verdict)
+        for r in matrix.results
+    ]
     print(f"litmus outcomes under {model.name}:")
     print(format_table(["test", "observation", "verdict"], rows))
-    return 0
+    for failed in matrix.errors:
+        print(f"error in {failed.cell.key}: {failed.error}", file=sys.stderr)
+    return 0 if not matrix.errors else 2
+
+
+def _matrix_progress(done: int, total: int, result) -> None:
+    print(f"[{done}/{total}] {result.cell.key}: {result.verdict}",
+          file=sys.stderr)
+
+
+def _cmd_matrix(args) -> int:
+    models = [name.strip() for name in args.models.split(",") if name.strip()]
+    options = CheckOptions(
+        specification_method=args.spec_method,
+        solver_backend=args.solver,
+    )
+    if args.litmus:
+        cells = litmus_cells(models)
+    else:
+        if args.impls == "base":
+            implementations = base_implementations()
+        elif args.impls == "all":
+            implementations = available_implementations()
+        else:
+            implementations = [
+                name.strip() for name in args.impls.split(",") if name.strip()
+            ]
+        tests = None
+        if args.tests:
+            tests = [name.strip() for name in args.tests.split(",") if name.strip()]
+        cells = catalog_cells(
+            implementations, models=models, tests=tests, size=args.size
+        )
+    if not cells:
+        print("matrix: no cells selected", file=sys.stderr)
+        return 2
+    matrix = run_matrix(
+        cells,
+        jobs=args.jobs,
+        shard_by=args.shard_by,
+        options=options,
+        progress=None if args.quiet else _matrix_progress,
+    )
+    if args.json is not None:
+        payload = json.dumps(matrix.as_dict(), indent=2, default=str)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"matrix JSON written to {args.json}")
+        print(matrix.summary(), file=sys.stderr)
+    else:
+        print(matrix.format_table())
+        print(matrix.summary())
+    for failed in matrix.errors:
+        print(f"error in {failed.cell.key}: {failed.error}", file=sys.stderr)
+    return 0 if matrix.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -152,20 +231,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list implementations, models, and tests")
-    sub.add_parser("table1", help="print Table 1 of the paper")
+    sub.add_parser(
+        "list",
+        help="list implementations (with descriptions), memory models, "
+        "and Fig. 8 tests",
+    )
+    sub.add_parser(
+        "table1",
+        help="print Table 1 of the paper plus every checkable variant",
+    )
 
     solver_help = (
         "SAT backend: auto, internal, dimacs, or dimacs:<command> "
         "(default: CHECKFENCE_SOLVER or auto)"
     )
 
-    check_parser = sub.add_parser("check", help="run one check")
-    check_parser.add_argument("--impl", required=True)
-    check_parser.add_argument("--test", required=True)
-    check_parser.add_argument("--model", default="relaxed")
+    check_parser = sub.add_parser(
+        "check",
+        help="run one check: one implementation, one Fig. 8 test, one "
+        "memory model (exit code 1 on FAIL)",
+    )
+    check_parser.add_argument("--impl", required=True,
+                              help="implementation variant (see 'list')")
+    check_parser.add_argument("--test", required=True,
+                              help="Fig. 8 test name, e.g. T0")
+    check_parser.add_argument("--model", default="relaxed",
+                              help="memory model (default: relaxed)")
     check_parser.add_argument("--spec-method", default="auto",
-                              choices=["auto", "reference", "sat"])
+                              choices=["auto", "reference", "sat"],
+                              help="specification mining method (default: auto)")
     check_parser.add_argument("--bound", type=int, default=None,
                               help="default loop bound")
     check_parser.add_argument("--lazy-bounds", action="store_true",
@@ -176,28 +270,105 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep_parser = sub.add_parser(
         "sweep",
-        help="check one test under several memory models in one session "
-        "(compiles and mines the specification once)",
+        help="check ONE implementation/test pair under several memory models "
+        "in one warm session (compiles and mines the specification once); "
+        "for many implementations or tests, or to use several cores, see "
+        "'matrix'",
     )
-    sweep_parser.add_argument("--impl", required=True)
-    sweep_parser.add_argument("--test", required=True)
+    sweep_parser.add_argument("--impl", required=True,
+                              help="implementation variant (see 'list')")
+    sweep_parser.add_argument("--test", required=True,
+                              help="Fig. 8 test name, e.g. T0")
     sweep_parser.add_argument(
         "--models", default="serial,sc,tso,pso,relaxed",
-        help="comma-separated memory models",
+        help="comma-separated memory models "
+        "(default: serial,sc,tso,pso,relaxed)",
     )
     sweep_parser.add_argument("--spec-method", default="auto",
-                              choices=["auto", "reference", "sat"])
+                              choices=["auto", "reference", "sat"],
+                              help="specification mining method (default: auto)")
     sweep_parser.add_argument("--solver", default=None, help=solver_help)
 
-    spec_parser = sub.add_parser("spec", help="mine and print an observation set")
-    spec_parser.add_argument("--impl", required=True)
-    spec_parser.add_argument("--test", required=True)
+    spec_parser = sub.add_parser(
+        "spec",
+        help="mine and print a test's observation set (the specification "
+        "of Section 3.2)",
+    )
+    spec_parser.add_argument("--impl", required=True,
+                             help="implementation variant (see 'list')")
+    spec_parser.add_argument("--test", required=True,
+                             help="Fig. 8 test name, e.g. T0")
     spec_parser.add_argument("--spec-method", default="auto",
-                             choices=["auto", "reference", "sat"])
+                             choices=["auto", "reference", "sat"],
+                             help="specification mining method (default: auto)")
 
-    litmus_parser = sub.add_parser("litmus", help="evaluate the litmus catalog")
-    litmus_parser.add_argument("--model", default="relaxed")
+    jobs_help = (
+        "worker processes (default: CHECKFENCE_JOBS or 1; "
+        "1 = deterministic serial path)"
+    )
+
+    litmus_parser = sub.add_parser(
+        "litmus",
+        help="evaluate the Fig. 2 litmus catalog under one memory model",
+    )
+    litmus_parser.add_argument(
+        "--model", default="relaxed",
+        help="memory model to evaluate under (default: relaxed)",
+    )
     litmus_parser.add_argument("--solver", default=None, help=solver_help)
+    litmus_parser.add_argument("--jobs", type=int, default=None, help=jobs_help)
+
+    matrix_parser = sub.add_parser(
+        "matrix",
+        help="run a (implementation x test x model) check matrix, sharded "
+        "across a multiprocessing worker pool",
+    )
+    matrix_parser.add_argument(
+        "--impls", default="base",
+        help="comma-separated implementation variants, or 'base' (the five "
+        "Table 1 implementations) or 'all' (every variant); ignored with "
+        "--litmus (default: base)",
+    )
+    matrix_parser.add_argument(
+        "--tests", default=None,
+        help="comma-separated Fig. 8 test names (all implementations must "
+        "then share one category); default: the catalog tests of each "
+        "implementation's category, filtered by --size",
+    )
+    matrix_parser.add_argument(
+        "--size", default="small",
+        choices=["small", "medium", "large", "all"],
+        help="catalog size class when --tests is not given (default: small)",
+    )
+    matrix_parser.add_argument(
+        "--models", default="relaxed",
+        help="comma-separated memory models (default: relaxed)",
+    )
+    matrix_parser.add_argument(
+        "--litmus", action="store_true",
+        help="check the litmus catalog instead of data type implementations",
+    )
+    matrix_parser.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    matrix_parser.add_argument(
+        "--shard-by", default="test", choices=list(SHARD_AXES),
+        help="how to batch cells into shards: 'test' batches by compiled-test "
+        "key (one session compiles and mines once per (impl, test)), "
+        "'impl' batches whole implementations, 'model' batches by memory "
+        "model (default: test)",
+    )
+    matrix_parser.add_argument("--spec-method", default="auto",
+                               choices=["auto", "reference", "sat"],
+                               help="specification mining method (default: auto)")
+    matrix_parser.add_argument("--solver", default=None, help=solver_help)
+    matrix_parser.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the matrix (cells, verdicts, per-shard cache stats) as "
+        "JSON to FILE, or '-' for stdout",
+    )
+    matrix_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-cell progress stream on stderr",
+    )
 
     return parser
 
@@ -212,6 +383,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "spec": _cmd_spec,
         "litmus": _cmd_litmus,
+        "matrix": _cmd_matrix,
     }
     return handlers[args.command](args)
 

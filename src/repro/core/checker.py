@@ -8,7 +8,10 @@ check fails.
 
 The heavy lifting (and all caching / incremental-solver state) lives in
 :class:`repro.core.session.CheckSession`; ``CheckFence`` is the stable
-facade over one session.
+facade over one session.  For many checks at once — several
+implementations, tests, or models — use the parallel check matrix
+(:mod:`repro.harness.matrix` / ``checkfence matrix``) instead of looping
+over facades.
 """
 
 from __future__ import annotations
@@ -31,7 +34,9 @@ class CheckOptions:
     Options are read when a :class:`CheckFence` / ``CheckSession`` is
     constructed (the solver backend is resolved and caches are keyed
     accordingly); mutating them afterwards has no effect on that checker —
-    build a new one instead.
+    build a new one instead.  The dataclass is picklable: one options
+    value configures every worker of a matrix run
+    (:func:`repro.harness.matrix.run_matrix`).
     """
 
     #: "auto", "reference", or "sat" (Section 3.2 / Fig. 11a "refset").

@@ -17,7 +17,10 @@ profitable to share across checks of one implementation:
 
 :class:`repro.core.checker.CheckFence` is now a thin facade over a session;
 use a session directly (or :meth:`CheckSession.sweep`) when checking one
-test under several memory models, as ``harness.runner`` does.
+test under several memory models, as ``harness.runner`` does.  Sessions
+are also the unit of warmth in the parallel check matrix
+(:mod:`repro.harness.matrix`): each worker process keeps one session per
+implementation and batches cells so the compile/mine caches hit.
 """
 
 from __future__ import annotations

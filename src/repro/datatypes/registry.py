@@ -52,9 +52,32 @@ def _builders() -> dict[str, callable]:
     }
 
 
+#: What a variant suffix means, for the one-line descriptions.
+_VARIANT_NOTES = {
+    "unfenced": "memory-ordering fences removed",
+    "buggy": "with the seeded bug of Section 4.1",
+}
+
+
 def available_implementations() -> list[str]:
     """Names of every implementation variant that can be checked."""
     return sorted(_builders())
+
+
+def describe_implementation(name: str) -> str:
+    """One-line description of an implementation variant.
+
+    Derived from the implementation's own ``description`` metadata
+    (whitespace-collapsed), with the variant suffix spelled out — so
+    ``checkfence list`` and ``table1`` never print a nameless row.
+    """
+    implementation = get_implementation(name)
+    summary = " ".join(implementation.description.split())
+    _base, _, suffix = name.partition("-")
+    note = _VARIANT_NOTES.get(suffix)
+    if note:
+        summary += f" ({note})"
+    return summary
 
 
 def get_implementation(name: str) -> DataTypeImplementation:

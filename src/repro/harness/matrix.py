@@ -1,0 +1,640 @@
+"""Parallel check matrix: multiprocess sharding across (test x model x impl).
+
+CheckFence's workload is embarrassingly parallel: every (bounded test,
+memory model, implementation) cell is an independent SAT instance, and the
+paper's experiments (Fig. 8 catalog runs, Table 1, the Fig. 2 litmus matrix)
+are exactly such matrices.  This module enumerates the cells, groups them
+into *shards*, and runs the shards either serially or across a
+``multiprocessing`` worker pool:
+
+* a :class:`MatrixCell` names one check — a catalog cell
+  (implementation, Fig. 8 test, memory model) or a litmus cell
+  (litmus test, memory model);
+* :func:`shard_cells` batches cells so that work is reused *inside* a
+  shard: the default ``shard_by="test"`` groups by compiled-test key
+  (implementation, test), so one :class:`~repro.core.session.CheckSession`
+  compiles the test and mines its specification once and then sweeps the
+  models;
+* :func:`run_matrix` is the orchestrator.  With ``jobs=1`` it runs the
+  shards in order in-process (the deterministic serial path).  With
+  ``jobs>1`` it starts worker processes that pull shards from a task
+  queue — each worker keeps warm ``CheckSession`` objects per
+  implementation — and streams :class:`CellResult` messages back through a
+  result queue, so progress is reported as cells finish and a crashed
+  worker is detected (its in-flight cells are reported as errors instead
+  of hanging the run).  Results are merged back into the original cell
+  order, so serial and parallel runs produce the same sequence of
+  verdicts.
+
+The CLI surface is ``checkfence matrix`` (``--jobs``, ``--shard-by``,
+``--solver``, ``--json``); ``checkfence litmus`` and
+:func:`repro.harness.runner.model_sweep` are built on top of this module.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+
+from repro.core.results import CheckResult
+from repro.core.session import CheckSession
+from repro.datatypes.registry import category_of, get_implementation
+from repro.harness.catalog import get_test, test_names
+from repro.memorymodel.base import get_model
+
+#: Kinds of matrix cells.
+CATALOG_KIND = "catalog"
+LITMUS_KIND = "litmus"
+
+#: Valid ``shard_by`` axes.
+SHARD_AXES = ("test", "model", "impl")
+
+#: Private fault-injection hook: a comma-separated list of cell keys
+#: (:attr:`MatrixCell.key`); a worker handed a shard containing one of
+#: them hard-exits instead of checking it.  Used by the test suite to
+#: exercise the worker-crash reporting paths; harmless otherwise.
+CRASH_ENV = "CHECKFENCE_MATRIX_CRASH"
+
+
+def _crash_keys() -> set[str]:
+    return {
+        key for key in os.environ.get(CRASH_ENV, "").split(",") if key
+    }
+
+
+def default_jobs() -> int:
+    """Worker count used when ``jobs`` is not given.
+
+    Reads the ``CHECKFENCE_JOBS`` environment variable (so CI can run the
+    whole suite through the pool with ``CHECKFENCE_JOBS=2``); defaults to 1
+    (the deterministic serial path).
+    """
+    value = os.environ.get("CHECKFENCE_JOBS", "").strip()
+    if not value:
+        return 1
+    try:
+        return max(1, int(value))
+    except ValueError as exc:
+        raise ValueError(
+            f"CHECKFENCE_JOBS must be an integer, got {value!r}"
+        ) from exc
+
+
+# --------------------------------------------------------------------- cells
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One independent check: an (implementation, test, model) coordinate.
+
+    ``kind`` selects the pipeline: :data:`CATALOG_KIND` cells run the full
+    Fig. 1 check of a data type implementation against a Fig. 8 test;
+    :data:`LITMUS_KIND` cells ask whether a litmus observation is reachable
+    (``implementation`` is the constant ``"litmus"`` and ``test`` names the
+    litmus shape).
+    """
+
+    implementation: str
+    test: str
+    model: str
+    kind: str = CATALOG_KIND
+
+    @property
+    def key(self) -> str:
+        """Human-readable (and crash-hook) identity of the cell."""
+        return f"{self.implementation}/{self.test}@{self.model}"
+
+
+def catalog_cells(
+    implementations,
+    models=("relaxed",),
+    tests=None,
+    size: str = "small",
+) -> list[MatrixCell]:
+    """Enumerate catalog cells: each implementation x its Fig. 8 tests x
+    each memory model.
+
+    ``tests=None`` selects the catalog tests of each implementation's
+    category filtered by ``size`` ('small', 'medium', 'large', 'all');
+    an explicit test list is used verbatim for every implementation (all
+    implementations must then share one category, or :func:`run_matrix`
+    reports per-cell errors for the mismatches).
+    """
+    model_names = [get_model(m).name for m in models]
+    cells = []
+    for implementation in implementations:
+        names = tests
+        if names is None:
+            names = test_names(category_of(implementation), size)
+        for test in names:
+            for model in model_names:
+                cells.append(MatrixCell(implementation, test, model))
+    return cells
+
+
+def litmus_cells(models) -> list[MatrixCell]:
+    """Enumerate litmus cells: each litmus shape with an observation of
+    interest x each memory model."""
+    from repro.litmus.catalog import available_litmus_tests
+
+    model_names = [get_model(m).name for m in models]
+    cells = []
+    for name, litmus in available_litmus_tests().items():
+        if not litmus.observation:
+            continue
+        for model in model_names:
+            cells.append(MatrixCell("litmus", name, model, kind=LITMUS_KIND))
+    return cells
+
+
+# ------------------------------------------------------------------- results
+
+
+@dataclass
+class CellResult:
+    """Outcome of one matrix cell.
+
+    Exactly one of the verdict fields is meaningful: ``passed`` for catalog
+    cells, ``allowed`` for litmus cells; both are ``None`` when ``error``
+    is set.  ``result`` carries the full :class:`CheckResult` for catalog
+    cells; workers blank its ``specification`` before queue transport (the
+    mined observation set is the heavy part and would be pickled once per
+    model otherwise — on the serial path it survives intact, which
+    ``model_sweep`` relies on).  ``stats`` is a JSON-safe subset for
+    reporting.
+    """
+
+    cell: MatrixCell
+    passed: bool | None = None
+    allowed: bool | None = None
+    seconds: float = 0.0
+    worker: int = -1
+    error: str = ""
+    counterexample: str = ""
+    notes: list[str] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+    result: CheckResult | None = None
+
+    @property
+    def verdict(self) -> str:
+        if self.error:
+            return "ERROR"
+        if self.cell.kind == LITMUS_KIND:
+            return "allowed" if self.allowed else "forbidden"
+        return "PASS" if self.passed else "FAIL"
+
+    @property
+    def ok(self) -> bool:
+        """True unless the cell errored or a catalog check failed."""
+        if self.error:
+            return False
+        if self.cell.kind == CATALOG_KIND:
+            return bool(self.passed)
+        return True
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (drops the full ``result`` object)."""
+        return {
+            "implementation": self.cell.implementation,
+            "test": self.cell.test,
+            "model": self.cell.model,
+            "kind": self.cell.kind,
+            "verdict": self.verdict,
+            "seconds": self.seconds,
+            "worker": self.worker,
+            "error": self.error,
+            "counterexample": self.counterexample,
+            "notes": list(self.notes),
+            "stats": dict(self.stats),
+        }
+
+
+@dataclass
+class MatrixResult:
+    """Merged outcome of one matrix run, in original cell order."""
+
+    results: list[CellResult]
+    jobs: int
+    shard_by: str
+    shard_count: int
+    elapsed_seconds: float
+    shard_stats: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def errors(self) -> list[CellResult]:
+        return [r for r in self.results if r.error]
+
+    def cache_totals(self) -> dict:
+        """Aggregate CheckSession cache counters over all shards (how often
+        each stage ran vs was reused)."""
+        totals: dict[str, int] = {}
+        for stats in self.shard_stats:
+            for key, value in stats.get("cache", {}).items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "shard_by": self.shard_by,
+            "shards": self.shard_count,
+            "elapsed_seconds": self.elapsed_seconds,
+            "ok": self.ok,
+            "cache": self.cache_totals(),
+            "cells": [r.as_dict() for r in self.results],
+            "shard_stats": list(self.shard_stats),
+        }
+
+    def format_table(self) -> str:
+        from repro.harness.reporting import format_seconds, format_table
+
+        rows = []
+        for r in self.results:
+            rows.append((
+                r.cell.implementation,
+                r.cell.test,
+                r.cell.model,
+                r.verdict,
+                r.stats.get("backend", ""),
+                format_seconds(r.seconds),
+            ))
+        return format_table(
+            ["implementation", "test", "model", "verdict", "backend", "time"],
+            rows,
+        )
+
+    def summary(self) -> str:
+        cache = self.cache_totals()
+        reused = cache.get("compile_hits", 0) + cache.get("mine_hits", 0)
+        line = (
+            f"{len(self.results)} cells in {self.shard_count} shards "
+            f"(shard-by {self.shard_by}), jobs={self.jobs}, "
+            f"{self.elapsed_seconds:.2f}s elapsed; "
+            f"compiled {cache.get('compile', 0)}x, "
+            f"spec mined {cache.get('mine', 0)}x, "
+            f"{reused} cache hits"
+        )
+        if self.errors:
+            line += f"; {len(self.errors)} ERRORS"
+        return line
+
+
+# ------------------------------------------------------------------ sharding
+
+
+@dataclass
+class _Shard:
+    """A batch of cells that share cacheable work, plus their original
+    positions (so merged results keep the caller's cell order)."""
+
+    index: int
+    key: tuple
+    cells: list[tuple[int, MatrixCell]]
+
+
+def _shard_key(cell: MatrixCell, shard_by: str) -> tuple:
+    if shard_by == "test":
+        # The compiled-test key: one CheckSession compiles (impl, test)
+        # once and mines its specification once for all models.
+        return (cell.kind, cell.implementation, cell.test)
+    if shard_by == "impl":
+        return (cell.kind, cell.implementation)
+    if shard_by == "model":
+        return (cell.kind, cell.model)
+    raise ValueError(
+        f"unknown shard_by {shard_by!r} (expected one of {SHARD_AXES})"
+    )
+
+
+def shard_cells(cells, shard_by: str = "test") -> list[_Shard]:
+    """Group cells into shards of reusable work, preserving first-seen
+    order of both shards and cells."""
+    grouped: dict[tuple, list[tuple[int, MatrixCell]]] = {}
+    for position, cell in enumerate(cells):
+        grouped.setdefault(_shard_key(cell, shard_by), []).append(
+            (position, cell)
+        )
+    return [
+        _Shard(index=index, key=key, cells=members)
+        for index, (key, members) in enumerate(grouped.items())
+    ]
+
+
+# ------------------------------------------------------------ cell execution
+
+
+def _run_cell(cell: MatrixCell, sessions: dict, options) -> CellResult:
+    """Check one cell, reusing a warm session when one exists.
+
+    Never raises: failures (unknown names, backend errors, ...) become
+    ``error`` results so one bad cell cannot take down a shard.
+    """
+    started = time.perf_counter()
+    try:
+        if cell.kind == LITMUS_KIND:
+            from repro.litmus.catalog import (
+                available_litmus_tests,
+                observation_outcome,
+            )
+
+            litmus = available_litmus_tests()[cell.test]
+            outcome = observation_outcome(
+                litmus, cell.model, backend_spec=options.solver_backend
+            )
+            return CellResult(
+                cell=cell,
+                allowed=outcome.allowed,
+                seconds=time.perf_counter() - started,
+                stats={"backend": outcome.backend},
+            )
+        session = sessions.get(cell.implementation)
+        if session is None:
+            session = CheckSession(
+                get_implementation(cell.implementation), options
+            )
+            sessions[cell.implementation] = session
+        test = get_test(category_of(cell.implementation), cell.test)
+        result = session.check(test, cell.model)
+        return CellResult(
+            cell=cell,
+            passed=result.passed,
+            seconds=time.perf_counter() - started,
+            counterexample=(
+                result.counterexample.format()
+                if result.counterexample is not None
+                else ""
+            ),
+            notes=list(result.notes),
+            stats={
+                "backend": result.stats.solver_backend,
+                "cnf_clauses": result.stats.cnf_clauses,
+                "cnf_variables": result.stats.cnf_variables,
+                "observation_set_size": result.stats.observation_set_size,
+                "solver_decisions": result.stats.solver_decisions,
+                "solver_conflicts": result.stats.solver_conflicts,
+            },
+            result=result,
+        )
+    except Exception as exc:
+        detail = traceback.format_exc(limit=3)
+        return CellResult(
+            cell=cell,
+            seconds=time.perf_counter() - started,
+            error=f"{type(exc).__name__}: {exc}\n{detail}",
+        )
+
+
+def _cache_snapshot(sessions: dict) -> dict:
+    return {name: dict(s.cache_stats) for name, s in sessions.items()}
+
+
+def _cache_delta(sessions: dict, before: dict) -> dict:
+    """How often each cacheable stage ran during one shard."""
+    delta: dict[str, int] = {}
+    for name, session in sessions.items():
+        baseline = before.get(name, {})
+        for key, value in session.cache_stats.items():
+            delta[key] = delta.get(key, 0) + value - baseline.get(key, 0)
+    return delta
+
+
+def _run_shard(shard: _Shard, sessions: dict, options, emit) -> dict:
+    """Run every cell of a shard, calling ``emit(position, result)`` as
+    each finishes; returns the shard's cache-usage statistics."""
+    before = _cache_snapshot(sessions)
+    for position, cell in shard.cells:
+        emit(position, _run_cell(cell, sessions, options))
+    return {
+        "shard": shard.index,
+        "key": "/".join(str(part) for part in shard.key),
+        "cells": len(shard.cells),
+        "cache": _cache_delta(sessions, before),
+    }
+
+
+# ------------------------------------------------------------- orchestrator
+
+
+def _worker_main(worker_id, task_queue, result_queue, options) -> None:
+    """Worker process: pull shards until the ``None`` sentinel.
+
+    Sessions stay warm across shards, so a worker that processes several
+    shards of one implementation compiles its C source once.  Messages:
+    ``("start", worker, shard)`` before a shard (so the parent knows what
+    was in flight if this process dies), ``("cell", worker, shard,
+    position, result)`` per cell, ``("shard", worker, stats)`` after, and
+    ``("done", worker)`` on clean exit.
+    """
+    sessions: dict = {}
+    crash_keys = _crash_keys()
+    while True:
+        shard = task_queue.get()
+        if shard is None:
+            result_queue.put(("done", worker_id))
+            return
+        result_queue.put(("start", worker_id, shard.index))
+        if crash_keys and any(cell.key in crash_keys for _, cell in shard.cells):
+            # Fault injection for the worker-crash tests: die mid-shard
+            # without cleanup, like a segfaulting or OOM-killed solver
+            # would.  Flush the queue first so the "start" message is on
+            # the wire (a crash during the solve, not during the put); a
+            # crash that loses even that is covered by the no-live-workers
+            # fallback in run_matrix.
+            result_queue.close()
+            result_queue.join_thread()
+            os._exit(3)
+
+        def emit(position, result, _wid=worker_id, _shard=shard.index):
+            result.worker = _wid
+            if result.result is not None:
+                # Don't pickle the shared observation set once per cell;
+                # spec size and counterexample text are already in the
+                # JSON-safe fields.
+                result.result = replace(result.result, specification=None)
+            result_queue.put(("cell", _wid, _shard, position, result))
+
+        stats = _run_shard(shard, sessions, options, emit)
+        result_queue.put(("shard", worker_id, stats))
+
+
+def _mp_context():
+    # fork is cheap and inherits the imported package; fall back to spawn
+    # where fork is unavailable (it pickles cells/options/results fine).
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_matrix(
+    cells,
+    jobs: int | None = None,
+    shard_by: str = "test",
+    options=None,
+    progress=None,
+) -> MatrixResult:
+    """Run a check matrix, optionally across a multiprocessing pool.
+
+    ``jobs=None`` reads ``CHECKFENCE_JOBS`` (default 1).  ``jobs=1`` is the
+    deterministic serial path: shards run in order, in-process, sharing
+    warm sessions exactly like one worker would.  ``jobs>1`` starts worker
+    processes, streams results back as cells finish, and reports crashed
+    workers' in-flight cells as errors instead of hanging.  ``progress``
+    (if given) is called as ``progress(done, total, cell_result)`` from
+    the parent process, in completion order.
+
+    The returned :class:`MatrixResult` lists cell results in the original
+    order of ``cells``, so a parallel run is directly comparable to a
+    serial one.
+    """
+    from repro.core.checker import CheckOptions
+
+    cells = list(cells)
+    if jobs is None:
+        jobs = default_jobs()
+    options = options if options is not None else CheckOptions()
+    shards = shard_cells(cells, shard_by)
+    started = time.perf_counter()
+    results: dict[int, CellResult] = {}
+    shard_stats: list[dict] = []
+    total = len(cells)
+
+    def record(position: int, result: CellResult) -> None:
+        results[position] = result
+        if progress is not None:
+            progress(len(results), total, result)
+
+    if jobs <= 1 or len(shards) <= 1 or total <= 1:
+        sessions: dict = {}
+        for shard in shards:
+            shard_stats.append(_run_shard(shard, sessions, options, record))
+        return MatrixResult(
+            results=[results[i] for i in range(total)],
+            jobs=1,
+            shard_by=shard_by,
+            shard_count=len(shards),
+            elapsed_seconds=time.perf_counter() - started,
+            shard_stats=shard_stats,
+        )
+
+    jobs = min(jobs, len(shards))
+    ctx = _mp_context()
+    task_queue = ctx.Queue()
+    result_queue = ctx.Queue()
+    for shard in shards:
+        task_queue.put(shard)
+    for _ in range(jobs):
+        task_queue.put(None)
+    workers = [
+        ctx.Process(
+            target=_worker_main,
+            args=(worker_id, task_queue, result_queue, options),
+            daemon=True,
+        )
+        for worker_id in range(jobs)
+    ]
+    for worker in workers:
+        worker.start()
+
+    #: positions of each shard's cells not yet reported back.
+    pending: dict[int, set[int]] = {
+        shard.index: {position for position, _ in shard.cells}
+        for shard in shards
+    }
+    shards_by_index = {shard.index: shard for shard in shards}
+    in_flight: dict[int, int] = {}   # worker id -> shard index
+    finished_workers: set[int] = set()
+    crashed_workers: dict[int, int | None] = {}
+
+    def handle(message) -> None:
+        kind = message[0]
+        if kind == "start":
+            _, worker_id, shard_index = message
+            in_flight[worker_id] = shard_index
+        elif kind == "cell":
+            _, worker_id, shard_index, position, result = message
+            record(position, result)
+            remaining = pending.get(shard_index)
+            if remaining is not None:
+                remaining.discard(position)
+                if not remaining:
+                    pending.pop(shard_index, None)
+                    in_flight.pop(worker_id, None)
+        elif kind == "shard":
+            _, _worker_id, stats = message
+            shard_stats.append(stats)
+        elif kind == "done":
+            _, worker_id = message
+            finished_workers.add(worker_id)
+            in_flight.pop(worker_id, None)
+
+    def drain() -> None:
+        while True:
+            try:
+                handle(result_queue.get_nowait())
+            except queue_module.Empty:
+                return
+
+    def fail_shard(shard_index: int, reason: str) -> None:
+        remaining = pending.pop(shard_index, None)
+        if not remaining:
+            return
+        for position, cell in shards_by_index[shard_index].cells:
+            if position in remaining:
+                record(position, CellResult(cell=cell, error=reason))
+
+    while pending:
+        try:
+            handle(result_queue.get(timeout=0.2))
+            continue
+        except queue_module.Empty:
+            pass
+        # No message: look for workers that died without saying goodbye.
+        drain()
+        for worker_id, worker in enumerate(workers):
+            if (
+                worker.is_alive()
+                or worker_id in finished_workers
+                or worker_id in crashed_workers
+            ):
+                continue
+            crashed_workers[worker_id] = worker.exitcode
+            shard_index = in_flight.pop(worker_id, None)
+            if shard_index is not None:
+                fail_shard(
+                    shard_index,
+                    f"worker {worker_id} crashed "
+                    f"(exit code {worker.exitcode})",
+                )
+        if len(finished_workers) + len(crashed_workers) == len(workers):
+            # Every worker is gone; nothing else will ever arrive.
+            drain()
+            for shard_index in list(pending):
+                fail_shard(
+                    shard_index,
+                    "no live workers left (pool crashed before this shard)",
+                )
+            task_queue.cancel_join_thread()
+
+    for worker in workers:
+        worker.join(timeout=5)
+        if worker.is_alive():
+            worker.terminate()
+    drain()  # trailing "shard"/"done" messages sent after the last cell
+
+    return MatrixResult(
+        results=[results[i] for i in range(total)],
+        jobs=jobs,
+        shard_by=shard_by,
+        shard_count=len(shards),
+        elapsed_seconds=time.perf_counter() - started,
+        shard_stats=shard_stats,
+    )

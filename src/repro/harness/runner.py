@@ -13,6 +13,11 @@ The runner wraps the checker with bookkeeping so that each experiment
   vs the commit-point style baseline);
 * :func:`fence_experiment` — the Section 4.2 experiment (unfenced fails,
   fenced passes).
+
+Matrix-shaped experiments (a whole catalog, or one test under several
+models) go through :mod:`repro.harness.matrix`: :func:`catalog_matrix`
+runs Fig. 8 x models across a worker pool, and :func:`model_sweep` is the
+one-test-many-models special case.
 """
 
 from __future__ import annotations
@@ -24,13 +29,17 @@ from dataclasses import asdict, dataclass, field
 from repro.core.checker import CheckFence, CheckOptions
 from repro.core.commitpoint import run_commit_point_check
 from repro.core.results import CheckResult
-from repro.core.session import CheckSession
 from repro.core.specification import (
     ReferenceSpecificationMiner,
     SatSpecificationMiner,
 )
-from repro.datatypes.registry import category_of, get_implementation
+from repro.datatypes.registry import (
+    base_implementations,
+    category_of,
+    get_implementation,
+)
 from repro.harness.catalog import get_test
+from repro.harness.matrix import MatrixCell, MatrixResult, catalog_cells, run_matrix
 from repro.memorymodel.base import get_model
 
 
@@ -99,15 +108,57 @@ def model_sweep(
     test_name: str,
     memory_models,
     options: CheckOptions | None = None,
+    jobs: int | None = None,
+    shard_by: str = "test",
 ) -> list[CheckResult]:
-    """Check one catalog test under several memory models with one
-    :class:`CheckSession`: the test is compiled once and its specification
-    mined once, instead of once per model."""
-    implementation = get_implementation(implementation_name)
-    category = category_of(implementation_name)
-    test = get_test(category, test_name)
-    session = CheckSession(implementation, options)
-    return session.sweep(test, [get_model(m) for m in memory_models])
+    """Check one catalog test under several memory models.
+
+    Routed through :func:`repro.harness.matrix.run_matrix`.  With the
+    default ``shard_by="test"`` every model lands in one shard, so one
+    :class:`~repro.core.session.CheckSession` compiles the test once and
+    mines its specification once (the deterministic serial path, whatever
+    ``jobs`` says).  Pass ``shard_by="model"`` with ``jobs>1`` to trade
+    that reuse for wall-clock parallelism across models.
+    """
+    cells = [
+        MatrixCell(implementation_name, test_name, get_model(m).name)
+        for m in memory_models
+    ]
+    matrix = run_matrix(cells, jobs=jobs, shard_by=shard_by, options=options)
+    for cell_result in matrix.results:
+        if cell_result.error:
+            raise RuntimeError(
+                f"model_sweep cell {cell_result.cell.key} failed: "
+                f"{cell_result.error}"
+            )
+    return [cell_result.result for cell_result in matrix.results]
+
+
+def catalog_matrix(
+    implementations=None,
+    memory_models=("relaxed",),
+    tests=None,
+    size: str = "small",
+    jobs: int | None = None,
+    shard_by: str = "test",
+    options: CheckOptions | None = None,
+    progress=None,
+) -> MatrixResult:
+    """Run a Fig. 8 catalog matrix: (implementation x test x model) cells
+    sharded across a worker pool (see :mod:`repro.harness.matrix`).
+
+    ``implementations=None`` checks the five Table 1 base implementations;
+    ``tests=None`` selects each implementation's catalog tests of the given
+    ``size`` class.
+    """
+    if implementations is None:
+        implementations = base_implementations()
+    cells = catalog_cells(
+        implementations, models=memory_models, tests=tests, size=size
+    )
+    return run_matrix(
+        cells, jobs=jobs, shard_by=shard_by, options=options, progress=progress
+    )
 
 
 def inclusion_row(

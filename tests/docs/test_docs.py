@@ -1,0 +1,62 @@
+"""Docs stay honest: links resolve and the tutorial's commands parse.
+
+The full tutorial smoke run (executing every code block) lives in the CI
+docs job (``python tools/docs_check.py --tutorial``); tier-1 keeps the
+cheap invariants so a broken link or a renamed CLI flag fails fast.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__)
+)))
+
+
+@pytest.fixture(scope="module")
+def docs_check():
+    spec = importlib.util.spec_from_file_location(
+        "docs_check", os.path.join(_REPO_ROOT, "tools", "docs_check.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_tree_exists():
+    for name in ("architecture.md", "tutorial.md", "paper-map.md"):
+        assert os.path.exists(os.path.join(_REPO_ROOT, "docs", name))
+
+
+def test_intra_repo_markdown_links_resolve(docs_check):
+    problems = docs_check.check_links()
+    assert problems == []
+
+
+def test_link_checker_detects_breakage(tmp_path, docs_check, monkeypatch):
+    bad = tmp_path / "bad.md"
+    bad.write_text("see [missing](no/such/file.md) and [ok](ok.md)")
+    (tmp_path / "ok.md").write_text("fine")
+    monkeypatch.setattr(docs_check, "REPO_ROOT", str(tmp_path))
+    problems = docs_check.check_links()
+    assert len(problems) == 1 and "no/such/file.md" in problems[0]
+
+
+def test_tutorial_commands_extracted(docs_check):
+    commands = docs_check.tutorial_commands()
+    kinds = [kind for kind, _, _ in commands]
+    assert kinds.count("sh") >= 6      # list/spec/check x2/sweep/matrix x2
+    assert "python" in kinds           # the C -> LSL snippet
+    # The failing check declares its expected nonzero exit code.
+    failing = [
+        expected for _, argv, expected in commands
+        if "msn-unfenced" in argv
+    ]
+    assert failing == [1]
+    # checkfence shorthand is rewritten to drive the in-tree CLI.
+    for kind, argv, _ in commands:
+        if kind == "sh":
+            assert argv[0] == sys.executable and "repro.cli" in argv

@@ -1,0 +1,160 @@
+"""Documentation checks: markdown link integrity and tutorial smoke runs.
+
+Two modes, combinable (the CI docs job runs both):
+
+* ``--links`` — every inline markdown link in the repo's ``*.md`` files
+  that points inside the repo must resolve to an existing file or
+  directory (fragments are stripped; external ``http(s)``/``mailto``
+  links and pure-anchor links are skipped).
+* ``--tutorial`` — executes the fenced ``sh`` and ``python`` code blocks
+  of ``docs/tutorial.md`` as a smoke test.  In ``sh`` blocks each line is
+  one command; a leading ``checkfence`` is translated to ``python -m
+  repro.cli`` with ``PYTHONPATH=src``, and a trailing ``# exit: N``
+  comment declares the expected exit code (default 0).  ``python`` blocks
+  run whole, also against the in-tree package.
+
+Exits nonzero, listing every failure, when anything is broken.  Run from
+anywhere; paths resolve relative to the repo root (the parent of this
+file's directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Inline markdown links: [text](target).  Good enough for this repo's
+#: docs; reference-style links are not used.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE_RE = re.compile(r"^```(\w*)\s*$")
+_EXIT_RE = re.compile(r"^(?P<cmd>.*?)(?:\s*#\s*exit:\s*(?P<code>\d+))?\s*$")
+
+#: Directories never scanned for markdown files.
+_SKIP_DIRS = {".git", ".claude", ".pytest_cache", ".hypothesis", ".benchmarks",
+              "__pycache__", "node_modules"}
+
+
+def markdown_files() -> list[str]:
+    found = []
+    for dirpath, dirnames, filenames in os.walk(REPO_ROOT):
+        dirnames[:] = [d for d in dirnames if d not in _SKIP_DIRS]
+        for filename in filenames:
+            if filename.endswith(".md"):
+                found.append(os.path.join(dirpath, filename))
+    return sorted(found)
+
+
+def check_links() -> list[str]:
+    """Return a list of "file: broken target" problem strings."""
+    problems = []
+    for path in markdown_files():
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        for target in _LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target.split("#", 1)[0])
+            )
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, REPO_ROOT)
+                problems.append(f"{rel}: broken link -> {target}")
+    return problems
+
+
+def tutorial_commands(path: str | None = None) -> list[tuple[str, list[str], int]]:
+    """Extract ``(kind, command, expected_exit)`` tuples from the tutorial's
+    fenced ``sh``/``python`` blocks.  ``command`` is an argv list."""
+    if path is None:
+        path = os.path.join(REPO_ROOT, "docs", "tutorial.md")
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    commands: list[tuple[str, list[str], int]] = []
+    language = None
+    block: list[str] = []
+    for line in lines:
+        fence = _FENCE_RE.match(line)
+        if fence is None:
+            if language is not None:
+                block.append(line)
+            continue
+        if language is None:
+            language = fence.group(1)
+            block = []
+            continue
+        # Closing fence: flush the block.
+        if language == "sh":
+            for raw in block:
+                raw = raw.strip()
+                if not raw or raw.startswith("#"):
+                    continue
+                match = _EXIT_RE.match(raw)
+                command, code = match.group("cmd"), match.group("code")
+                if command.startswith("checkfence"):
+                    command = command.replace(
+                        "checkfence",
+                        f"{sys.executable} -m repro.cli",
+                        1,
+                    )
+                commands.append(
+                    ("sh", command.split(), int(code) if code else 0)
+                )
+        elif language == "python":
+            commands.append(("python", [sys.executable, "-c", "\n".join(block)], 0))
+        language = None
+    return commands
+
+
+def run_tutorial() -> list[str]:
+    """Run every tutorial command; return problem strings."""
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    problems = []
+    commands = tutorial_commands()
+    if not commands:
+        return ["docs/tutorial.md: no runnable code blocks found"]
+    for kind, argv, expected in commands:
+        shown = " ".join(argv[:6]) + (" ..." if len(argv) > 6 else "")
+        print(f"[tutorial:{kind}] {shown}", flush=True)
+        proc = subprocess.run(
+            argv, cwd=REPO_ROOT, env=env, capture_output=True, text=True
+        )
+        if proc.returncode != expected:
+            problems.append(
+                f"tutorial command {shown!r} exited {proc.returncode} "
+                f"(expected {expected}):\n{proc.stderr.strip()[-2000:]}"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--links", action="store_true",
+                        help="check intra-repo markdown links resolve")
+    parser.add_argument("--tutorial", action="store_true",
+                        help="run docs/tutorial.md code blocks as a smoke test")
+    args = parser.parse_args(argv)
+    if not (args.links or args.tutorial):
+        parser.error("nothing to do: pass --links and/or --tutorial")
+    problems = []
+    if args.links:
+        problems += check_links()
+    if args.tutorial:
+        problems += run_tutorial()
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("docs checks passed")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
