@@ -10,6 +10,9 @@ Examples::
     checkfence litmus --model relaxed
     checkfence matrix --impls msn,ms2 --models sc,relaxed --jobs 4
     checkfence matrix --litmus --models sc,tso,pso,relaxed --jobs 2 --json -
+    checkfence oracle --litmus store-buffering --model tso
+    checkfence oracle --spec "x=1 r0=y | y=1 r1=x" --model sc
+    checkfence fuzz --budget 500 --seed 1 --jobs 4
 """
 
 from __future__ import annotations
@@ -173,6 +176,20 @@ def _matrix_progress(done: int, total: int, result) -> None:
           file=sys.stderr)
 
 
+def _emit_json(payload: dict, target: str, label: str):
+    """Write a command's JSON payload (``target`` is a path or ``-``) and
+    return the stream the human-readable report must use: stderr whenever
+    JSON is in play, so ``--json - | jq`` always receives pure JSON."""
+    text = json.dumps(payload, indent=2, default=str)
+    if target == "-":
+        print(text)
+    else:
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"{label} JSON written to {target}", file=sys.stderr)
+    return sys.stderr
+
+
 def _cmd_matrix(args) -> int:
     models = [name.strip() for name in args.models.split(",") if name.strip()]
     options = CheckOptions(
@@ -207,20 +224,110 @@ def _cmd_matrix(args) -> int:
         progress=None if args.quiet else _matrix_progress,
     )
     if args.json is not None:
-        payload = json.dumps(matrix.as_dict(), indent=2, default=str)
-        if args.json == "-":
-            print(payload)
-        else:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                handle.write(payload + "\n")
-            print(f"matrix JSON written to {args.json}")
-        print(matrix.summary(), file=sys.stderr)
+        report = _emit_json(matrix.as_dict(), args.json, "matrix")
+        print(matrix.summary(), file=report)
     else:
         print(matrix.format_table())
         print(matrix.summary())
     for failed in matrix.errors:
         print(f"error in {failed.cell.key}: {failed.error}", file=sys.stderr)
     return 0 if matrix.ok else 1
+
+
+def _cmd_oracle(args) -> int:
+    from repro.fuzz.generator import FuzzProgram
+    from repro.oracle import differential_check
+
+    if bool(args.litmus) == bool(args.spec):
+        print("oracle: pass exactly one of --litmus or --spec",
+              file=sys.stderr)
+        return 2
+    model = get_model(args.model)
+    if args.litmus:
+        from repro.litmus.catalog import compiled_litmus
+
+        catalog = available_litmus_tests()
+        if args.litmus not in catalog:
+            print(f"oracle: unknown litmus test {args.litmus!r} "
+                  f"(known: {', '.join(sorted(catalog))})", file=sys.stderr)
+            return 2
+        compiled = compiled_litmus(catalog[args.litmus])
+        name = args.litmus
+    else:
+        from repro.fuzz.generator import FuzzSpecError
+
+        try:
+            compiled = FuzzProgram.parse(args.spec).compile()
+        except FuzzSpecError as exc:
+            print(f"oracle: {exc}", file=sys.stderr)
+            return 2
+        name = args.spec
+    report = differential_check(
+        compiled, model, backend_spec=args.solver, name=name
+    )
+    if report.inconclusive:
+        print(report.describe())
+        return 2
+    labels = compiled.observation_labels()
+    print(f"{name} @ {model.name}: observation slots "
+          f"[{', '.join(labels)}]")
+    print(f"oracle enumerated {len(report.oracle.outcomes)} outcomes "
+          f"({report.oracle.nodes} states, {report.oracle.traces} traces); "
+          f"SAT mined {len(report.sat_outcomes)}")
+    for outcome in sorted(report.oracle.outcomes | report.sat_outcomes):
+        in_oracle = outcome in report.oracle.outcomes
+        in_sat = outcome in report.sat_outcomes
+        marker = "both" if in_oracle and in_sat else (
+            "ORACLE ONLY" if in_oracle else "SAT ONLY"
+        )
+        print(f"  {outcome}  [{marker}]")
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import FuzzConfig, run_fuzz
+
+    models = [name.strip() for name in args.models.split(",") if name.strip()]
+    if not models or args.budget <= 0:
+        # Mirror the matrix command's guard: a campaign with no cells
+        # would "pass" having compared nothing.
+        print("fuzz: no cells selected (check --models / --budget)",
+              file=sys.stderr)
+        return 2
+    config = FuzzConfig(
+        max_threads=args.max_threads,
+        max_ops=args.max_ops,
+        num_addresses=args.addrs,
+    )
+    result = run_fuzz(
+        budget=args.budget,
+        seed=args.seed,
+        models=models,
+        config=config,
+        jobs=args.jobs,
+        shard_by=args.shard_by,
+        options=CheckOptions(solver_backend=args.solver),
+        progress=None if args.quiet else _matrix_progress,
+        shrink=not args.no_shrink,
+    )
+    report = sys.stdout
+    if args.json is not None:
+        report = _emit_json(result.as_dict(), args.json, "fuzz")
+    print(result.summary(), file=report)
+    for divergence in result.divergences:
+        print(f"DIVERGENCE under {divergence.model}: "
+              f"{divergence.description}", file=report)
+        print(f"  replay: checkfence oracle --model {divergence.model} "
+              f"--spec {divergence.shrunk_spec!r}", file=report)
+    for entry in result.inconclusive:
+        print(f"inconclusive: {entry['spec']!r} @ {entry['model']}: "
+              f"{'; '.join(entry['notes'])}", file=sys.stderr)
+    for failed in result.matrix.errors:
+        print(f"error in {failed.cell.key}: {failed.error}", file=sys.stderr)
+    if result.matrix.errors:
+        return 2
+    return 0 if result.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -370,6 +477,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress the per-cell progress stream on stderr",
     )
 
+    oracle_parser = sub.add_parser(
+        "oracle",
+        help="enumerate a litmus-shaped program's outcome set with the "
+        "operational oracle and cross-check it against the SAT encoding "
+        "(exit codes: 0 agreement, 1 divergence, 2 usage error or no "
+        "verdict — the program is outside the oracle's fragment/budgets)",
+    )
+    oracle_parser.add_argument(
+        "--litmus", default=None, metavar="NAME",
+        help="a litmus catalog test (see 'litmus')",
+    )
+    oracle_parser.add_argument(
+        "--spec", default=None, metavar="SPEC",
+        help="a fuzz program spec, e.g. 'x=1 r0=y | y=1 r1=x'",
+    )
+    oracle_parser.add_argument("--model", default="relaxed",
+                               help="memory model (default: relaxed)")
+    oracle_parser.add_argument("--solver", default=None, help=solver_help)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generate random litmus programs and "
+        "compare the operational oracle against the SAT encoding on every "
+        "memory model (exit code 1 on divergence)",
+    )
+    fuzz_parser.add_argument("--budget", type=int, default=100,
+                             help="number of distinct programs (default: 100)")
+    fuzz_parser.add_argument("--seed", type=int, default=1,
+                             help="generator seed; the whole campaign is "
+                             "replayable from it (default: 1)")
+    fuzz_parser.add_argument(
+        "--models", default="serial,sc,tso,pso,relaxed",
+        help="comma-separated memory models "
+        "(default: serial,sc,tso,pso,relaxed)",
+    )
+    fuzz_parser.add_argument("--max-threads", type=int, default=3,
+                             help="threads per program (default: up to 3)")
+    fuzz_parser.add_argument("--max-ops", type=int, default=4,
+                             help="operations per thread (default: up to 4)")
+    fuzz_parser.add_argument("--addrs", type=int, default=2,
+                             help="shared addresses (default: 2)")
+    fuzz_parser.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    fuzz_parser.add_argument(
+        "--shard-by", default="test", choices=list(SHARD_AXES),
+        help="matrix sharding axis; 'test' compiles each program once for "
+        "all models (default: test)",
+    )
+    fuzz_parser.add_argument("--solver", default=None, help=solver_help)
+    fuzz_parser.add_argument("--no-shrink", action="store_true",
+                             help="report divergences without minimizing them")
+    fuzz_parser.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the campaign (programs, divergences, throughput) as "
+        "JSON to FILE, or '-' for stdout",
+    )
+    fuzz_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-cell progress stream on stderr",
+    )
+
     return parser
 
 
@@ -384,6 +551,8 @@ def main(argv: list[str] | None = None) -> int:
         "spec": _cmd_spec,
         "litmus": _cmd_litmus,
         "matrix": _cmd_matrix,
+        "oracle": _cmd_oracle,
+        "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)
 

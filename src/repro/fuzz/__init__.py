@@ -1,0 +1,37 @@
+"""Differential litmus fuzzer (random programs, oracle vs SAT encoding)."""
+
+from repro.fuzz.generator import (
+    ADDRESS_NAMES,
+    FuzzConfig,
+    FuzzOp,
+    FuzzProgram,
+    FuzzSpecError,
+    generate_corpus,
+    generate_program,
+)
+from repro.fuzz.harness import (
+    DEFAULT_MODELS,
+    FuzzCampaignResult,
+    FuzzDivergence,
+    compiled_fuzz_program,
+    fuzz_cells,
+    run_fuzz,
+    shrink_divergence,
+)
+
+__all__ = [
+    "ADDRESS_NAMES",
+    "FuzzConfig",
+    "FuzzOp",
+    "FuzzProgram",
+    "FuzzSpecError",
+    "generate_corpus",
+    "generate_program",
+    "DEFAULT_MODELS",
+    "FuzzCampaignResult",
+    "FuzzDivergence",
+    "compiled_fuzz_program",
+    "fuzz_cells",
+    "run_fuzz",
+    "shrink_divergence",
+]

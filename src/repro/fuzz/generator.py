@@ -1,0 +1,395 @@
+"""Random litmus-program generation for the differential fuzzer.
+
+A fuzz program is N threads of M load/store/fence operations over K shared
+addresses — the "as many scenarios as you can imagine" generalization of the
+hand-written shapes in :mod:`repro.litmus.catalog`.  Programs have a compact
+*replayable* textual form (the catalog form reported on divergence)::
+
+    x=1 r0=x | y=1 f(ss) r0=y        # threads separated by '|'
+    x=1      store the constant 1 to address x
+    x=r0     store the value loaded into r0 earlier in this thread
+    r0=x     load address x into register r0 (observable outcome slot)
+    f(ss)    fence; kinds ll, ls, sl, ss, full
+
+Register-copied stores (``x=r0``) deliberately create the value
+dependencies the Relaxed model does *not* order, so the fuzzer exercises
+the encoder's out-of-thin-air executions too.
+
+:meth:`FuzzProgram.compile` lowers a program straight to a
+:class:`~repro.encoding.testprogram.CompiledTest` (no C front-end, no
+inliner/unroller: each thread is one straight-line invocation whose load
+destinations are the observable return registers), so both the SAT encoder
+and the operational oracle consume exactly the same artifact as for any
+other test.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, replace
+
+from repro.analysis.allocation import build_layout, resolve_allocations
+from repro.analysis.ranges import RangeAnalysis
+from repro.datatypes.spec import DataTypeImplementation, OperationSpec
+from repro.encoding.testprogram import CompiledInvocation, CompiledTest
+from repro.lsl.instructions import (
+    ConstAssign,
+    Fence,
+    FenceKind,
+    Load,
+    Statement,
+    Store,
+)
+from repro.lsl.program import GlobalDecl, Invocation, Procedure, Program, SymbolicTest
+
+#: Shared-address names, in layout order.
+ADDRESS_NAMES = ("x", "y", "z", "w", "u", "v")
+
+#: Short fence-kind spellings used in the spec form.
+FENCE_SHORT = {
+    "ll": FenceKind.LOAD_LOAD,
+    "ls": FenceKind.LOAD_STORE,
+    "sl": FenceKind.STORE_LOAD,
+    "ss": FenceKind.STORE_STORE,
+    "full": FenceKind.FULL,
+}
+_FENCE_NAMES = {kind: short for short, kind in FENCE_SHORT.items()}
+
+_LOAD_RE = re.compile(r"^r(\d+)=([a-z])$")
+_STORE_CONST_RE = re.compile(r"^([a-z])=(\d+)$")
+_STORE_REG_RE = re.compile(r"^([a-z])=r(\d+)$")
+_FENCE_RE = re.compile(r"^f\((ll|ls|sl|ss|full)\)$")
+
+
+class FuzzSpecError(ValueError):
+    """A spec string does not parse as a fuzz program."""
+
+
+@dataclass(frozen=True)
+class FuzzOp:
+    """One operation of a fuzz thread."""
+
+    kind: str                       # "load" | "store" | "fence"
+    addr: str = ""                  # address name for load/store
+    value: int | None = None        # constant for stores
+    src_reg: int | None = None      # register for register-copied stores
+    dst_reg: int | None = None      # destination register for loads
+    fence: FenceKind | None = None
+
+    def spec(self) -> str:
+        if self.kind == "load":
+            return f"r{self.dst_reg}={self.addr}"
+        if self.kind == "store":
+            if self.src_reg is not None:
+                return f"{self.addr}=r{self.src_reg}"
+            return f"{self.addr}={self.value}"
+        return f"f({_FENCE_NAMES[self.fence]})"
+
+
+@dataclass(frozen=True)
+class FuzzProgram:
+    """A generated (or replayed) litmus program."""
+
+    threads: tuple[tuple[FuzzOp, ...], ...]
+
+    # ------------------------------------------------------------- spec form
+
+    def spec(self) -> str:
+        return " | ".join(
+            " ".join(op.spec() for op in thread) for thread in self.threads
+        )
+
+    @property
+    def name(self) -> str:
+        return self.spec()
+
+    @classmethod
+    def parse(cls, spec: str) -> "FuzzProgram":
+        threads = []
+        for part in spec.split("|"):
+            ops = []
+            for word in part.split():
+                ops.append(_parse_op(word))
+            if not ops:
+                raise FuzzSpecError(f"empty thread in fuzz spec: {spec!r}")
+            threads.append(tuple(ops))
+        if not threads:
+            raise FuzzSpecError(f"empty fuzz spec: {spec!r}")
+        program = cls(threads=tuple(threads))
+        if not program._well_formed():
+            # Reject rather than silently reinterpret: a dangling x=r0
+            # would store an unconstrained value, not "the value loaded
+            # into r0 earlier in this thread" as the DSL defines.
+            raise FuzzSpecError(
+                f"register-copied store without a preceding load of that "
+                f"register in its thread: {spec!r}"
+            )
+        return program
+
+    # ------------------------------------------------------------ structure
+
+    def addresses(self) -> list[str]:
+        """Addresses used, in :data:`ADDRESS_NAMES` (= layout) order."""
+        used = {
+            op.addr for thread in self.threads for op in thread if op.addr
+        }
+        unknown = used.difference(ADDRESS_NAMES)
+        if unknown:
+            raise FuzzSpecError(f"unknown addresses: {sorted(unknown)}")
+        return [name for name in ADDRESS_NAMES if name in used]
+
+    def counts(self) -> dict[str, int]:
+        loads = stores = fences = 0
+        for thread in self.threads:
+            for op in thread:
+                if op.kind == "load":
+                    loads += 1
+                elif op.kind == "store":
+                    stores += 1
+                else:
+                    fences += 1
+        return {
+            "threads": len(self.threads),
+            "loads": loads,
+            "stores": stores,
+            "fences": fences,
+        }
+
+    # ---------------------------------------------------------- compilation
+
+    def compile(self) -> CompiledTest:
+        """Lower to a :class:`CompiledTest` (one invocation per thread)."""
+        spec = self.spec()
+        program = Program(name="fuzz")
+        for address in self.addresses():
+            program.add_global(GlobalDecl(name=address, initial=0))
+        layout = build_layout(program)
+
+        invocations: list[CompiledInvocation] = []
+        operations: dict[str, OperationSpec] = {}
+        bodies: list[list[Statement]] = []
+        for thread_index, thread in enumerate(self.threads):
+            name = f"t{thread_index}"
+            statements: list[Statement] = []
+            load_regs: list[str] = []
+            for position, op in enumerate(thread):
+                prefix = f"{name}%{position}"
+                if op.kind == "fence":
+                    statements.append(Fence(op.fence))
+                    continue
+                addr_reg = f"{prefix}a"
+                statements.append(
+                    ConstAssign(addr_reg, layout.global_base(op.addr))
+                )
+                if op.kind == "load":
+                    dst = f"{name}$r{op.dst_reg}"
+                    statements.append(Load(dst, addr_reg))
+                    load_regs.append(dst)
+                else:
+                    if op.src_reg is not None:
+                        src = f"{name}$r{op.src_reg}"
+                    else:
+                        src = f"{prefix}c"
+                        statements.append(ConstAssign(src, op.value))
+                    statements.append(Store(addr_reg, src))
+            program.add_procedure(
+                Procedure(name=name, params=(), returns=tuple(load_regs),
+                          body=list(statements))
+            )
+            operations[name] = OperationSpec(
+                name=name, proc=name, has_return=bool(load_regs)
+            )
+            spec_op = operations[name]
+            invocations.append(CompiledInvocation(
+                thread=thread_index,
+                position=0,
+                global_index=thread_index,
+                label=name,
+                operation=spec_op,
+                statements=statements,
+                arg_regs=[],
+                out_regs=[],
+                ret_regs=load_regs,
+            ))
+            bodies.append(statements)
+
+        implementation = DataTypeImplementation(
+            name="fuzz",
+            description="generated litmus program (repro.fuzz)",
+            source=spec,
+            operations=operations,
+            init_operation=None,
+            reference=None,
+        )
+        test = SymbolicTest(
+            name=spec,
+            threads=[[Invocation(f"t{i}")] for i in range(len(self.threads))],
+        )
+        allocation = resolve_allocations(bodies, layout)
+        ranges = RangeAnalysis(layout, allocation).analyze(bodies)
+        return CompiledTest(
+            implementation=implementation,
+            test=test,
+            program=program,
+            invocations=invocations,
+            layout=layout,
+            allocation=allocation,
+            ranges=ranges,
+            loop_bounds={},
+        )
+
+    # ------------------------------------------------------------- shrinking
+
+    def shrink_candidates(self):
+        """Strictly smaller programs, biggest reductions first (whole
+        threads, then single operations)."""
+        if len(self.threads) > 1:
+            for index in range(len(self.threads)):
+                threads = self.threads[:index] + self.threads[index + 1:]
+                candidate = FuzzProgram(threads=threads)
+                if candidate._well_formed():
+                    yield candidate
+        for t, thread in enumerate(self.threads):
+            for index in range(len(thread)):
+                shrunk = thread[:index] + thread[index + 1:]
+                threads = (
+                    self.threads[:t] + ((shrunk,) if shrunk else ())
+                    + self.threads[t + 1:]
+                )
+                if not threads:
+                    continue
+                candidate = FuzzProgram(threads=threads)
+                if candidate._well_formed():
+                    yield candidate
+
+    def _well_formed(self) -> bool:
+        """Every register-copied store still has its defining load."""
+        if not any(self.threads):
+            return False
+        for thread in self.threads:
+            defined: set[int] = set()
+            for op in thread:
+                if op.kind == "load":
+                    defined.add(op.dst_reg)
+                elif op.kind == "store" and op.src_reg is not None:
+                    if op.src_reg not in defined:
+                        return False
+        return True
+
+
+def _parse_op(word: str) -> FuzzOp:
+    match = _FENCE_RE.match(word)
+    if match:
+        return FuzzOp(kind="fence", fence=FENCE_SHORT[match.group(1)])
+    match = _LOAD_RE.match(word)
+    if match:
+        return FuzzOp(kind="load", addr=match.group(2),
+                      dst_reg=int(match.group(1)))
+    match = _STORE_REG_RE.match(word)
+    if match:
+        return FuzzOp(kind="store", addr=match.group(1),
+                      src_reg=int(match.group(2)))
+    match = _STORE_CONST_RE.match(word)
+    if match:
+        return FuzzOp(kind="store", addr=match.group(1),
+                      value=int(match.group(2)))
+    raise FuzzSpecError(f"cannot parse fuzz op {word!r}")
+
+
+# ---------------------------------------------------------------- generation
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of the random program generator (all ranges inclusive)."""
+
+    min_threads: int = 2
+    max_threads: int = 3
+    min_ops: int = 2
+    max_ops: int = 4
+    num_addresses: int = 2
+    values: tuple[int, ...] = (1, 2)
+    fence_probability: float = 0.2
+    #: Probability that a store copies a previously loaded register instead
+    #: of a constant (creates the value dependencies Relaxed leaves
+    #: unordered — the out-of-thin-air corner of the encoding).
+    copy_probability: float = 0.2
+
+    def clamped(self) -> "FuzzConfig":
+        # A max below the default min wins (so e.g. max_threads=1 means
+        # single-threaded programs, not "silently keep the default 2").
+        addresses = max(1, min(self.num_addresses, len(ADDRESS_NAMES)))
+        min_threads = max(1, min(self.min_threads, self.max_threads))
+        min_ops = max(1, min(self.min_ops, self.max_ops))
+        return replace(
+            self,
+            num_addresses=addresses,
+            min_threads=min_threads,
+            max_threads=max(min_threads, self.max_threads),
+            min_ops=min_ops,
+            max_ops=max(min_ops, self.max_ops),
+            # All-fence draws are redrawn, so a certain-fence probability
+            # would never terminate.
+            fence_probability=max(0.0, min(self.fence_probability, 0.9)),
+        )
+
+
+def generate_program(rng: random.Random, config: FuzzConfig | None = None) -> FuzzProgram:
+    """Draw one random program.  Deterministic given the rng state."""
+    config = (config or FuzzConfig()).clamped()
+    addresses = ADDRESS_NAMES[: config.num_addresses]
+    while True:
+        threads = []
+        for _ in range(rng.randint(config.min_threads, config.max_threads)):
+            ops: list[FuzzOp] = []
+            next_reg = 0
+            loaded: list[int] = []
+            for _ in range(rng.randint(config.min_ops, config.max_ops)):
+                roll = rng.random()
+                addr = rng.choice(addresses)
+                if roll < config.fence_probability:
+                    ops.append(FuzzOp(
+                        kind="fence",
+                        fence=FENCE_SHORT[rng.choice(tuple(FENCE_SHORT))],
+                    ))
+                elif roll < config.fence_probability + (1 - config.fence_probability) / 2:
+                    ops.append(FuzzOp(kind="load", addr=addr, dst_reg=next_reg))
+                    loaded.append(next_reg)
+                    next_reg += 1
+                elif loaded and rng.random() < config.copy_probability:
+                    ops.append(FuzzOp(
+                        kind="store", addr=addr, src_reg=rng.choice(loaded)
+                    ))
+                else:
+                    ops.append(FuzzOp(
+                        kind="store", addr=addr, value=rng.choice(config.values)
+                    ))
+            threads.append(tuple(ops))
+        if any(op.kind != "fence" for thread in threads for op in thread):
+            return FuzzProgram(threads=tuple(threads))
+        # All-fence programs are vacuous; redraw (terminates: the clamped
+        # fence probability keeps the all-fence chance below 1).
+
+
+def generate_corpus(
+    seed: int,
+    budget: int,
+    config: FuzzConfig | None = None,
+    max_attempts_factor: int = 20,
+) -> list[FuzzProgram]:
+    """``budget`` distinct programs from one seed (deduplicated by spec)."""
+    rng = random.Random(seed)
+    programs: list[FuzzProgram] = []
+    seen: set[str] = set()
+    attempts = 0
+    limit = max(budget, 1) * max_attempts_factor
+    while len(programs) < budget and attempts < limit:
+        attempts += 1
+        program = generate_program(rng, config)
+        spec = program.spec()
+        if spec in seen:
+            continue
+        seen.add(spec)
+        programs.append(program)
+    return programs

@@ -1,0 +1,325 @@
+"""The differential fuzzing campaign: generate, shard, compare, shrink.
+
+A campaign draws ``budget`` distinct programs from one seed, crosses them
+with the selected memory models, and runs every (program, model) cell
+through the PR-2 worker-pool matrix (:mod:`repro.harness.matrix`) — each
+cell compares the operational enumerator against the SAT encoding via
+:func:`repro.oracle.differ.differential_check`.  Sharding by test keeps one
+compiled program per shard, so all five models reuse the compilation; with
+``jobs>1`` programs fan out across worker processes exactly like catalog
+checks do.
+
+Divergent cells are re-checked in the parent and *shrunk*: operations and
+threads are greedily removed while the divergence persists, so the reported
+reproducer (the spec string — replayable with ``checkfence oracle --spec``)
+is minimal.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.fuzz.generator import FuzzConfig, FuzzProgram, generate_corpus
+from repro.harness.matrix import FUZZ_KIND, MatrixCell, MatrixResult, run_matrix
+from repro.memorymodel.base import get_model
+from repro.oracle.differ import DifferentialReport, differential_check
+
+#: Memory models a campaign covers by default (all five of the paper).
+DEFAULT_MODELS = ("serial", "sc", "tso", "pso", "relaxed")
+
+#: Compiled-program cache: workers see the same program for every model of
+#: a shard; keep a small keyed cache instead of a session object.
+_COMPILED_CACHE: dict[str, object] = {}
+_COMPILED_CACHE_LIMIT = 64
+
+
+def compiled_fuzz_program(spec: str):
+    """Parse and compile a fuzz spec, with a per-process cache."""
+    cached = _COMPILED_CACHE.get(spec)
+    if cached is None:
+        if len(_COMPILED_CACHE) >= _COMPILED_CACHE_LIMIT:
+            _COMPILED_CACHE.clear()
+        cached = FuzzProgram.parse(spec).compile()
+        _COMPILED_CACHE[spec] = cached
+    return cached
+
+
+def fuzz_cells(specs, models) -> list[MatrixCell]:
+    """One matrix cell per (program spec, memory model)."""
+    model_names = [get_model(m).name for m in models]
+    return [
+        MatrixCell("fuzz", spec, model, kind=FUZZ_KIND)
+        for spec in specs
+        for model in model_names
+    ]
+
+
+def run_fuzz_cell(cell: MatrixCell, options) -> "CellResult":
+    """Differentially check one (program, model) cell.
+
+    Called by the matrix executor (:func:`repro.harness.matrix._run_cell`)
+    inside its error containment, so exceptions here become per-cell
+    errors, not crashed shards.
+    """
+    from repro.harness.matrix import CellResult
+
+    started = time.perf_counter()
+    compiled = compiled_fuzz_program(cell.test)
+    report = differential_check(
+        compiled, cell.model, backend_spec=options.solver_backend,
+        name=cell.test,
+    )
+    notes = []
+    if report.inconclusive:
+        notes.append(f"inconclusive: {report.reason}")
+    return CellResult(
+        cell=cell,
+        passed=report.ok,
+        seconds=time.perf_counter() - started,
+        counterexample=report.describe() if report.diverged else "",
+        notes=notes,
+        stats={
+            "oracle_status": report.oracle.status,
+            "oracle_outcomes": len(report.oracle.outcomes),
+            "sat_outcomes": len(report.sat_outcomes),
+            "oracle_nodes": report.oracle.nodes,
+            "oracle_traces": report.oracle.traces,
+        },
+    )
+
+
+# ---------------------------------------------------------------- shrinking
+
+
+def shrink_divergence(
+    program: FuzzProgram,
+    model: str,
+    backend_spec: str | None = None,
+    max_rounds: int = 100,
+) -> tuple[FuzzProgram, DifferentialReport]:
+    """Greedily minimize a diverging program, keeping the divergence.
+
+    Returns the smallest program found and its (still diverging) report.
+    """
+    def report_for(candidate: FuzzProgram) -> DifferentialReport:
+        return differential_check(
+            candidate.compile(), model, backend_spec=backend_spec,
+            name=candidate.spec(),
+        )
+
+    current = report_for(program)
+    if not current.diverged:
+        return program, current
+    for _ in range(max_rounds):
+        for candidate in program.shrink_candidates():
+            try:
+                candidate_report = report_for(candidate)
+            except Exception:
+                continue
+            if candidate_report.diverged:
+                program, current = candidate, candidate_report
+                break
+        else:
+            break
+    return program, current
+
+
+# ----------------------------------------------------------------- campaign
+
+
+@dataclass
+class FuzzDivergence:
+    """One confirmed oracle/SAT disagreement, in replayable form."""
+
+    spec: str
+    model: str
+    shrunk_spec: str
+    missing_from_sat: list[tuple[int, ...]]
+    missing_from_oracle: list[tuple[int, ...]]
+    description: str
+
+    def as_dict(self) -> dict:
+        return {
+            "spec": self.spec,
+            "model": self.model,
+            "shrunk_spec": self.shrunk_spec,
+            "missing_from_sat": [list(o) for o in self.missing_from_sat],
+            "missing_from_oracle": [list(o) for o in self.missing_from_oracle],
+            "description": self.description,
+        }
+
+
+@dataclass
+class FuzzCampaignResult:
+    """Everything one fuzzing campaign produced."""
+
+    seed: int
+    budget: int
+    models: list[str]
+    specs: list[str]
+    matrix: MatrixResult
+    divergences: list[FuzzDivergence] = field(default_factory=list)
+    inconclusive: list[dict] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """No divergences, no errors — and the campaign actually compared
+        something: a run where *every* cell came back inconclusive never
+        performed a single differential comparison and must not read as a
+        passing check (e.g. in the CI fuzz-smoke gate)."""
+        if self.divergences or self.matrix.errors:
+            return False
+        if self.cells_checked and len(self.inconclusive) == self.cells_checked:
+            return False
+        return True
+
+    @property
+    def shortfall(self) -> int:
+        """How many requested programs the generator could not produce
+        (distinct-program space or the dedup attempt limit exhausted)."""
+        return max(0, self.budget - len(self.specs))
+
+    @property
+    def cells_checked(self) -> int:
+        return len(self.matrix.results)
+
+    @property
+    def programs_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return len(self.specs) / self.elapsed_seconds
+
+    @property
+    def cells_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.cells_checked / self.elapsed_seconds
+
+    def summary(self) -> str:
+        programs = f"{len(self.specs)} programs"
+        if self.shortfall:
+            # Never let a restricted knob shrink coverage silently.
+            programs += f" (budget {self.budget}: {self.shortfall} short)"
+        line = (
+            f"fuzz: {programs} x "
+            f"{len(self.models)} models = {self.cells_checked} cells "
+            f"(seed {self.seed}, jobs={self.matrix.jobs}) in "
+            f"{self.elapsed_seconds:.2f}s "
+            f"({self.programs_per_second:.1f} programs/s); "
+            f"{len(self.divergences)} divergences, "
+            f"{len(self.inconclusive)} inconclusive"
+        )
+        if self.cells_checked and len(self.inconclusive) == self.cells_checked:
+            line += " — EVERY cell inconclusive: nothing was compared"
+        if self.matrix.errors:
+            line += f", {len(self.matrix.errors)} ERRORS"
+        return line
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "models": list(self.models),
+            "programs": len(self.specs),
+            "shortfall": self.shortfall,
+            "cells": self.cells_checked,
+            "elapsed_seconds": self.elapsed_seconds,
+            "programs_per_second": self.programs_per_second,
+            "cells_per_second": self.cells_per_second,
+            "ok": self.ok,
+            "divergences": [d.as_dict() for d in self.divergences],
+            "inconclusive": list(self.inconclusive),
+            "matrix": self.matrix.as_dict(),
+        }
+
+
+def run_fuzz(
+    budget: int,
+    seed: int,
+    models=DEFAULT_MODELS,
+    config: FuzzConfig | None = None,
+    jobs: int | None = None,
+    shard_by: str = "test",
+    options=None,
+    progress=None,
+    shrink: bool = True,
+) -> FuzzCampaignResult:
+    """Run one differential fuzzing campaign.
+
+    ``budget`` distinct programs are drawn from ``seed`` and checked under
+    every model in ``models``; any divergence is re-confirmed in the parent
+    process and (when ``shrink``) minimized.  ``jobs``/``shard_by`` select
+    the matrix pool exactly as for ``checkfence matrix``.
+    """
+    from repro.core.checker import CheckOptions
+
+    started = time.perf_counter()
+    options = options if options is not None else CheckOptions()
+    model_names = [get_model(m).name for m in models]
+    programs = generate_corpus(seed, budget, config)
+    specs = [program.spec() for program in programs]
+    matrix = run_matrix(
+        fuzz_cells(specs, model_names),
+        jobs=jobs,
+        shard_by=shard_by,
+        options=options,
+        progress=progress,
+    )
+    divergences: list[FuzzDivergence] = []
+    inconclusive: list[dict] = []
+    for cell_result in matrix.results:
+        if cell_result.error:
+            continue
+        if cell_result.notes:
+            inconclusive.append({
+                "spec": cell_result.cell.test,
+                "model": cell_result.cell.model,
+                "notes": list(cell_result.notes),
+            })
+            continue
+        if cell_result.passed:
+            continue
+        # Re-confirm in-process (the worker only shipped a description)
+        # and shrink to a minimal reproducer.
+        program = FuzzProgram.parse(cell_result.cell.test)
+        if shrink:
+            program, report = shrink_divergence(
+                program, cell_result.cell.model,
+                backend_spec=options.solver_backend,
+            )
+        else:
+            report = differential_check(
+                program.compile(), cell_result.cell.model,
+                backend_spec=options.solver_backend, name=program.spec(),
+            )
+        if report.diverged:
+            description = report.describe()
+        else:
+            # A worker saw a divergence this process cannot reproduce
+            # (e.g. a flaky external backend).  Still fail the campaign,
+            # but say what actually happened instead of reporting an
+            # "agreeing" divergence with empty outcome diffs.
+            description = (
+                "reported by a worker but not reproduced in the parent "
+                f"re-check: {cell_result.counterexample or cell_result.cell.key}"
+            )
+        divergences.append(FuzzDivergence(
+            spec=cell_result.cell.test,
+            model=cell_result.cell.model,
+            shrunk_spec=program.spec(),
+            missing_from_sat=sorted(report.missing_from_sat),
+            missing_from_oracle=sorted(report.missing_from_oracle),
+            description=description,
+        ))
+    return FuzzCampaignResult(
+        seed=seed,
+        budget=budget,
+        models=model_names,
+        specs=specs,
+        matrix=matrix,
+        divergences=divergences,
+        inconclusive=inconclusive,
+        elapsed_seconds=time.perf_counter() - started,
+    )

@@ -49,6 +49,10 @@ from repro.memorymodel.base import get_model
 #: Kinds of matrix cells.
 CATALOG_KIND = "catalog"
 LITMUS_KIND = "litmus"
+#: Differential-fuzzing cells: ``test`` is a replayable fuzz program spec
+#: (see :mod:`repro.fuzz.generator`) and the verdict is "oracle and SAT
+#: encoding agree on the outcome set".
+FUZZ_KIND = "fuzz"
 
 #: Valid ``shard_by`` axes.
 SHARD_AXES = ("test", "model", "impl")
@@ -95,7 +99,9 @@ class MatrixCell:
     Fig. 1 check of a data type implementation against a Fig. 8 test;
     :data:`LITMUS_KIND` cells ask whether a litmus observation is reachable
     (``implementation`` is the constant ``"litmus"`` and ``test`` names the
-    litmus shape).
+    litmus shape); :data:`FUZZ_KIND` cells differentially compare the
+    operational oracle against the SAT encoding on a generated program
+    (``implementation`` is ``"fuzz"`` and ``test`` is the replayable spec).
     """
 
     implementation: str
@@ -185,16 +191,21 @@ class CellResult:
             return "ERROR"
         if self.cell.kind == LITMUS_KIND:
             return "allowed" if self.allowed else "forbidden"
+        if self.cell.kind == FUZZ_KIND:
+            if self.notes:
+                return "INCONCLUSIVE"
+            return "agree" if self.passed else "DIVERGE"
         return "PASS" if self.passed else "FAIL"
 
     @property
     def ok(self) -> bool:
-        """True unless the cell errored or a catalog check failed."""
+        """True unless the cell errored, a catalog check failed, or a fuzz
+        cell found an oracle/SAT divergence."""
         if self.error:
             return False
-        if self.cell.kind == CATALOG_KIND:
-            return bool(self.passed)
-        return True
+        if self.cell.kind == LITMUS_KIND:
+            return True
+        return bool(self.passed)
 
     def as_dict(self) -> dict:
         """JSON-safe summary (drops the full ``result`` object)."""
@@ -339,6 +350,10 @@ def _run_cell(cell: MatrixCell, sessions: dict, options) -> CellResult:
     """
     started = time.perf_counter()
     try:
+        if cell.kind == FUZZ_KIND:
+            from repro.fuzz.harness import run_fuzz_cell
+
+            return run_fuzz_cell(cell, options)
         if cell.kind == LITMUS_KIND:
             from repro.litmus.catalog import (
                 available_litmus_tests,

@@ -17,7 +17,8 @@ The runner wraps the checker with bookkeeping so that each experiment
 Matrix-shaped experiments (a whole catalog, or one test under several
 models) go through :mod:`repro.harness.matrix`: :func:`catalog_matrix`
 runs Fig. 8 x models across a worker pool, and :func:`model_sweep` is the
-one-test-many-models special case.
+one-test-many-models special case.  :func:`fuzz_campaign` runs the
+differential litmus fuzzer (oracle vs SAT encoding) through the same pool.
 """
 
 from __future__ import annotations
@@ -158,6 +159,32 @@ def catalog_matrix(
     )
     return run_matrix(
         cells, jobs=jobs, shard_by=shard_by, options=options, progress=progress
+    )
+
+
+def fuzz_campaign(
+    budget: int,
+    seed: int,
+    memory_models=("serial", "sc", "tso", "pso", "relaxed"),
+    jobs: int | None = None,
+    options: CheckOptions | None = None,
+    progress=None,
+):
+    """Run a differential fuzzing campaign (oracle vs SAT encoding).
+
+    A thin experiment-runner wrapper over :func:`repro.fuzz.run_fuzz`; the
+    returned :class:`~repro.fuzz.harness.FuzzCampaignResult` carries the
+    throughput numbers (programs/s, cells/s) the fuzz benchmark records.
+    """
+    from repro.fuzz import run_fuzz
+
+    return run_fuzz(
+        budget=budget,
+        seed=seed,
+        models=memory_models,
+        jobs=jobs,
+        options=options,
+        progress=progress,
     )
 
 

@@ -1,0 +1,42 @@
+"""Operational memory-model oracle (an independent check of the encoder).
+
+An explicit-state enumerator of the Section 2.3 axioms that shares nothing
+with the SAT stack, plus a differential harness comparing its outcome sets
+against the mined outcomes of the SAT encoding.  See
+``docs/architecture.md`` ("Differential oracle") and the fuzzer built on
+top of it in :mod:`repro.fuzz`.
+"""
+
+from repro.oracle.trace import (
+    OracleUnsupported,
+    ProgramTrace,
+    TraceExtractor,
+    TraceLimitExceeded,
+)
+from repro.oracle.enumerator import (
+    INCONCLUSIVE,
+    OK,
+    OracleResult,
+    enumerate_outcomes,
+)
+from repro.oracle.differ import (
+    DifferentialReport,
+    SatMiningOverflow,
+    differential_check,
+    mine_sat_outcomes,
+)
+
+__all__ = [
+    "OracleUnsupported",
+    "ProgramTrace",
+    "TraceExtractor",
+    "TraceLimitExceeded",
+    "INCONCLUSIVE",
+    "OK",
+    "OracleResult",
+    "enumerate_outcomes",
+    "DifferentialReport",
+    "SatMiningOverflow",
+    "differential_check",
+    "mine_sat_outcomes",
+]

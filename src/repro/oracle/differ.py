@@ -1,0 +1,165 @@
+"""Differential harness: operational enumerator vs the SAT encoding.
+
+For one compiled test and one memory model this module computes the set of
+reachable observation vectors twice — once with the explicit-state
+enumerator (:mod:`repro.oracle.enumerator`), once by *mining* the SAT
+encoding (solve, decode the observation, block it, repeat, exactly like the
+Section 3.2 specification miner) — and reports any difference.  The two
+implementations share nothing below :class:`repro.memorymodel.base
+.MemoryModel`, so an axiom dropped or mangled on either side shows up as a
+divergence with the offending observation vectors attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.encoding import encode_test
+from repro.encoding.testprogram import CompiledTest
+from repro.memorymodel.base import MemoryModel, get_model
+from repro.oracle.enumerator import OracleResult, enumerate_outcomes
+from repro.sat.backend import make_backend_factory
+
+
+class SatMiningOverflow(RuntimeError):
+    """The SAT side produced more outcomes than the mining budget."""
+
+
+def mine_sat_outcomes(
+    compiled: CompiledTest,
+    model: MemoryModel | str,
+    backend_spec: str | None = None,
+    max_outcomes: int = 4096,
+) -> set[tuple[int, ...]]:
+    """Enumerate every reachable observation vector from the SAT encoding.
+
+    Repeatedly solves the formula and blocks the decoded observation until
+    UNSAT — the incremental path the specification miner uses, so this also
+    exercises clause addition mid-solve.
+    """
+    model = get_model(model)
+    encoded = encode_test(
+        compiled, model, backend_factory=make_backend_factory(backend_spec)
+    )
+    outcomes: set[tuple[int, ...]] = set()
+    while True:
+        if len(outcomes) > max_outcomes:
+            raise SatMiningOverflow(
+                f"more than {max_outcomes} distinct observations"
+            )
+        if not encoded.solve():
+            return outcomes
+        observation = encoded.decode_observation(encoded.model_values())
+        if observation in outcomes:  # pragma: no cover - solver bug guard
+            raise RuntimeError(
+                f"solver returned blocked observation {observation!r}"
+            )
+        outcomes.add(observation)
+        encoded.block_observation(observation)
+
+
+@dataclass
+class DifferentialReport:
+    """Result of one oracle-vs-SAT comparison."""
+
+    name: str
+    model: str
+    oracle: OracleResult
+    sat_outcomes: set[tuple[int, ...]] = field(default_factory=set)
+    #: Non-empty when SAT mining blew its outcome budget — the SAT-side
+    #: analogue of the oracle's budgets, equally inconclusive.
+    sat_overflow: str = ""
+
+    @property
+    def inconclusive(self) -> bool:
+        return not self.oracle.ok or bool(self.sat_overflow)
+
+    @property
+    def reason(self) -> str:
+        """Why no verdict was reached (empty when conclusive)."""
+        if not self.oracle.ok:
+            return self.oracle.reason
+        return self.sat_overflow
+
+    @property
+    def missing_from_sat(self) -> set[tuple[int, ...]]:
+        """Outcomes the enumerator reaches but the encoding forbids
+        (an over-constrained / unsound-for-completeness encoder)."""
+        if self.inconclusive:
+            return set()
+        return self.oracle.outcomes - self.sat_outcomes
+
+    @property
+    def missing_from_oracle(self) -> set[tuple[int, ...]]:
+        """Outcomes the encoding allows but the enumerator never reaches
+        (an under-constrained encoder — the dangerous direction: FAIL
+        verdicts could be spurious, PASS verdicts silent misses)."""
+        if self.inconclusive:
+            return set()
+        return self.sat_outcomes - self.oracle.outcomes
+
+    @property
+    def diverged(self) -> bool:
+        return bool(self.missing_from_sat or self.missing_from_oracle)
+
+    @property
+    def ok(self) -> bool:
+        """No divergence proven (inconclusive programs are skipped, not
+        counted as failures)."""
+        return not self.diverged
+
+    def describe(self) -> str:
+        if self.inconclusive:
+            return (
+                f"{self.name} @ {self.model}: INCONCLUSIVE "
+                f"({self.reason})"
+            )
+        if not self.diverged:
+            return (
+                f"{self.name} @ {self.model}: agree on "
+                f"{len(self.sat_outcomes)} outcomes"
+            )
+        parts = [f"{self.name} @ {self.model}: DIVERGENCE"]
+        if self.missing_from_oracle:
+            parts.append(
+                "SAT allows but oracle forbids: "
+                + ", ".join(map(str, sorted(self.missing_from_oracle)))
+            )
+        if self.missing_from_sat:
+            parts.append(
+                "oracle allows but SAT forbids: "
+                + ", ".join(map(str, sorted(self.missing_from_sat)))
+            )
+        return "; ".join(parts)
+
+
+def differential_check(
+    compiled: CompiledTest,
+    model: MemoryModel | str,
+    backend_spec: str | None = None,
+    name: str | None = None,
+    max_steps: int = 100_000,
+    max_nodes: int = 400_000,
+    max_outcomes: int = 4096,
+) -> DifferentialReport:
+    """Compare oracle and SAT outcome sets for one (test, model) pair."""
+    model = get_model(model)
+    oracle = enumerate_outcomes(
+        compiled, model, max_steps=max_steps, max_nodes=max_nodes
+    )
+    report = DifferentialReport(
+        name=name or compiled.test.name,
+        model=model.name,
+        oracle=oracle,
+    )
+    if oracle.ok:
+        try:
+            report.sat_outcomes = mine_sat_outcomes(
+                compiled, model, backend_spec=backend_spec,
+                max_outcomes=max_outcomes,
+            )
+        except SatMiningOverflow as exc:
+            # A budget breach, like the oracle's own: skip, don't error.
+            report.sat_outcomes = set()
+            report.sat_overflow = f"SAT mining overflow: {exc}"
+    return report

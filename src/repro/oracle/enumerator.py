@@ -1,0 +1,476 @@
+"""Stage 2 of the operational oracle: exhaustive outcome enumeration.
+
+This is an independent, *explicit-state* implementation of the memory-model
+axioms of Section 2.3 — the same switches the SAT encoder
+(:mod:`repro.encoding.memory`) turns into clauses, re-implemented as an
+operational machine that never touches the SAT stack:
+
+* the memory order ``<M`` is built incrementally: an execution is a
+  sequence of *perform* steps, one per access, and the order in which
+  accesses are performed *is* ``<M`` (a total order, exactly like the
+  encoder's antisymmetric + transitive order variables);
+* an access may perform only when every access that the model orders
+  before it (preserved program order, the same-address store-order axiom,
+  fences, atomic-block program order, "initialization happens first") has
+  already performed;
+* atomic blocks exclude other-thread accesses while partially performed,
+  and under the Seriality model whole invocations do (the operation
+  atomicity used to mine specifications);
+* a performing load reads the *last* store to its address that already
+  performed — unless store forwarding is on and a program-order-earlier
+  store of its own thread is still pending in the store buffer, in which
+  case it reads the newest such pending store (the ``<M``-maximal visible
+  store of the paper's value axiom: pending stores perform later and are
+  therefore ``<M``-greater than everything already performed);
+* a store whose value expression mentions loads that have not yet
+  performed (possible on Relaxed, where value dependencies are not
+  ordered) *guesses* the value from the bounded domain; the guess is
+  checked when the load finally performs, and mismatching branches are
+  pruned.  This makes the enumerator complete for the encoder's
+  out-of-thin-air executions (a load-buffering cycle with copied values)
+  instead of silently missing them.
+
+States reached by different interleavings but with the same performed set,
+memory view and token bindings have the same futures, so they are memoised;
+the search is exhaustive yet far below ``n!``.
+
+Everything that exceeds a budget (trace steps, explored states, value
+domains) or falls outside the supported fragment yields an
+``INCONCLUSIVE`` :class:`OracleResult` rather than an exception or a wrong
+verdict — the differential harness skips those programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.encoding.testprogram import INIT_THREAD, CompiledTest
+from repro.lsl.values import is_undef
+from repro.memorymodel.base import MemoryModel, get_model
+from repro.oracle.trace import (
+    AccessEvent,
+    OracleUnsupported,
+    ProgramTrace,
+    Token,
+    TraceExtractor,
+    TraceLimitExceeded,
+    Unresolved,
+    eval_expr,
+    expr_tokens,
+)
+
+#: Verdict statuses.
+OK = "ok"
+INCONCLUSIVE = "inconclusive"
+
+
+class _BudgetExceeded(Exception):
+    pass
+
+
+@dataclass
+class OracleResult:
+    """Outcome of one exhaustive enumeration.
+
+    ``outcomes`` is the set of observation vectors (same slot order as
+    :meth:`repro.encoding.formula.EncodedTest.decode_observation`) reachable
+    under the model.  ``final_memories`` (if requested) collects the final
+    memory image of every execution: a tuple of ``(location, value)`` pairs
+    where ``value`` is ``None`` for an untouched havoc'd cell.
+    """
+
+    status: str
+    model: str
+    outcomes: set[tuple[int, ...]] = field(default_factory=set)
+    final_memories: set[tuple[tuple[int, int | None], ...]] | None = None
+    reason: str = ""
+    traces: int = 0
+    nodes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    def allows(self, observation: tuple[int, ...]) -> bool:
+        if not self.ok:
+            raise RuntimeError(
+                f"oracle was inconclusive ({self.reason}); no verdict"
+            )
+        return tuple(observation) in self.outcomes
+
+    def allows_final_memory(self, wanted: dict[int, int]) -> bool:
+        """Is there an execution whose final memory matches ``wanted``
+        (a location -> value constraint on the interesting cells)?"""
+        if self.final_memories is None:
+            raise RuntimeError("enumerated without record_final_memory=True")
+        if not self.ok:
+            raise RuntimeError(
+                f"oracle was inconclusive ({self.reason}); no verdict"
+            )
+        for memory in self.final_memories:
+            image = dict(memory)
+            if all(image.get(loc) == value for loc, value in wanted.items()):
+                return True
+        return False
+
+
+def enumerate_outcomes(
+    compiled: CompiledTest,
+    model: MemoryModel | str,
+    max_steps: int = 100_000,
+    max_nodes: int = 400_000,
+    max_domain: int = 64,
+    record_final_memory: bool = False,
+) -> OracleResult:
+    """Enumerate every outcome of ``compiled`` allowed by ``model``.
+
+    Budgets: ``max_steps`` bounds trace extraction, ``max_nodes`` bounds
+    explored enumeration states, ``max_domain`` bounds the value domain
+    used when a token must be guessed (``2^width`` must fit).  Breaching
+    any of them returns an ``INCONCLUSIVE`` result.
+    """
+    model = get_model(model)
+    result = OracleResult(
+        status=OK,
+        model=model.name,
+        final_memories=set() if record_final_memory else None,
+    )
+    try:
+        traces = TraceExtractor(compiled, max_steps=max_steps).traces()
+    except (OracleUnsupported, TraceLimitExceeded) as exc:
+        result.status = INCONCLUSIVE
+        result.reason = str(exc)
+        return result
+    result.traces = len(traces)
+    enumerator = _Enumerator(
+        compiled, model, max_nodes=max_nodes, max_domain=max_domain,
+        record_final_memory=record_final_memory,
+    )
+    for trace in traces:
+        try:
+            enumerator.run(trace, result)
+        except (OracleUnsupported, TraceLimitExceeded) as exc:
+            result.status = INCONCLUSIVE
+            result.reason = str(exc)
+            break
+        except _BudgetExceeded:
+            result.status = INCONCLUSIVE
+            result.reason = f"exceeded {max_nodes} enumeration states"
+            break
+    result.nodes = enumerator.nodes
+    return result
+
+
+class _Enumerator:
+    """Depth-first enumeration of the memory orders of one trace."""
+
+    def __init__(
+        self,
+        compiled: CompiledTest,
+        model: MemoryModel,
+        max_nodes: int,
+        max_domain: int,
+        record_final_memory: bool,
+    ) -> None:
+        self.compiled = compiled
+        self.model = model
+        self.max_nodes = max_nodes
+        self.max_domain = max_domain
+        self.record_final_memory = record_final_memory
+        self.nodes = 0
+        width = max(compiled.ranges.width(), 1)
+        self.mask = (1 << width) - 1
+        if (1 << width) > max_domain:
+            # Guessed tokens range over the full bit-vector domain; refuse
+            # rather than explode (or silently under-approximate).
+            self.domain_size = None
+        else:
+            self.domain_size = 1 << width
+
+    # -------------------------------------------------------------- per trace
+
+    def run(self, trace: ProgramTrace, result: OracleResult) -> None:
+        self.trace = trace
+        self.events = trace.events
+        self.n = len(self.events)
+        self._prepare_structure(trace)
+        self._init_tokens: dict[int, Token] = {}
+        self._visited: set = set()
+        self._result = result
+        self._dfs(0, {}, {})
+
+    def _prepare_structure(self, trace: ProgramTrace) -> None:
+        model = self.model
+        by_thread: dict[int, list[AccessEvent]] = {}
+        for event in self.events:
+            by_thread.setdefault(event.thread, []).append(event)
+        for members in by_thread.values():
+            members.sort(key=lambda e: e.seq)
+        self.by_thread = by_thread
+
+        preds: list[int] = [0] * self.n  # predecessor bitmasks
+        for members in by_thread.values():
+            for i, first in enumerate(members):
+                for second in members[i + 1:]:
+                    ordered = (
+                        first.thread == INIT_THREAD
+                        or model.preserves(first.kind, second.kind)
+                        or (
+                            model.same_address_store_order
+                            and second.is_store
+                            and first.addr == second.addr
+                        )
+                        or (
+                            first.atomic_group is not None
+                            and first.atomic_group == second.atomic_group
+                        )
+                    )
+                    if ordered:
+                        preds[second.eid] |= 1 << first.eid
+        for fence in trace.fences:
+            members = by_thread.get(fence.thread, [])
+            before = [
+                e for e in members
+                if e.seq < fence.seq and e.kind in fence.kind.orders_before
+            ]
+            after = [
+                e for e in members
+                if e.seq > fence.seq and e.kind in fence.kind.orders_after
+            ]
+            for second in after:
+                for first in before:
+                    preds[second.eid] |= 1 << first.eid
+        self.preds = preds
+
+        self.init_mask = 0
+        for event in self.events:
+            if event.thread == INIT_THREAD:
+                self.init_mask |= 1 << event.eid
+
+        #: invocation / atomic-group member masks for the dynamic rules.
+        self.invocation_masks: dict[int, int] = {}
+        self.group_masks: dict[int, tuple[int, int]] = {}  # gid -> (mask, thread)
+        for event in self.events:
+            self.invocation_masks[event.invocation] = (
+                self.invocation_masks.get(event.invocation, 0) | 1 << event.eid
+            )
+            if event.atomic_group is not None:
+                mask, _ = self.group_masks.get(
+                    event.atomic_group, (0, event.thread)
+                )
+                self.group_masks[event.atomic_group] = (
+                    mask | 1 << event.eid, event.thread
+                )
+
+        #: per-load forwarding candidates (program-order-earlier same-thread
+        #: same-address stores), newest first.
+        self.forward_candidates: dict[int, list[AccessEvent]] = {}
+        if model.store_forwarding:
+            for members in by_thread.values():
+                for event in members:
+                    if not event.is_load:
+                        continue
+                    candidates = [
+                        s for s in members
+                        if s.is_store and s.seq < event.seq
+                        and s.addr == event.addr
+                    ]
+                    if candidates:
+                        if not model.same_address_store_order and len(candidates) > 1:
+                            raise OracleUnsupported(
+                                "store forwarding without the same-address "
+                                "store-order axiom is ambiguous; not supported"
+                            )
+                        candidates.sort(key=lambda s: s.seq, reverse=True)
+                        self.forward_candidates[event.eid] = candidates
+
+    # ------------------------------------------------------------------- DFS
+
+    def _dfs(self, mask: int, memory: dict[int, int], bindings: dict) -> None:
+        self.nodes += 1
+        if self.nodes > self.max_nodes:
+            raise _BudgetExceeded()
+        key = (
+            mask,
+            tuple(sorted(memory.items())),
+            tuple(sorted((t.index, v) for t, v in bindings.items())),
+        )
+        if key in self._visited:
+            return
+        self._visited.add(key)
+        if mask == (1 << self.n) - 1:
+            self._complete(memory, bindings)
+            return
+
+        init_pending = self.init_mask & ~mask
+        open_groups = [
+            thread for gmask, thread in self.group_masks.values()
+            if gmask & mask and gmask & ~mask
+        ]
+        open_invocation = None
+        if self.model.operation_atomicity:
+            for invocation, imask in self.invocation_masks.items():
+                if imask & mask and imask & ~mask:
+                    open_invocation = invocation
+                    break
+
+        for event in self.events:
+            bit = 1 << event.eid
+            if mask & bit:
+                continue
+            if self.preds[event.eid] & ~mask:
+                continue
+            if init_pending and event.thread != INIT_THREAD:
+                continue
+            if open_invocation is not None and event.invocation != open_invocation:
+                continue
+            if open_groups and any(t != event.thread for t in open_groups):
+                continue
+            self._perform(event, mask | bit, memory, bindings)
+
+    def _perform(self, event: AccessEvent, new_mask: int,
+                 memory: dict[int, int], bindings: dict) -> None:
+        if event.is_store:
+            for new_bindings, value in self._resolve(event.value, bindings):
+                if not self._constraints_hold(new_bindings):
+                    continue
+                self._dfs(new_mask, {**memory, event.addr: value}, new_bindings)
+            return
+
+        # A load: find the <M-maximal visible store (paper's value axiom).
+        pending = [
+            s for s in self.forward_candidates.get(event.eid, ())
+            if not new_mask & (1 << s.eid)
+        ]
+        if pending:
+            # Store-queue forwarding: the newest pending program-order-
+            # earlier store is visible and performs later than everything
+            # already performed, so it is the <M-maximal visible store.
+            variants = self._resolve(pending[0].value, bindings)
+        elif event.addr in memory:
+            variants = [(bindings, memory[event.addr])]
+        else:
+            variants = self._initial_values(event.addr, bindings)
+        token = event.value
+        for new_bindings, value in variants:
+            bound = new_bindings.get(token)
+            if bound is not None:
+                if bound != value:
+                    continue  # a guessed value turned out wrong: prune
+            else:
+                new_bindings = {**new_bindings, token: value}
+            if not self._constraints_hold(new_bindings):
+                continue
+            self._dfs(new_mask, memory, new_bindings)
+
+    # -------------------------------------------------------------- plumbing
+
+    def _domain(self, token: Token) -> range | list[int]:
+        if token.domain is not None:
+            return sorted(token.domain)
+        if self.domain_size is None:
+            raise OracleUnsupported(
+                f"guessing {token!r} needs a domain of 2^width > "
+                f"{self.max_domain} values"
+            )
+        return range(self.domain_size)
+
+    def _resolve(self, expr, bindings: dict):
+        """All ``(bindings, value)`` completions of an expression, guessing
+        unbound tokens over the bounded domain."""
+        try:
+            return [(bindings, eval_expr(expr, bindings, self.mask))]
+        except Unresolved as exc:
+            token = exc.token
+        out = []
+        for guess in self._domain(token):
+            out.extend(self._resolve(expr, {**bindings, token: guess}))
+        return out
+
+    def _initial_values(self, location: int, bindings: dict):
+        """The initial value of a location, mirroring
+        :meth:`repro.encoding.formula.EncodingContext.initial_value`."""
+        info = self.compiled.layout.info(location)
+        if not is_undef(info.initial):
+            return [(bindings, int(info.initial) & self.mask)]
+        policy = self.trace.policies.get(location, "havoc")
+        if policy == "zero":
+            return [(bindings, 0)]
+        token = self._init_tokens.get(location)
+        if token is None:
+            domain = self.compiled.ranges.location_domain(location)
+            if domain is not None:
+                valid = frozenset(
+                    v for v in domain if v <= self.mask
+                )
+                domain = valid or None
+            token = Token(
+                -location, "init", name=f"init_loc{location}", domain=domain
+            )
+            self._init_tokens[location] = token
+        if token in bindings:
+            return [(bindings, bindings[token])]
+        return [
+            ({**bindings, token: value}, value)
+            for value in self._domain(token)
+        ]
+
+    def _constraints_hold(self, bindings: dict) -> bool:
+        """Check every path constraint that is now evaluable."""
+        for constraint in self.trace.constraints:
+            try:
+                if not eval_expr(constraint, bindings, self.mask):
+                    return False
+            except Unresolved:
+                continue
+        return True
+
+    # ------------------------------------------------------------ completion
+
+    def _complete(self, memory: dict[int, int], bindings: dict) -> None:
+        # Any tokens still unbound (free values never forced by a load, or
+        # havoc'd initials only visible through observations) range over
+        # their full domains — same as the encoder's unconstrained fresh
+        # bit-vectors.
+        unbound: list[Token] = []
+        seen: set[Token] = set()
+        for expr in list(self.trace.observations) + list(self.trace.constraints):
+            for token in expr_tokens(expr):
+                if token not in bindings and token not in seen:
+                    seen.add(token)
+                    unbound.append(token)
+        domains = [list(self._domain(token)) for token in unbound]
+        for values in product(*domains) if domains else [()]:
+            full = {**bindings, **dict(zip(unbound, values))}
+            if not self._constraints_hold(full):
+                continue
+            outcome = tuple(
+                eval_expr(expr, full, self.mask)
+                for expr in self.trace.observations
+            )
+            self._result.outcomes.add(outcome)
+            if self._result.final_memories is not None:
+                self._result.final_memories.add(
+                    self._final_memory(memory, full)
+                )
+
+    def _final_memory(self, memory: dict[int, int],
+                      bindings: dict) -> tuple[tuple[int, int | None], ...]:
+        image = []
+        layout = self.compiled.layout
+        for location in layout.valid_indices():
+            if location in memory:
+                image.append((location, memory[location]))
+                continue
+            info = layout.info(location)
+            if not is_undef(info.initial):
+                image.append((location, int(info.initial) & self.mask))
+                continue
+            if self.trace.policies.get(location, "havoc") == "zero":
+                image.append((location, 0))
+                continue
+            token = self._init_tokens.get(location)
+            value = bindings.get(token) if token is not None else None
+            image.append((location, value))
+        return tuple(image)

@@ -263,6 +263,104 @@ class TestErrorsAndNondeterminism:
         assert result.observations == [("pair", (3, 4))]
 
 
+class TestLimitsAndAssumptions:
+    """Direct coverage of the interpreter's discard/limit paths (the same
+    conditions the operational oracle surfaces as INCONCLUSIVE)."""
+
+    def spin_program(self) -> Program:
+        program = Program("spin")
+        b = LslBuilder()
+        with b.block("L") as tag:
+            b.continue_always(tag)
+        program.add_procedure(Procedure("f", (), (), b.statements))
+        return program
+
+    def test_step_limit_message_names_the_budget(self):
+        interp = Interpreter(
+            self.spin_program(), MachineState.initial(MemoryLayout()),
+            max_steps=77,
+        )
+        with pytest.raises(StepLimitExceeded, match="77"):
+            interp.call("f")
+
+    def test_step_limit_applies_to_run_statements(self):
+        b = LslBuilder()
+        with b.block("L") as tag:
+            b.continue_always(tag)
+        interp = Interpreter(
+            Program("raw"), MachineState.initial(MemoryLayout()), max_steps=50
+        )
+        with pytest.raises(StepLimitExceeded):
+            interp.run_statements(b.statements)
+
+    def test_steps_are_counted_in_results(self):
+        program = Program("p")
+        b = LslBuilder()
+        b.const(1, dst="x")
+        b.const(2, dst="y")
+        program.add_procedure(Procedure("f", (), ("x",), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        result = interp.call("f")
+        assert result.steps == 2
+        # A generous budget is not consumed across calls incorrectly: the
+        # counter is cumulative for the interpreter instance.
+        assert interp.call("f").steps == 4
+
+    def test_bounded_loop_just_under_the_limit_succeeds(self):
+        program = make_counter_program()
+        interp = Interpreter(program, fresh_state(), max_steps=10)
+        assert interp.call("inc").returns == (1,)
+
+    def test_assumption_failure_carries_the_condition(self):
+        program = Program("p")
+        b = LslBuilder()
+        zero = b.const(0, dst="flag")
+        b.assume(zero)
+        program.add_procedure(Procedure("f", (), (), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        with pytest.raises(AssumptionFailed, match="flag"):
+            interp.call("f")
+
+    def test_assumption_failure_propagates_from_nested_call(self):
+        program = Program("p")
+        b = LslBuilder()
+        zero = b.const(0)
+        b.assume(zero)
+        program.add_procedure(Procedure("inner", (), (), b.statements))
+        b = LslBuilder()
+        b.call("inner", [], [])
+        b.const(9, dst="after")
+        program.add_procedure(Procedure("outer", (), ("after",), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        with pytest.raises(AssumptionFailed):
+            interp.call("outer")
+
+    def test_passing_assumption_continues_execution(self):
+        program = Program("p")
+        b = LslBuilder()
+        one = b.const(1)
+        b.assume(one)
+        b.const(5, dst="out")
+        program.add_procedure(Procedure("f", (), ("out",), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        assert interp.call("f").returns == (5,)
+
+    def test_assumption_is_not_an_assertion_violation(self):
+        # The two discard paths are distinct exception types: assumptions
+        # discard executions, assertions report bugs.
+        program = Program("p")
+        b = LslBuilder()
+        zero = b.const(0)
+        b.assume(zero)
+        program.add_procedure(Procedure("f", (), (), b.statements))
+        interp = Interpreter(program, MachineState.initial(MemoryLayout()))
+        with pytest.raises(AssumptionFailed):
+            try:
+                interp.call("f")
+            except AssertionViolation:  # pragma: no cover - the bug guard
+                pytest.fail("AssumptionFailed must not be AssertionViolation")
+
+
 class TestStructuralHelpers:
     def test_count_statements_and_accesses(self):
         program = make_counter_program()

@@ -1,0 +1,86 @@
+"""Property tests: memory-model monotonicity of the enumerator.
+
+Section 2.3.3 orders the models Seriality > SC > TSO > PSO > Relaxed: a
+stronger model admits a subset of executions.  For arbitrary generated
+programs the enumerated outcome sets must respect that chain, and a
+program's outcomes must be a subset of its fence-stripped variant's
+(fences only ever forbid behaviours).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz import FuzzProgram, generate_program
+from repro.memorymodel.base import (
+    PSO,
+    RELAXED,
+    SEQUENTIAL_CONSISTENCY,
+    SERIAL,
+    TSO,
+    available_models,
+    is_stronger,
+)
+from repro.oracle import enumerate_outcomes
+
+#: Weakest to strongest.
+CHAIN = ["relaxed", "pso", "tso", "sc", "serial"]
+
+
+def random_program(seed: int) -> FuzzProgram:
+    return generate_program(random.Random(seed))
+
+
+def oracle_outcomes(program: FuzzProgram, model: str):
+    result = enumerate_outcomes(program.compile(), model)
+    assert result.ok, result.reason
+    return result.outcomes
+
+
+def strip_fences(program: FuzzProgram) -> FuzzProgram | None:
+    threads = tuple(
+        stripped
+        for thread in program.threads
+        if (stripped := tuple(op for op in thread if op.kind != "fence"))
+    )
+    if not threads:
+        return None
+    return FuzzProgram(threads=threads)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_stronger_models_allow_subsets(seed):
+    program = random_program(seed)
+    sets = [oracle_outcomes(program, model) for model in CHAIN]
+    for weaker, stronger in zip(sets, sets[1:]):
+        assert stronger <= weaker, (
+            f"{program.spec()}: monotonicity violated between models"
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_fences_only_forbid_outcomes(seed):
+    program = random_program(seed)
+    stripped = strip_fences(program)
+    if stripped is None or stripped.spec() == program.spec():
+        return
+    for model in CHAIN:
+        fenced = oracle_outcomes(program, model)
+        unfenced = oracle_outcomes(stripped, model)
+        assert fenced <= unfenced, (
+            f"{program.spec()}: fences allowed a new outcome under {model}"
+        )
+
+
+def test_syntactic_strength_order_matches_chain():
+    # The static is_stronger relation must agree with the semantic chain
+    # the two properties above enumerate.
+    ordered = [SERIAL, SEQUENTIAL_CONSISTENCY, TSO, PSO, RELAXED]
+    assert ordered == available_models()
+    for i, stronger in enumerate(ordered):
+        for weaker in ordered[i:]:
+            assert is_stronger(stronger, weaker)
+    assert not is_stronger(RELAXED, SERIAL)
+    assert not is_stronger(PSO, TSO)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import os
 import re
+import shlex
 import subprocess
 import sys
 
@@ -102,7 +103,7 @@ def tutorial_commands(path: str | None = None) -> list[tuple[str, list[str], int
                         1,
                     )
                 commands.append(
-                    ("sh", command.split(), int(code) if code else 0)
+                    ("sh", shlex.split(command), int(code) if code else 0)
                 )
         elif language == "python":
             commands.append(("python", [sys.executable, "-c", "\n".join(block)], 0))
