@@ -47,6 +47,8 @@ def test_litmus_outcome(benchmark, attach_solver_stats, name, model):
     )
     if outcome.solver_stats is not None:
         attach_solver_stats(outcome.solver_stats, backend=outcome.backend)
+    if outcome.order is not None:
+        benchmark.extra_info["order"] = outcome.order
     assert outcome.allowed == _EXPECTED[name][model], (
         f"{name} under {model}: got "
         f"{'allowed' if outcome.allowed else 'forbidden'}"

@@ -43,6 +43,12 @@ from repro.litmus.catalog import available_litmus_tests
 from repro.memorymodel.base import available_models, get_model
 
 
+def _dense_order(args) -> bool | None:
+    """The --dense-order flag as a CheckOptions value: True when given,
+    None otherwise so the CHECKFENCE_DENSE_ORDER fallback stays reachable."""
+    return True if args.dense_order else None
+
+
 def _cmd_list(_args) -> int:
     print("Implementations (Table 1 plus variants):")
     rows = []
@@ -79,6 +85,7 @@ def _cmd_check(args) -> int:
         lazy_loop_bounds=args.lazy_bounds,
         default_loop_bound=args.bound,
         solver_backend=args.solver,
+        dense_order=_dense_order(args),
     )
     checker = CheckFence(implementation, options)
     result = checker.check(test, get_model(args.model))
@@ -106,6 +113,7 @@ def _cmd_sweep(args) -> int:
     options = CheckOptions(
         specification_method=args.spec_method,
         solver_backend=args.solver,
+        dense_order=_dense_order(args),
     )
     session = CheckSession(implementation, options)
     models = [get_model(name.strip()) for name in args.models.split(",")]
@@ -157,7 +165,10 @@ def _cmd_litmus(args) -> int:
     matrix = run_matrix(
         litmus_cells([model.name]),
         jobs=args.jobs,
-        options=CheckOptions(solver_backend=args.solver),
+        options=CheckOptions(
+            solver_backend=args.solver,
+            dense_order=_dense_order(args),
+        ),
     )
     catalog = available_litmus_tests()
     rows = [
@@ -195,6 +206,7 @@ def _cmd_matrix(args) -> int:
     options = CheckOptions(
         specification_method=args.spec_method,
         solver_backend=args.solver,
+        dense_order=_dense_order(args),
     )
     if args.litmus:
         cells = litmus_cells(models)
@@ -263,7 +275,8 @@ def _cmd_oracle(args) -> int:
             return 2
         name = args.spec
     report = differential_check(
-        compiled, model, backend_spec=args.solver, name=name
+        compiled, model, backend_spec=args.solver, name=name,
+        dense_order=_dense_order(args),
     )
     if report.inconclusive:
         print(report.describe())
@@ -307,7 +320,10 @@ def _cmd_fuzz(args) -> int:
         config=config,
         jobs=args.jobs,
         shard_by=args.shard_by,
-        options=CheckOptions(solver_backend=args.solver),
+        options=CheckOptions(
+            solver_backend=args.solver,
+            dense_order=_dense_order(args),
+        ),
         progress=None if args.quiet else _matrix_progress,
         shrink=not args.no_shrink,
     )
@@ -352,6 +368,16 @@ def build_parser() -> argparse.ArgumentParser:
         "SAT backend: auto, internal, dimacs, or dimacs:<command> "
         "(default: CHECKFENCE_SOLVER or auto)"
     )
+    dense_help = (
+        "use the dense memory-order construction (every access pair gets an "
+        "order variable, full O(n^3) transitivity) instead of the pruned "
+        "conflict-aware one; same verdicts, bigger formulas — the "
+        "differential baseline (default: CHECKFENCE_DENSE_ORDER or pruned)"
+    )
+
+    def add_dense_flag(sub_parser):
+        sub_parser.add_argument("--dense-order", action="store_true",
+                                help=dense_help)
 
     check_parser = sub.add_parser(
         "check",
@@ -374,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument("--no-range-analysis", action="store_true",
                               help="disable the range analysis (Fig. 11c)")
     check_parser.add_argument("--solver", default=None, help=solver_help)
+    add_dense_flag(check_parser)
 
     sweep_parser = sub.add_parser(
         "sweep",
@@ -395,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
                               choices=["auto", "reference", "sat"],
                               help="specification mining method (default: auto)")
     sweep_parser.add_argument("--solver", default=None, help=solver_help)
+    add_dense_flag(sweep_parser)
 
     spec_parser = sub.add_parser(
         "spec",
@@ -424,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     litmus_parser.add_argument("--solver", default=None, help=solver_help)
     litmus_parser.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    add_dense_flag(litmus_parser)
 
     matrix_parser = sub.add_parser(
         "matrix",
@@ -467,6 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
                                choices=["auto", "reference", "sat"],
                                help="specification mining method (default: auto)")
     matrix_parser.add_argument("--solver", default=None, help=solver_help)
+    add_dense_flag(matrix_parser)
     matrix_parser.add_argument(
         "--json", default=None, metavar="FILE",
         help="write the matrix (cells, verdicts, per-shard cache stats) as "
@@ -495,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
     oracle_parser.add_argument("--model", default="relaxed",
                                help="memory model (default: relaxed)")
     oracle_parser.add_argument("--solver", default=None, help=solver_help)
+    add_dense_flag(oracle_parser)
 
     fuzz_parser = sub.add_parser(
         "fuzz",
@@ -525,6 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
         "all models (default: test)",
     )
     fuzz_parser.add_argument("--solver", default=None, help=solver_help)
+    add_dense_flag(fuzz_parser)
     fuzz_parser.add_argument("--no-shrink", action="store_true",
                              help="report divergences without minimizing them")
     fuzz_parser.add_argument(

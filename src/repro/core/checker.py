@@ -54,6 +54,12 @@ class CheckOptions:
     #: SAT backend spec: "auto"/"internal", "dimacs", or "dimacs:<command>"
     #: (see :mod:`repro.sat.backend`).  None uses CHECKFENCE_SOLVER or auto.
     solver_backend: str | None = None
+    #: Use the original dense memory-order construction (every pair gets a
+    #: variable, full O(n^3) transitivity) instead of the conflict-aware
+    #: pruned one.  None defers to CHECKFENCE_DENSE_ORDER (default: pruned).
+    #: The two constructions produce identical outcome sets; the dense one
+    #: exists as a differential baseline and escape hatch.
+    dense_order: bool | None = None
 
 
 class CheckFence:

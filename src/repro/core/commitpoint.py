@@ -52,13 +52,17 @@ def run_commit_point_check(
     model: MemoryModel,
     max_iterations: int = 100_000,
     backend_factory: BackendFactory | None = None,
+    dense_order: bool | None = None,
 ) -> CommitPointResult:
     """Check the test with the lazy validation baseline."""
     start = time.perf_counter()
     miner = ReferenceSpecificationMiner(compiled)
     labels = compiled.observation_labels()
     validated = ObservationSet(labels=labels, method="commit-point")
-    encoded = encode_test(compiled, model, backend_factory=backend_factory)
+    encoded = encode_test(
+        compiled, model, backend_factory=backend_factory,
+        dense_order=dense_order,
+    )
     solver_calls = 0
     counterexample = None
     passed = True

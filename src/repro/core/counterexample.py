@@ -5,6 +5,15 @@ specification (or an execution violating an assertion), the model returned by
 the SAT solver is decoded into a human-readable trace: the argument/return
 values observed, and the executed memory accesses listed in memory order
 with their addresses and values.
+
+Under the pruned order encoding the SAT model only fixes the order of the
+pairs that matter (statically resolved pairs are constants, order-irrelevant
+pairs carry no variable at all), so
+:meth:`~repro.encoding.formula.EncodedTest.decode_memory_order` returns a
+deterministic linear extension of that partial order; ``TraceStep.position``
+numbers the accesses along that extension.  Every ordered fact the solver
+committed to is preserved, and the positions of mutually unordered accesses
+are an arbitrary-but-deterministic tie-break.
 """
 
 from __future__ import annotations

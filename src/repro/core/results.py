@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.core.counterexample import CounterexampleTrace
 from repro.core.specification import ObservationSet
-from repro.encoding.formula import EncodingStatistics
+from repro.encoding.formula import EncodingStatistics, order_counter_dict
 
 
 @dataclass
@@ -22,6 +22,11 @@ class CheckStatistics:
     accesses: int = 0
     cnf_variables: int = 0
     cnf_clauses: int = 0
+    order_pairs: int = 0
+    order_vars: int = 0
+    order_pairs_static: int = 0
+    transitivity_clauses: int = 0
+    dense_order: bool = False
     observation_set_size: int = 0
     mining_seconds: float = 0.0
     encode_seconds: float = 0.0
@@ -73,7 +78,17 @@ class CheckStatistics:
         self.accesses = stats.accesses
         self.cnf_variables = stats.cnf_variables
         self.cnf_clauses = stats.cnf_clauses
+        self.order_pairs = stats.order_pairs
+        self.order_vars = stats.order_vars
+        self.order_pairs_static = stats.order_pairs_static
+        self.transitivity_clauses = stats.transitivity_clauses
+        self.dense_order = stats.dense_order
         self.encode_seconds = stats.encode_seconds
+
+    def order_dict(self) -> dict:
+        """The memory-order encoding counters, for benchmark JSON output
+        (the shared :data:`~repro.encoding.formula.ORDER_COUNTER_FIELDS`)."""
+        return order_counter_dict(self)
 
 
 @dataclass

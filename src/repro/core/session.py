@@ -33,6 +33,7 @@ from repro.core.results import CheckResult, CheckStatistics
 from repro.core.specification import ObservationSet, mine_specification
 from repro.datatypes.spec import DataTypeImplementation
 from repro.encoding.formula import EncodedTest, encode_test
+from repro.encoding.memory import dense_order_enabled
 from repro.encoding.testprogram import CompiledTest, compile_test
 from repro.lang.lower import compile_c
 from repro.lsl.program import Program, SymbolicTest
@@ -58,6 +59,10 @@ class CheckSession:
             implementation.source, implementation.name
         )
         self.backend_factory = make_backend_factory(self.options.solver_backend)
+        #: Memory-order construction, resolved once (option wins, then the
+        #: CHECKFENCE_DENSE_ORDER environment variable) so every encoding
+        #: and cache key of this session agrees.
+        self.dense_order = dense_order_enabled(self.options.dense_order)
         self._compiled: dict[tuple, CompiledTest] = {}
         self._specifications: dict[tuple, ObservationSet] = {}
         self._encoded: dict[tuple, EncodedTest] = {}
@@ -113,6 +118,7 @@ class CheckSession:
                 program=self.program,
                 use_range_analysis=self.options.use_range_analysis,
                 backend_factory=self.backend_factory,
+                dense_order=self.dense_order,
             )
             merged = dict(refined.bounds)
             if self.options.loop_bounds:
@@ -154,6 +160,7 @@ class CheckSession:
             compiled,
             self.options.specification_method,
             backend_factory=self.backend_factory,
+            dense_order=self.dense_order,
         )
         self._specifications[key] = spec
         return spec
@@ -161,7 +168,7 @@ class CheckSession:
     def encoded(self, test: SymbolicTest, model: MemoryModel | str) -> EncodedTest:
         """The encoded formula (and its live solver backend) for a pair."""
         model = get_model(model)
-        key = (self._test_key(test), model.name)
+        key = self._encoded_key(test, model)
         cached = self._encoded.get(key)
         if cached is not None:
             self.cache_stats["encode_hits"] += 1
@@ -169,10 +176,19 @@ class CheckSession:
         self.cache_stats["encode"] += 1
         compiled = self.compile(test, model)
         encoded = encode_test(
-            compiled, model, backend_factory=self.backend_factory
+            compiled,
+            model,
+            backend_factory=self.backend_factory,
+            dense_order=self.dense_order,
         )
         self._encoded[key] = encoded
         return encoded
+
+    def _encoded_key(self, test: SymbolicTest, model: MemoryModel) -> tuple:
+        """Cache key of an encoded formula: the order construction is part
+        of the key, so a pruned and a dense encoding never alias even if
+        the environment flips mid-session."""
+        return (self._test_key(test), model.name, self.dense_order)
 
     # ---------------------------------------------------------------- check
 
@@ -221,7 +237,7 @@ class CheckSession:
                     compiled, model, specification, encoded=encoded
                 )
             finally:
-                self._encoded.pop((self._test_key(test), model.name), None)
+                self._encoded.pop(self._encoded_key(test, model), None)
             stats.solve_seconds += inclusion_outcome.solve_seconds
             if not inclusion_outcome.passed:
                 passed = False

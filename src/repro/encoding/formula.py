@@ -11,10 +11,15 @@ traces.
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass, field
 
-from repro.encoding.memory import MemoryModelEncoder, MemoryOrderEncoding
+from repro.encoding.memory import (
+    MemoryModelEncoder,
+    MemoryOrderEncoding,
+    dense_order_enabled,
+)
 from repro.encoding.symbolic import (
     EncodingError,
     MemoryAccess,
@@ -117,9 +122,37 @@ class ObservationSlot:
     value: BitVec
 
 
+#: The memory-order counter set embedded in benchmark JSON.  One source of
+#: truth: ``EncodingStatistics``, ``CheckStatistics`` and ``InclusionRow``
+#: all carry fields with these names and build their ``order_dict`` from it.
+ORDER_COUNTER_FIELDS = (
+    "dense_order",
+    "accesses",
+    "order_pairs",
+    "order_vars",
+    "order_pairs_static",
+    "transitivity_clauses",
+    "cnf_variables",
+    "cnf_clauses",
+)
+
+
+def order_counter_dict(stats) -> dict:
+    """The order-encoding counters of any stats object that carries the
+    :data:`ORDER_COUNTER_FIELDS` attributes, for benchmark JSON output."""
+    return {name: getattr(stats, name) for name in ORDER_COUNTER_FIELDS}
+
+
 @dataclass
 class EncodingStatistics:
-    """Size and timing information reported in Fig. 10."""
+    """Size and timing information reported in Fig. 10.
+
+    The ``order_*`` / ``transitivity_clauses`` counters describe the memory
+    order relation: how many access pairs exist, how many were statically
+    resolved (constant-folded, no variable), how many got a SAT variable,
+    and how many transitivity clauses were asserted.  ``dense_order`` marks
+    whether the dense fallback construction was used.
+    """
 
     instructions: int = 0
     loads: int = 0
@@ -128,6 +161,15 @@ class EncodingStatistics:
     cnf_variables: int = 0
     cnf_clauses: int = 0
     encode_seconds: float = 0.0
+    order_pairs: int = 0
+    order_vars: int = 0
+    order_pairs_static: int = 0
+    transitivity_clauses: int = 0
+    dense_order: bool = False
+
+    def order_dict(self) -> dict:
+        """The order-encoding counters, for benchmark JSON output."""
+        return order_counter_dict(self)
 
 
 class EncodedTest:
@@ -179,7 +221,17 @@ class EncodedTest:
         return self._backend
 
     def solve(self, assumptions=()):
-        """Solve the current formula; returns True/False (or None on limit)."""
+        """Solve the current formula; returns True/False (or None on limit).
+
+        Lowering an assumption handle can itself append the Tseitin clauses
+        of a not-yet-lowered node, so the backend is synced *after* the
+        assumptions are lowered — an assumption literal must never reach
+        the solver ahead of the clauses that define it.  The sync before
+        lowering is belt-and-braces (lowering never reads the backend); it
+        keeps the invariant "the backend is behind only by what this call
+        just lowered", which the regression tests pin.
+        """
+        self._ensure_backend()
         assumption_lits = [self.ctx.lowering.literal(h) for h in assumptions]
         backend = self._ensure_backend()
         return backend.solve(assumptions=assumption_lits)
@@ -269,21 +321,48 @@ class EncodedTest:
         }
 
     def decode_memory_order(self, model: dict[int, bool]) -> list[MemoryAccess]:
-        """The executed accesses sorted by the memory order of the model."""
+        """The executed accesses in a linear extension of the memory order.
+
+        Under the pruned encoding some pairs carry no order information at
+        all (they were proven order-irrelevant), so the model only fixes a
+        partial order; a deterministic topological sort (ties broken by
+        access position) produces a total order consistent with it.  Under
+        the dense encoding every pair is resolved and the result is exactly
+        the model's total order.
+        """
         executed = [
             a for a in self.order.accesses if self._evaluate(a.guard, model)
         ]
         position = {a.index: i for i, a in enumerate(self.order.accesses)}
-
-        import functools
-
-        def compare(first: MemoryAccess, second: MemoryAccess) -> int:
-            if first.index == second.index:
-                return 0
-            handle = self.order.order(position[first.index], position[second.index])
-            return -1 if self._evaluate(handle, model) else 1
-
-        return sorted(executed, key=functools.cmp_to_key(compare))
+        count = len(executed)
+        successors: list[list[int]] = [[] for _ in range(count)]
+        indegree = [0] * count
+        for x in range(count):
+            for y in range(x + 1, count):
+                handle = self.order.resolved(
+                    position[executed[x].index], position[executed[y].index]
+                )
+                if handle is None:
+                    continue
+                if self._evaluate(handle, model):
+                    successors[x].append(y)
+                    indegree[y] += 1
+                else:
+                    successors[y].append(x)
+                    indegree[x] += 1
+        ready = [x for x in range(count) if indegree[x] == 0]
+        heapq.heapify(ready)
+        result: list[MemoryAccess] = []
+        while ready:
+            x = heapq.heappop(ready)
+            result.append(executed[x])
+            for y in successors[x]:
+                indegree[y] -= 1
+                if indegree[y] == 0:
+                    heapq.heappush(ready, y)
+        if len(result) != count:  # pragma: no cover - encoding invariant
+            raise RuntimeError("memory order of the model contains a cycle")
+        return result
 
     def violated_assertions(self, model: dict[int, bool]) -> list[str]:
         return [
@@ -297,8 +376,15 @@ def encode_test(
     compiled: CompiledTest,
     model: MemoryModel,
     backend_factory: BackendFactory | None = None,
+    dense_order: bool | None = None,
 ) -> EncodedTest:
-    """Build the formula ``Phi`` for a compiled test under a memory model."""
+    """Build the formula ``Phi`` for a compiled test under a memory model.
+
+    ``dense_order`` selects the memory-order construction: ``False`` (the
+    default) uses the conflict-aware pruned encoding, ``True`` the original
+    dense one; ``None`` defers to ``CHECKFENCE_DENSE_ORDER``.
+    """
+    dense = dense_order_enabled(dense_order)
     start = time.perf_counter()
     context = EncodingContext(compiled)
     threads_by_index = compiled.threads()
@@ -330,7 +416,8 @@ def encode_test(
             handle = -context.bvb.is_zero(executor.register_value(flag_reg))
             overflow_handles[f"{invocation.label}:{tag}"] = handle
 
-    order = MemoryModelEncoder(context, model, thread_encodings).encode()
+    encoder = MemoryModelEncoder(context, model, thread_encodings, dense=dense)
+    order = encoder.encode()
 
     # Make sure every observable bit and assertion condition has a SAT
     # variable, so models can always be decoded.
@@ -348,6 +435,11 @@ def encode_test(
     stats.accesses = len(order.accesses)
     stats.cnf_variables = context.lowering.cnf.num_vars
     stats.cnf_clauses = context.lowering.cnf.num_clauses
+    stats.order_pairs = encoder.order_pair_count
+    stats.order_vars = encoder.order_var_count
+    stats.order_pairs_static = encoder.static_pair_count
+    stats.transitivity_clauses = encoder.transitivity_clause_count
+    stats.dense_order = dense
     stats.encode_seconds = time.perf_counter() - start
 
     return EncodedTest(

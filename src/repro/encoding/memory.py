@@ -1,8 +1,8 @@
 """The memory-model formula ``Theta`` (Section 3.2.1).
 
 Given the per-thread symbolic encodings, this module introduces the memory
-order variables ``Mxy`` (one per pair of accesses, with antisymmetry by
-sharing the variable and transitivity by explicit clauses), and asserts
+order variables ``Mxy`` (with antisymmetry by sharing the variable and
+transitivity by explicit clauses), and asserts
 
 * the program-order axioms of the chosen memory model,
 * the fence and atomic-block ordering rules,
@@ -11,31 +11,103 @@ sharing the variable and transitivity by explicit clauses), and asserts
   described in the paper), and
 * for the Seriality model, the operation-atomicity constraints used to mine
   the specification.
+
+Two constructions are available:
+
+**Pruned (default).**  A *static order resolver* first decides every pair
+whose direction is forced unconditionally — preserved program order,
+init-first, atomic-block-internal order, always-executed fences, constant
+same-address store pairs — and takes the transitive closure.
+:meth:`MemoryOrderEncoding.order` constant-folds those pairs to
+``TRUE``/``FALSE`` instead of minting a variable plus a unit clause.  Order
+variables are minted only for pairs that can influence outcomes: pairs
+queried by the value axioms (a load and its may-alias candidate stores, and
+those stores among each other), by conditional fence/same-address/atomic/
+seriality constraints, plus the *fill* pairs produced by triangulating the
+resulting constraint graph (min-degree elimination).  Transitivity is
+asserted as two no-3-cycle clauses per elimination triangle, with statically
+known edges folded into binary implications; triangulating the support
+graph makes the triangle constraints equivalent to full transitivity (every
+cycle in a chordal graph has a chord, so acyclic triangles imply an acyclic
+— hence linearizable — order).  Pairs that appear in no constraint get no
+variable at all; counterexample decoding topologically sorts the remaining
+partial order (:meth:`repro.encoding.formula.EncodedTest
+.decode_memory_order`).
+
+**Dense (fallback).**  The original construction — one variable for every
+pair and the full O(n^3) transitivity axiom — is kept behind
+``CheckOptions.dense_order`` / ``CHECKFENCE_DENSE_ORDER=1`` so differential
+harnesses (tests, ``benchmarks/bench_encoding_size.py``, the fuzz CI smoke)
+can prove the pruned construction produces identical outcome sets.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from itertools import combinations
 
 from repro.encoding.symbolic import MemoryAccess, ThreadEncoding
 from repro.encoding.testprogram import INIT_THREAD
 from repro.memorymodel.base import MemoryModel
+from repro.sat.circuit import Circuit
+
+
+def dense_order_enabled(flag: bool | None = None) -> bool:
+    """Resolve the dense-order knob: an explicit flag wins, otherwise the
+    ``CHECKFENCE_DENSE_ORDER`` environment variable (default: pruned).
+    Like every repo env flag, only the literal ``"1"`` enables it."""
+    if flag is not None:
+        return bool(flag)
+    return os.environ.get("CHECKFENCE_DENSE_ORDER", "0") == "1"
 
 
 @dataclass
 class MemoryOrderEncoding:
-    """The order variables, for use when decoding counterexample traces."""
+    """The order relation, for the axioms and for decoding counterexamples.
+
+    A pair of accesses is in exactly one of three states:
+
+    * **statically resolved** (``static_pairs``): the direction is forced by
+      the model regardless of the solver's choices; :meth:`order` returns
+      the constant ``TRUE``/``FALSE`` handle.
+    * **live** (``order_vars``): a SAT variable decides the direction.
+    * **dead** (neither): no constraint ever mentions the pair; it has no
+      variable, and :meth:`order` raises.  :meth:`resolved` returns ``None``
+      so decoders can treat the pair as unordered.
+
+    Under the dense construction every pair is live.
+    """
 
     accesses: list[MemoryAccess]
     order_vars: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: Statically resolved pairs, keyed ``(i, j)`` with ``i < j``; the value
+    #: is ``True`` when ``accesses[i] <M accesses[j]``.
+    static_pairs: dict[tuple[int, int], bool] = field(default_factory=dict)
 
     def order(self, first: int, second: int) -> int:
         """Circuit handle for ``access[first] <M access[second]``."""
+        handle = self.resolved(first, second)
+        if handle is None:
+            raise KeyError(
+                f"no order constraint between accesses {first} and {second} "
+                "(the pruned encoding proved the pair order-irrelevant)"
+            )
+        return handle
+
+    def resolved(self, first: int, second: int) -> int | None:
+        """Like :meth:`order`, but ``None`` for dead pairs."""
         if first == second:
             raise ValueError("an access is never ordered before itself")
-        if first < second:
-            return self.order_vars[(first, second)]
-        return -self.order_vars[(second, first)]
+        forward = first < second
+        key = (first, second) if forward else (second, first)
+        static = self.static_pairs.get(key)
+        if static is not None:
+            return Circuit.TRUE if static == forward else Circuit.FALSE
+        var = self.order_vars.get(key)
+        if var is None:
+            return None
+        return var if forward else -var
 
 
 class MemoryModelEncoder:
@@ -46,10 +118,12 @@ class MemoryModelEncoder:
         context,
         model: MemoryModel,
         threads: list[ThreadEncoding],
+        dense: bool = False,
     ) -> None:
         self.ctx = context
         self.model = model
         self.threads = threads
+        self.dense = dense
         self.accesses: list[MemoryAccess] = sorted(
             (a for t in threads for a in t.accesses), key=lambda a: a.index
         )
@@ -58,12 +132,41 @@ class MemoryModelEncoder:
         self._position = {a.index: i for i, a in enumerate(self.accesses)}
         self.encoding = MemoryOrderEncoding(accesses=self.accesses)
         self._addr_eq_cache: dict[tuple[int, int], int] = {}
+        # Frozen alias sets and per-thread seq-sorted access lists are
+        # computed once and reused by every axiom (the dense construction
+        # re-derived both repeatedly).
+        self._alias_sets: dict[int, frozenset | None] = {
+            a.index: (
+                frozenset(a.addr_candidates)
+                if a.addr_candidates is not None
+                else None
+            )
+            for a in self.accesses
+        }
+        self._by_thread: dict[int, list[MemoryAccess]] = {
+            t.thread: sorted(t.accesses, key=lambda a: a.seq)
+            for t in self.threads
+        }
+        #: Candidate stores per load (visibility-pruned under the pruned
+        #: construction), filled by :meth:`_compute_value_candidates`.
+        self._value_candidates: list[tuple[MemoryAccess, list[MemoryAccess]]] = []
+        self._fence_pair_list: (
+            list[tuple[MemoryAccess, MemoryAccess, int]] | None
+        ) = None
+        # Size counters surfaced through EncodingStatistics.
+        self.transitivity_clause_count = 0
 
     # --------------------------------------------------------------- public
 
     def encode(self) -> MemoryOrderEncoding:
-        self._create_order_variables()
-        self._assert_transitivity()
+        self._compute_value_candidates()
+        if self.dense:
+            self._create_order_variables()
+            self._assert_transitivity()
+        else:
+            self._resolve_static_orders()
+            self._prune_value_candidates()
+            self._create_live_order_variables()
         self._assert_program_order()
         self._assert_same_address_order()
         self._assert_fences()
@@ -74,7 +177,22 @@ class MemoryModelEncoder:
         self._assert_value_axioms()
         return self.encoding
 
-    # ------------------------------------------------------------ structure
+    # ----------------------------------------------------------- statistics
+
+    @property
+    def order_pair_count(self) -> int:
+        n = len(self.accesses)
+        return n * (n - 1) // 2
+
+    @property
+    def order_var_count(self) -> int:
+        return len(self.encoding.order_vars)
+
+    @property
+    def static_pair_count(self) -> int:
+        return len(self.encoding.static_pairs)
+
+    # ------------------------------------------------------ dense structure
 
     def _create_order_variables(self) -> None:
         circuit = self.ctx.circuit
@@ -82,9 +200,6 @@ class MemoryModelEncoder:
         for i in range(n):
             for j in range(i + 1, n):
                 self.encoding.order_vars[(i, j)] = circuit.var(f"M[{i},{j}]")
-
-    def _order(self, i: int, j: int) -> int:
-        return self.encoding.order(i, j)
 
     def _assert_transitivity(self) -> None:
         n = len(self.accesses)
@@ -99,27 +214,256 @@ class MemoryModelEncoder:
                         continue
                     # i <M j and j <M k implies i <M k
                     assert_clause([-order_ij, -self._order(j, k), self._order(i, k)])
+                    self.transitivity_clause_count += 1
+
+    # ----------------------------------------------------- static resolution
+
+    def _resolve_static_orders(self) -> None:
+        """Precompute every unconditionally ordered pair and its closure.
+
+        Static edges always point from the init thread into the others and,
+        within a thread, from lower to higher ``seq``, so sorting by
+        ``(non-init, thread, seq)`` is a topological order and the closure
+        is one reverse sweep over bitmask reachability sets.
+        """
+        n = len(self.accesses)
+        position = self._position
+        successors = [0] * n
+
+        def add_edge(first: MemoryAccess, second: MemoryAccess) -> None:
+            successors[position[first.index]] |= 1 << position[second.index]
+
+        circuit_true = self.ctx.circuit.TRUE
+        for first, second in self._same_thread_pairs():
+            if first.thread == INIT_THREAD or self.model.preserves(
+                first.kind, second.kind
+            ):
+                add_edge(first, second)
+            elif (
+                first.atomic_group is not None
+                and first.atomic_group == second.atomic_group
+            ):
+                add_edge(first, second)
+            elif self._same_address_static_edge(first, second):
+                # Axiom 1 with a constant address comparison: the guard of
+                # the implication is always true, so the order is forced.
+                add_edge(first, second)
+        for first, second, guard in self._fence_pairs():
+            if guard == circuit_true:
+                add_edge(first, second)
+        init_accesses = [a for a in self.accesses if a.thread == INIT_THREAD]
+        others = [a for a in self.accesses if a.thread != INIT_THREAD]
+        for first in init_accesses:
+            for second in others:
+                add_edge(first, second)
+
+        topo = sorted(
+            range(n),
+            key=lambda p: (
+                self.accesses[p].thread != INIT_THREAD,
+                self.accesses[p].thread,
+                self.accesses[p].seq,
+                p,
+            ),
+        )
+        reach = [0] * n
+        for p in reversed(topo):
+            result = successors[p]
+            pending = successors[p]
+            while pending:
+                low = pending & -pending
+                result |= reach[low.bit_length() - 1]
+                pending ^= low
+            reach[p] = result
+
+        static = self.encoding.static_pairs
+        for i in range(n):
+            mask = reach[i]
+            while mask:
+                low = mask & -mask
+                j = low.bit_length() - 1
+                mask ^= low
+                if i < j:
+                    static[(i, j)] = True
+                else:
+                    static[(j, i)] = False
+
+    # ------------------------------------------------- conflict restriction
+
+    def _create_live_order_variables(self) -> None:
+        """Mint variables only for pairs that can influence outcomes, then
+        assert pruned transitivity over the triangulated support graph."""
+        seeds = self._seed_pairs()
+        init_positions = {
+            self._position[a.index]
+            for a in self.accesses
+            if a.thread == INIT_THREAD
+        }
+        triangles = self._triangulate(seeds, init_positions)
+        circuit = self.ctx.circuit
+        for key in sorted(seeds):
+            self.encoding.order_vars[key] = circuit.var(f"M[{key[0]},{key[1]}]")
+        self._assert_transitivity_pruned(triangles)
+
+    def _seed_pairs(self) -> set[tuple[int, int]]:
+        """Every non-static pair some constraint will mention."""
+        seeds: set[tuple[int, int]] = set()
+        position = self._position
+        resolved = self.encoding.resolved
+
+        def need(first: MemoryAccess, second: MemoryAccess) -> None:
+            i, j = position[first.index], position[second.index]
+            key = (i, j) if i < j else (j, i)
+            if key not in self.encoding.static_pairs:
+                seeds.add(key)
+
+        circuit = self.ctx.circuit
+        for first, second in self._same_address_pairs():
+            need(first, second)
+        for first, second, guard in self._fence_pairs():
+            if guard != circuit.TRUE and guard != circuit.FALSE:
+                if not self.model.preserves(first.kind, second.kind):
+                    need(first, second)
+        for first, second, other in self._atomic_exclusion_triples():
+            first_other = resolved(
+                position[first.index], position[other.index]
+            )
+            other_second = resolved(
+                position[other.index], position[second.index]
+            )
+            # The clause (not first<other) or (not other<second) is
+            # trivially true when either order is statically impossible.
+            if first_other == circuit.FALSE or other_second == circuit.FALSE:
+                continue
+            if first_other is None:
+                need(first, other)
+            if other_second is None:
+                need(other, second)
+        if self.model.operation_atomicity:
+            for group_a, group_b in self._invocation_group_pairs():
+                for x in group_a:
+                    for y in group_b:
+                        need(x, y)
+        for load, candidates in self._value_candidates:
+            for store in candidates:
+                if not self._forwarded(store, load):
+                    need(store, load)
+            for first, second in combinations(candidates, 2):
+                need(first, second)
+        return seeds
+
+    def _triangulate(
+        self,
+        seeds: set[tuple[int, int]],
+        excluded: set[int],
+    ) -> list[tuple[int, int, int]]:
+        """Chordalize the support graph by min-degree elimination.
+
+        The support graph has an edge for every live or static pair between
+        non-init accesses (init accesses have only outgoing static edges, so
+        no cycle passes through them).  Fill edges discovered during
+        elimination become live pairs (added to ``seeds``); the returned
+        elimination triangles are exactly the triples over which no-3-cycle
+        clauses must be asserted to make every orientation extendable to a
+        total order.
+        """
+        n = len(self.accesses)
+        vertices = [p for p in range(n) if p not in excluded]
+        adjacency: dict[int, set[int]] = {p: set() for p in vertices}
+
+        def connect(i: int, j: int) -> None:
+            if i in adjacency and j in adjacency:
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+
+        for i, j in seeds:
+            connect(i, j)
+        for i, j in self.encoding.static_pairs:
+            connect(i, j)
+
+        triangles: list[tuple[int, int, int]] = []
+        alive = set(vertices)
+        while alive:
+            vertex = min(alive, key=lambda p: (len(adjacency[p]), p))
+            alive.discard(vertex)
+            neighbors = sorted(adjacency[vertex])
+            for index, a in enumerate(neighbors):
+                adjacency[a].discard(vertex)
+                for b in neighbors[index + 1:]:
+                    triangles.append((vertex, a, b))
+                    if b not in adjacency[a]:
+                        adjacency[a].add(b)
+                        adjacency[b].add(a)
+                        key = (a, b) if a < b else (b, a)
+                        if key not in self.encoding.static_pairs:
+                            seeds.add(key)
+            adjacency[vertex].clear()
+        return triangles
+
+    def _assert_transitivity_pruned(
+        self, triangles: list[tuple[int, int, int]]
+    ) -> None:
+        """Forbid both cyclic orientations of every elimination triangle.
+
+        Statically resolved edges fold away: a triangle with a known edge
+        degenerates to one binary implication, and a triangle whose cycle is
+        already statically impossible emits nothing.
+        """
+        order = self.encoding.order
+        for v, a, b in triangles:
+            o_va = order(v, a)
+            o_ab = order(a, b)
+            o_vb = order(v, b)
+            # cycle v -> a -> b -> v: not(o_va and o_ab and not o_vb)
+            self._assert_folded_clause((-o_va, -o_ab, o_vb))
+            # cycle v -> b -> a -> v: not(o_vb and not o_ab and not o_va)
+            self._assert_folded_clause((-o_vb, o_ab, o_va))
+
+    def _assert_folded_clause(self, handles) -> None:
+        """Assert a clause, dropping false literals and skipping clauses
+        made true by a constant (statically resolved) literal."""
+        circuit = self.ctx.circuit
+        out = []
+        for handle in handles:
+            if handle == circuit.TRUE:
+                return
+            if handle != circuit.FALSE:
+                out.append(handle)
+        self.ctx.assert_clause(out)
+        self.transitivity_clause_count += 1
+
+    # ---------------------------------------------------------- pair streams
+
+    def _order(self, i: int, j: int) -> int:
+        return self.encoding.order(i, j)
 
     def _same_thread_pairs(self):
         """Yield (earlier, later) pairs of accesses of the same thread."""
-        for thread in self.threads:
-            accesses = sorted(thread.accesses, key=lambda a: a.seq)
+        for accesses in self._by_thread.values():
             for i, first in enumerate(accesses):
                 for second in accesses[i + 1:]:
                     yield first, second
 
-    def _assert_program_order(self) -> None:
-        for first, second in self._same_thread_pairs():
-            enforce = (
-                first.thread == INIT_THREAD
-                or self.model.preserves(first.kind, second.kind)
-            )
-            if enforce:
-                self.ctx.assert_true(self._order_of(first, second))
+    def _same_address_static_edge(
+        self, first: MemoryAccess, second: MemoryAccess
+    ) -> bool:
+        """Same-address store order with a *constant* address comparison —
+        the static half of axiom 1 (the symbolic half is emitted by
+        :meth:`_assert_same_address_order`)."""
+        return (
+            self.model.same_address_store_order
+            and second.is_store
+            and self._may_alias(first, second)
+            and self._addr_eq(first, second) == self.ctx.circuit.TRUE
+        )
 
-    def _assert_same_address_order(self) -> None:
+    def _same_address_pairs(self):
+        """Pairs the same-address store-order axiom constrains with a
+        *symbolic* address comparison (constant comparisons are static or
+        vacuous)."""
         if not self.model.same_address_store_order:
             return
+        circuit = self.ctx.circuit
         for first, second in self._same_thread_pairs():
             if not second.is_store:
                 continue
@@ -129,19 +473,30 @@ class MemoryModelEncoder:
                 continue  # already ordered unconditionally
             if not self._may_alias(first, second):
                 continue
-            self.ctx.assert_true(
-                self.ctx.circuit.implies(
-                    self._addr_eq(first, second), self._order_of(first, second)
-                )
-            )
+            addr_eq = self._addr_eq(first, second)
+            if addr_eq == circuit.FALSE:
+                continue  # can never be the same address
+            if addr_eq == circuit.TRUE and not self.dense:
+                continue  # statically resolved instead
+            yield first, second
 
-    def _assert_fences(self) -> None:
+    def _fence_pairs(self) -> list[tuple[MemoryAccess, MemoryAccess, int]]:
+        """(before, after, guard) for every fence-ordered pair, materialized
+        once (the pruned construction walks the list three times: static
+        resolution, seeding, assertion)."""
+        if self._fence_pair_list is None:
+            self._fence_pair_list = list(self._enumerate_fence_pairs())
+        return self._fence_pair_list
+
+    def _enumerate_fence_pairs(self):
         circuit = self.ctx.circuit
         for thread in self.threads:
             if not thread.fences:
                 continue
-            accesses = sorted(thread.accesses, key=lambda a: a.seq)
+            accesses = self._by_thread[thread.thread]
             for fence in thread.fences:
+                if fence.guard == circuit.FALSE:
+                    continue
                 before = [
                     a for a in accesses
                     if a.seq < fence.seq and a.kind in fence.kind.orders_before
@@ -152,70 +507,194 @@ class MemoryModelEncoder:
                 ]
                 for first in before:
                     for second in after:
-                        if self.model.preserves(first.kind, second.kind):
-                            continue
-                        self.ctx.assert_true(
-                            circuit.implies(
-                                fence.guard, self._order_of(first, second)
-                            )
-                        )
+                        yield first, second, fence.guard
 
-    def _assert_atomic_blocks(self) -> None:
+    def _atomic_groups(self) -> list[list[MemoryAccess]]:
         groups: dict[int, list[MemoryAccess]] = {}
-        for access in self.accesses:
-            if access.atomic_group is not None:
-                groups.setdefault(access.atomic_group, []).append(access)
-        for members in groups.values():
-            members.sort(key=lambda a: a.seq)
+        # Iterating threads in seq order keeps every group seq-sorted
+        # without re-sorting (atomic blocks never span threads).
+        for accesses in self._by_thread.values():
+            for access in accesses:
+                if access.atomic_group is not None:
+                    groups.setdefault(access.atomic_group, []).append(access)
+        return list(groups.values())
+
+    def _atomic_exclusion_triples(self):
+        """Yield (first, second, other) for atomic non-interleaving: no
+        ``other`` of a different thread lands between two block members."""
+        for members in self._atomic_groups():
             thread = members[0].thread
-            # (a) program order inside the atomic block
-            for i, first in enumerate(members):
-                for second in members[i + 1:]:
-                    self.ctx.assert_true(self._order_of(first, second))
-            # (b) no access of another thread interleaves with the block
             outside = [a for a in self.accesses if a.thread != thread]
             for i, first in enumerate(members):
                 for second in members[i + 1:]:
                     for other in outside:
-                        self.ctx.assert_clause(
-                            [
-                                -self._order_of(first, other),
-                                -self._order_of(other, second),
-                            ]
-                        )
+                        yield first, second, other
 
-    def _assert_init_first(self) -> None:
-        init_accesses = [a for a in self.accesses if a.thread == INIT_THREAD]
-        others = [a for a in self.accesses if a.thread != INIT_THREAD]
-        for first in init_accesses:
-            for second in others:
-                self.ctx.assert_true(self._order_of(first, second))
-
-    def _assert_operation_atomicity(self) -> None:
-        """Seriality: accesses of different invocations never interleave."""
-        circuit = self.ctx.circuit
+    def _invocation_group_pairs(self):
+        """Yield (accesses of invocation A, accesses of invocation B) for
+        every unordered pair of invocations (Seriality)."""
         by_invocation: dict[int, list[MemoryAccess]] = {}
         for access in self.accesses:
             by_invocation.setdefault(access.invocation, []).append(access)
         invocations = sorted(by_invocation)
         for index, first_inv in enumerate(invocations):
             for second_inv in invocations[index + 1:]:
-                op_order = circuit.var(f"OP[{first_inv},{second_inv}]")
-                for x in by_invocation[first_inv]:
-                    for y in by_invocation[second_inv]:
-                        self.ctx.assert_true(
-                            circuit.iff(self._order_of(x, y), op_order)
-                        )
+                yield by_invocation[first_inv], by_invocation[second_inv]
+
+    # ------------------------------------------------------------ the axioms
+
+    def _assert_program_order(self) -> None:
+        circuit_true = self.ctx.circuit.TRUE
+        for first, second in self._same_thread_pairs():
+            enforce = (
+                first.thread == INIT_THREAD
+                or self.model.preserves(first.kind, second.kind)
+            )
+            if enforce:
+                handle = self._order_of(first, second)
+                if handle != circuit_true:  # statically resolved otherwise
+                    self.ctx.assert_true(handle)
+
+    def _assert_same_address_order(self) -> None:
+        circuit = self.ctx.circuit
+        for first, second in self._same_address_pairs():
+            handle = self._order_of(first, second)
+            if handle == circuit.TRUE:
+                continue
+            self.ctx.assert_true(
+                circuit.implies(self._addr_eq(first, second), handle)
+            )
+
+    def _assert_fences(self) -> None:
+        circuit = self.ctx.circuit
+        for first, second, guard in self._fence_pairs():
+            if self.model.preserves(first.kind, second.kind):
+                continue
+            handle = self._order_of(first, second)
+            if handle == circuit.TRUE:
+                continue  # statically resolved (always-executed fence)
+            self.ctx.assert_true(circuit.implies(guard, handle))
+
+    def _assert_atomic_blocks(self) -> None:
+        circuit_true = self.ctx.circuit.TRUE
+        # (a) program order inside the atomic block
+        for members in self._atomic_groups():
+            for i, first in enumerate(members):
+                for second in members[i + 1:]:
+                    handle = self._order_of(first, second)
+                    if handle != circuit_true:
+                        self.ctx.assert_true(handle)
+        # (b) no access of another thread interleaves with the block
+        for first, second, other in self._atomic_exclusion_triples():
+            self._assert_exclusion_clause(first, second, other)
+
+    def _assert_exclusion_clause(
+        self, first: MemoryAccess, second: MemoryAccess, other: MemoryAccess
+    ) -> None:
+        circuit = self.ctx.circuit
+        position = self._position
+        first_other = self.encoding.resolved(
+            position[first.index], position[other.index]
+        )
+        other_second = self.encoding.resolved(
+            position[other.index], position[second.index]
+        )
+        if first_other == circuit.FALSE or other_second == circuit.FALSE:
+            return  # one of the two orders is statically impossible
+        out = []
+        if first_other != circuit.TRUE:
+            out.append(-self._order_of(first, other))
+        if other_second != circuit.TRUE:
+            out.append(-self._order_of(other, second))
+        self.ctx.assert_clause(out)
+
+    def _assert_init_first(self) -> None:
+        circuit_true = self.ctx.circuit.TRUE
+        init_accesses = [a for a in self.accesses if a.thread == INIT_THREAD]
+        others = [a for a in self.accesses if a.thread != INIT_THREAD]
+        for first in init_accesses:
+            for second in others:
+                handle = self._order_of(first, second)
+                if handle != circuit_true:  # statically resolved otherwise
+                    self.ctx.assert_true(handle)
+
+    def _assert_operation_atomicity(self) -> None:
+        """Seriality: accesses of different invocations never interleave."""
+        circuit = self.ctx.circuit
+        for group_a, group_b in self._invocation_group_pairs():
+            first_inv = group_a[0].invocation
+            second_inv = group_b[0].invocation
+            op_order = circuit.var(f"OP[{first_inv},{second_inv}]")
+            for x in group_a:
+                for y in group_b:
+                    # iff constant-folds when the pair is static, turning
+                    # into a unit constraint on the OP variable.
+                    self.ctx.assert_true(
+                        circuit.iff(self._order_of(x, y), op_order)
+                    )
 
     # ---------------------------------------------------------- value axioms
+
+    def _compute_value_candidates(self) -> None:
+        """Candidate stores per load, grouped by location up front.
+
+        Stores are indexed by their (frozen) alias sets once; each load then
+        gathers the stores of its own candidate locations instead of testing
+        every (load, store) pair.  Under the pruned construction, stores
+        whose visibility is statically impossible (ordered after the load
+        with no forwarding) are dropped here, before any term is built.
+        """
+        stores = [a for a in self.accesses if a.is_store]
+        by_location: dict[int, list[MemoryAccess]] = {}
+        wildcard: list[MemoryAccess] = []
+        for store in stores:
+            alias = self._alias_sets[store.index]
+            if alias is None:
+                wildcard.append(store)
+            else:
+                for location in alias:
+                    by_location.setdefault(location, []).append(store)
+        for load in self.accesses:
+            if not load.is_load:
+                continue
+            alias = self._alias_sets[load.index]
+            if alias is None:
+                candidates = list(stores)
+            else:
+                merged: dict[int, MemoryAccess] = {
+                    s.index: s for s in wildcard
+                }
+                for location in alias:
+                    for store in by_location.get(location, ()):
+                        merged[store.index] = store
+                candidates = [merged[index] for index in sorted(merged)]
+            self._value_candidates.append((load, candidates))
+
+    def _prune_value_candidates(self) -> None:
+        """Drop statically invisible stores from every candidate list (the
+        store is ordered after the load and forwarding does not apply).
+        Runs once, right after static resolution, so the seeder and the
+        value-axiom emitter consume the exact same lists."""
+        self._value_candidates = [
+            (load, [s for s in candidates if self._visible(s, load)])
+            for load, candidates in self._value_candidates
+        ]
+
+    def _visible(self, store: MemoryAccess, load: MemoryAccess) -> bool:
+        """Can this store possibly be visible to the load?  False only when
+        the static resolver ordered the store after the load and store
+        forwarding does not apply."""
+        if self._forwarded(store, load):
+            return True
+        handle = self.encoding.resolved(
+            self._position[store.index], self._position[load.index]
+        )
+        return handle != self.ctx.circuit.FALSE
 
     def _assert_value_axioms(self) -> None:
         circuit = self.ctx.circuit
         bvb = self.ctx.bvb
-        loads = [a for a in self.accesses if a.is_load]
-        stores = [a for a in self.accesses if a.is_store]
-        for load in loads:
-            candidates = [s for s in stores if self._may_alias(load, s)]
+        for load, candidates in self._value_candidates:
             visibility: dict[int, int] = {}
             for store in candidates:
                 visibility[store.index] = circuit.and_(
@@ -249,15 +728,18 @@ class MemoryModelEncoder:
                 circuit.implies(load.guard, circuit.or_many(terms))
             )
 
-    def _visibility_order(self, store: MemoryAccess, load: MemoryAccess) -> int:
-        """The ordering part of ``store in S(load)``."""
-        if (
+    def _forwarded(self, store: MemoryAccess, load: MemoryAccess) -> bool:
+        """Store-queue forwarding: a program-order-earlier store of the
+        load's own thread is visible regardless of the global order."""
+        return (
             self.model.store_forwarding
             and store.thread == load.thread
             and store.seq < load.seq
-        ):
-            # Store-queue forwarding: a program-order-earlier store of the
-            # same thread is visible regardless of the global order.
+        )
+
+    def _visibility_order(self, store: MemoryAccess, load: MemoryAccess) -> int:
+        """The ordering part of ``store in S(load)``."""
+        if self._forwarded(store, load):
             return self.ctx.circuit.TRUE
         return self._order_of(store, load)
 
@@ -286,9 +768,11 @@ class MemoryModelEncoder:
         )
 
     def _may_alias(self, first: MemoryAccess, second: MemoryAccess) -> bool:
-        if first.addr_candidates is None or second.addr_candidates is None:
+        first_set = self._alias_sets[first.index]
+        second_set = self._alias_sets[second.index]
+        if first_set is None or second_set is None:
             return True
-        return bool(set(first.addr_candidates) & set(second.addr_candidates))
+        return not first_set.isdisjoint(second_set)
 
     def _addr_eq(self, first: MemoryAccess, second: MemoryAccess) -> int:
         key = (min(first.index, second.index), max(first.index, second.index))

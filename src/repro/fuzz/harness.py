@@ -69,6 +69,7 @@ def run_fuzz_cell(cell: MatrixCell, options) -> "CellResult":
     report = differential_check(
         compiled, cell.model, backend_spec=options.solver_backend,
         name=cell.test,
+        dense_order=getattr(options, "dense_order", None),
     )
     notes = []
     if report.inconclusive:
@@ -97,6 +98,7 @@ def shrink_divergence(
     model: str,
     backend_spec: str | None = None,
     max_rounds: int = 100,
+    dense_order: bool | None = None,
 ) -> tuple[FuzzProgram, DifferentialReport]:
     """Greedily minimize a diverging program, keeping the divergence.
 
@@ -105,7 +107,7 @@ def shrink_divergence(
     def report_for(candidate: FuzzProgram) -> DifferentialReport:
         return differential_check(
             candidate.compile(), model, backend_spec=backend_spec,
-            name=candidate.spec(),
+            name=candidate.spec(), dense_order=dense_order,
         )
 
     current = report_for(program)
@@ -284,15 +286,18 @@ def run_fuzz(
         # Re-confirm in-process (the worker only shipped a description)
         # and shrink to a minimal reproducer.
         program = FuzzProgram.parse(cell_result.cell.test)
+        dense_order = getattr(options, "dense_order", None)
         if shrink:
             program, report = shrink_divergence(
                 program, cell_result.cell.model,
                 backend_spec=options.solver_backend,
+                dense_order=dense_order,
             )
         else:
             report = differential_check(
                 program.compile(), cell_result.cell.model,
                 backend_spec=options.solver_backend, name=program.spec(),
+                dense_order=dense_order,
             )
         if report.diverged:
             description = report.describe()

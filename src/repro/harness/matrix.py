@@ -362,13 +362,14 @@ def _run_cell(cell: MatrixCell, sessions: dict, options) -> CellResult:
 
             litmus = available_litmus_tests()[cell.test]
             outcome = observation_outcome(
-                litmus, cell.model, backend_spec=options.solver_backend
+                litmus, cell.model, backend_spec=options.solver_backend,
+                dense_order=getattr(options, "dense_order", None),
             )
             return CellResult(
                 cell=cell,
                 allowed=outcome.allowed,
                 seconds=time.perf_counter() - started,
-                stats={"backend": outcome.backend},
+                stats={"backend": outcome.backend, "order": outcome.order},
             )
         session = sessions.get(cell.implementation)
         if session is None:

@@ -34,6 +34,7 @@ from repro.core.specification import (
     ReferenceSpecificationMiner,
     SatSpecificationMiner,
 )
+from repro.encoding.formula import order_counter_dict
 from repro.datatypes.registry import (
     base_implementations,
     category_of,
@@ -66,6 +67,11 @@ class InclusionRow:
     solve_seconds: float
     total_seconds: float
     passed: bool
+    order_pairs: int = 0
+    order_vars: int = 0
+    order_pairs_static: int = 0
+    transitivity_clauses: int = 0
+    dense_order: bool = False
     solver_backend: str = ""
     solver_counters_available: bool = True
     solver_decisions: int = 0
@@ -88,6 +94,11 @@ class InclusionRow:
             for key, value in asdict(self).items()
             if key.startswith(prefix)
         }
+
+    def order_dict(self) -> dict:
+        """Memory-order encoding counters (embedded in benchmark JSON);
+        the same key set as :meth:`CheckStatistics.order_dict`."""
+        return order_counter_dict(self)
 
 
 def check_catalog_test(
@@ -213,6 +224,11 @@ def inclusion_row(
         solve_seconds=stats.solve_seconds,
         total_seconds=stats.total_seconds,
         passed=result.passed,
+        order_pairs=stats.order_pairs,
+        order_vars=stats.order_vars,
+        order_pairs_static=stats.order_pairs_static,
+        transitivity_clauses=stats.transitivity_clauses,
+        dense_order=stats.dense_order,
         # One source of truth for the counter set: CheckStatistics.
         **{f"solver_{key}": value for key, value in stats.solver_dict().items()},
     )
@@ -358,7 +374,10 @@ def method_comparison(
     observation_seconds = time.perf_counter() - start
 
     compiled = checker.compile(test, model)
-    commit_result = run_commit_point_check(compiled, model)
+    # Same order construction on both sides of the Fig. 12 comparison.
+    commit_result = run_commit_point_check(
+        compiled, model, dense_order=checker.session.dense_order
+    )
     return MethodComparison(
         implementation=implementation_name,
         test=test_name,

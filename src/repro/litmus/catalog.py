@@ -281,6 +281,8 @@ class LitmusOutcome:
     allowed: bool
     backend: str
     solver_stats: SolverStats | None
+    #: Memory-order encoding counters (``EncodingStatistics.order_dict``).
+    order: dict | None = None
 
 
 def observation_outcome(
@@ -288,13 +290,15 @@ def observation_outcome(
     model: MemoryModel | str,
     observation: tuple[int, ...] | None = None,
     backend_spec: str | None = None,
+    dense_order: bool | None = None,
 ) -> LitmusOutcome:
     """Like :func:`observation_allowed`, but also reports which backend ran
     and its solver counters (for the benchmark JSON trajectories)."""
     model = get_model(model)
     compiled = compiled_litmus(litmus)
     encoded = encode_test(
-        compiled, model, backend_factory=make_backend_factory(backend_spec)
+        compiled, model, backend_factory=make_backend_factory(backend_spec),
+        dense_order=dense_order,
     )
     target = observation if observation is not None else litmus.observation
     handles = encoded.observation_equals(target)
@@ -304,6 +308,7 @@ def observation_outcome(
         allowed=allowed,
         backend=encoded.backend_name or "internal",
         solver_stats=stats.copy() if stats is not None else None,
+        order=encoded.stats.order_dict(),
     )
 
 
@@ -312,15 +317,19 @@ def observation_allowed(
     model: MemoryModel | str,
     observation: tuple[int, ...] | None = None,
     backend_spec: str | None = None,
+    dense_order: bool | None = None,
 ) -> bool:
     """Is the litmus observation reachable under the given memory model?"""
     return observation_outcome(
-        litmus, model, observation, backend_spec=backend_spec
+        litmus, model, observation, backend_spec=backend_spec,
+        dense_order=dense_order,
     ).allowed
 
 
 def iriw_allowed(
-    model: MemoryModel | str, backend_spec: str | None = None
+    model: MemoryModel | str,
+    backend_spec: str | None = None,
+    dense_order: bool | None = None,
 ) -> bool:
     """Fig. 2: can the two readers observe the writes in opposite orders?
 
@@ -332,7 +341,8 @@ def iriw_allowed(
     model = get_model(model)
     compiled = compiled_litmus(litmus)
     encoded = encode_test(
-        compiled, model, backend_factory=make_backend_factory(backend_spec)
+        compiled, model, backend_factory=make_backend_factory(backend_spec),
+        dense_order=dense_order,
     )
     # Locate the r1a/r1b/r2a/r2b cells by their global layout position:
     # globals are x, y, r1a, r1b, r2a, r2b -> indices 1..6.

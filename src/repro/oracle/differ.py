@@ -30,6 +30,7 @@ def mine_sat_outcomes(
     model: MemoryModel | str,
     backend_spec: str | None = None,
     max_outcomes: int = 4096,
+    dense_order: bool | None = None,
 ) -> set[tuple[int, ...]]:
     """Enumerate every reachable observation vector from the SAT encoding.
 
@@ -39,7 +40,8 @@ def mine_sat_outcomes(
     """
     model = get_model(model)
     encoded = encode_test(
-        compiled, model, backend_factory=make_backend_factory(backend_spec)
+        compiled, model, backend_factory=make_backend_factory(backend_spec),
+        dense_order=dense_order,
     )
     outcomes: set[tuple[int, ...]] = set()
     while True:
@@ -141,6 +143,7 @@ def differential_check(
     max_steps: int = 100_000,
     max_nodes: int = 400_000,
     max_outcomes: int = 4096,
+    dense_order: bool | None = None,
 ) -> DifferentialReport:
     """Compare oracle and SAT outcome sets for one (test, model) pair."""
     model = get_model(model)
@@ -156,7 +159,7 @@ def differential_check(
         try:
             report.sat_outcomes = mine_sat_outcomes(
                 compiled, model, backend_spec=backend_spec,
-                max_outcomes=max_outcomes,
+                max_outcomes=max_outcomes, dense_order=dense_order,
             )
         except SatMiningOverflow as exc:
             # A budget breach, like the oracle's own: skip, don't error.

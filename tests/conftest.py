@@ -32,6 +32,24 @@ def dimacs_cli_spec():
 
 
 @pytest.fixture
+def drop_same_address_axiom(monkeypatch):
+    """Disable BOTH halves of the same-address store-order axiom (the
+    statically resolved constant-address pairs and the symbolic
+    implication) — the injected encoder bug the mutation-detection tests
+    expect the differential oracle / fuzzer to catch."""
+    from repro.encoding.memory import MemoryModelEncoder
+
+    monkeypatch.setattr(
+        MemoryModelEncoder, "_assert_same_address_order",
+        lambda self: None,
+    )
+    monkeypatch.setattr(
+        MemoryModelEncoder, "_same_address_static_edge",
+        lambda self, first, second: False,
+    )
+
+
+@pytest.fixture
 def src_on_subprocess_path(monkeypatch):
     """Make ``repro`` importable in spawned solver subprocesses, which do
     not inherit the parent's ``sys.path`` manipulation."""

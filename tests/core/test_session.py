@@ -34,9 +34,9 @@ class TestCrossModelReuse:
         mine_calls = []
         real_mine = session_module.mine_specification
 
-        def counting_mine(compiled, method, backend_factory=None):
+        def counting_mine(compiled, method, **kwargs):
             mine_calls.append(compiled.test.name)
-            return real_mine(compiled, method, backend_factory=backend_factory)
+            return real_mine(compiled, method, **kwargs)
 
         monkeypatch.setattr(
             session_module, "mine_specification", counting_mine

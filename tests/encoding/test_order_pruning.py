@@ -1,0 +1,396 @@
+"""The conflict-aware (pruned) memory-order encoding.
+
+Three layers of protection for the rewrite of ``repro.encoding.memory``:
+
+* **size regression ceilings** — order-variable and transitivity-clause
+  counts of representative catalog tests are pinned to ceilings, so the
+  static resolution / conflict restriction / pruned transitivity cannot
+  silently regress back toward the dense construction;
+* **dense-vs-pruned differential** — the mined outcome set of every litmus
+  catalog test under every memory model must be identical under both
+  constructions (the operational oracle covers the same ground in
+  ``tests/oracle/``; this covers the dense encoder directly);
+* **mechanics** — static resolution facts, constant-folded ``order()``,
+  dead pairs, topological counterexample decoding, and the
+  assumption-lowering/backend-sync ordering fix in ``EncodedTest.solve``.
+"""
+
+import pytest
+
+from repro.datatypes.registry import category_of, get_implementation
+from repro.encoding import compile_test, encode_test
+from repro.encoding.memory import dense_order_enabled
+from repro.encoding.testprogram import INIT_THREAD
+from repro.harness.catalog import get_test
+from repro.litmus.catalog import available_litmus_tests, compiled_litmus
+from repro.lsl import Invocation, SymbolicTest
+from repro.memorymodel.base import available_models, get_model
+from repro.sat.circuit import Circuit
+
+MODELS = ["serial", "sc", "tso", "pso", "relaxed"]
+
+
+def _compiled_catalog(implementation_name: str, test_name: str):
+    implementation = get_implementation(implementation_name)
+    test = get_test(category_of(implementation_name), test_name)
+    return compile_test(implementation, test)
+
+
+def _mine(encoded, limit=512):
+    outcomes = set()
+    while encoded.solve():
+        observation = encoded.decode_observation(encoded.model_values())
+        assert observation not in outcomes, "solver returned a blocked obs"
+        outcomes.add(observation)
+        encoded.block_observation(observation)
+        assert len(outcomes) <= limit
+    return outcomes
+
+
+class TestSizeCeilings:
+    """Pinned ceilings (~15% above the current values) so pruning quality
+    cannot silently regress; the dense construction would blow every one
+    of them by a wide margin."""
+
+    #: (implementation, test, model) -> (max order vars, max transitivity
+    #: clauses, max total CNF clauses).  Dense values for comparison:
+    #: msn/T0 has 325 pairs (=325 dense vars) and 15600 dense transitivity
+    #: clauses.
+    CEILINGS = {
+        ("msn", "T0", "relaxed"): (125, 850, 4500),
+        ("msn", "T0", "serial"): (140, 1400, 6300),
+        ("ms2", "T0", "relaxed"): (145, 1150, 3300),
+        ("harris", "Sar", "relaxed"): (300, 3200, 28500),
+        ("snark", "D0", "relaxed"): (350, 4200, 24800),
+        ("lazylist", "Sac", "relaxed"): (385, 5100, 38500),
+    }
+
+    @pytest.mark.parametrize("case", sorted(CEILINGS))
+    def test_catalog_sizes_stay_under_ceiling(self, case):
+        implementation, test_name, model = case
+        max_vars, max_transitivity, max_clauses = self.CEILINGS[case]
+        encoded = encode_test(
+            _compiled_catalog(implementation, test_name),
+            get_model(model),
+            dense_order=False,
+        )
+        stats = encoded.stats
+        assert stats.order_vars <= max_vars
+        assert stats.transitivity_clauses <= max_transitivity
+        assert stats.cnf_clauses <= max_clauses
+        # The static resolver must be doing real work on catalog tests.
+        assert stats.order_pairs_static > 0
+        assert stats.order_vars < stats.order_pairs
+
+    def test_iriw_order_structure_is_tiny(self):
+        """IRIW under Relaxed: 45 pairs collapse to a handful of live
+        variables, yet totality still forbids the Fig. 2 outcome (checked
+        functionally in tests/litmus)."""
+        compiled = compiled_litmus(available_litmus_tests()["iriw-fenced"])
+        encoded = encode_test(compiled, get_model("relaxed"), dense_order=False)
+        assert encoded.stats.order_pairs == 45
+        assert encoded.stats.order_vars <= 10
+        assert encoded.stats.cnf_clauses <= 100
+
+    def test_transitivity_never_exceeds_a_third_of_dense(self):
+        """Two clauses per unordered triangle vs six per ordered triple:
+        even a fully live support graph stays under dense/3."""
+        compiled = _compiled_catalog("msn", "T0")
+        model = get_model("relaxed")
+        pruned = encode_test(compiled, model, dense_order=False)
+        dense = encode_test(compiled, model, dense_order=True)
+        assert pruned.stats.transitivity_clauses * 3 <= (
+            dense.stats.transitivity_clauses
+        )
+
+
+class TestDenseVsPrunedDifferential:
+    """Identical mined outcome sets across the litmus catalog x all models."""
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_litmus_catalog_outcome_sets_match(self, model):
+        for name, litmus in available_litmus_tests().items():
+            compiled = compiled_litmus(litmus)
+            dense = _mine(encode_test(compiled, get_model(model),
+                                      dense_order=True))
+            pruned = _mine(encode_test(compiled, get_model(model),
+                                       dense_order=False))
+            assert dense == pruned, (
+                f"{name} @ {model}: dense-only {sorted(dense - pruned)}, "
+                f"pruned-only {sorted(pruned - dense)}"
+            )
+
+    def test_catalog_check_verdict_matches(self):
+        """A full checker run (spec mining + assertion + inclusion) agrees
+        on a known-failing cell: msn-unfenced/T0 fails Relaxed both ways."""
+        from repro.core.checker import CheckFence, CheckOptions
+
+        verdicts = {}
+        for dense in (False, True):
+            checker = CheckFence(
+                get_implementation("msn-unfenced"),
+                CheckOptions(dense_order=dense),
+            )
+            result = checker.check(get_test("queue", "T0"), "relaxed")
+            verdicts[dense] = result.passed
+            assert result.stats.dense_order == dense
+        assert verdicts[False] == verdicts[True] == False  # noqa: E712
+
+
+class TestStaticResolution:
+    def _encoded(self, model_name, dense=False):
+        compiled = compiled_litmus(
+            available_litmus_tests()["message-passing"]
+        )
+        return encode_test(compiled, get_model(model_name), dense_order=dense)
+
+    def test_preserved_program_order_is_constant(self):
+        encoded = self._encoded("sc")
+        order = encoded.order
+        position = {a.index: i for i, a in enumerate(order.accesses)}
+        for thread_encoding in encoded.threads:
+            accesses = sorted(thread_encoding.accesses, key=lambda a: a.seq)
+            for i, first in enumerate(accesses):
+                for second in accesses[i + 1:]:
+                    handle = order.order(
+                        position[first.index], position[second.index]
+                    )
+                    assert handle == Circuit.TRUE
+
+    def test_init_accesses_are_statically_first(self):
+        # msn/T0 initializes the queue on the init thread.
+        encoded = encode_test(
+            _compiled_catalog("msn", "T0"), get_model("relaxed"),
+            dense_order=False,
+        )
+        order = encoded.order
+        position = {a.index: i for i, a in enumerate(order.accesses)}
+        init = [a for a in order.accesses if a.thread == INIT_THREAD]
+        rest = [a for a in order.accesses if a.thread != INIT_THREAD]
+        assert init and rest
+        for first in init:
+            for second in rest:
+                assert order.order(
+                    position[first.index], position[second.index]
+                ) == Circuit.TRUE
+                # ... and the reverse direction folds to FALSE.
+                assert order.order(
+                    position[second.index], position[first.index]
+                ) == Circuit.FALSE
+
+    def test_dead_pairs_raise_and_resolve_to_none(self):
+        # Two threads touching distinct locations with no fences: the
+        # cross-thread pair is order-irrelevant.
+        source = """
+        int x;
+        int y;
+        void store_x() { x = 1; }
+        void store_y() { y = 1; }
+        """
+        from repro.datatypes.spec import DataTypeImplementation, OperationSpec
+
+        implementation = DataTypeImplementation(
+            name="disjoint",
+            description="two disjoint stores",
+            source=source,
+            operations={
+                "sx": OperationSpec("sx", "store_x"),
+                "sy": OperationSpec("sy", "store_y"),
+            },
+        )
+        test = SymbolicTest(
+            name="disjoint",
+            threads=[[Invocation("sx")], [Invocation("sy")]],
+        )
+        encoded = encode_test(
+            compile_test(implementation, test), get_model("relaxed"),
+            dense_order=False,
+        )
+        order = encoded.order
+        position = {a.index: i for i, a in enumerate(order.accesses)}
+        non_init = [a for a in order.accesses if a.thread != INIT_THREAD]
+        assert len(non_init) == 2
+        i, j = (position[a.index] for a in non_init)
+        assert order.resolved(i, j) is None
+        with pytest.raises(KeyError):
+            order.order(i, j)
+        # Dense mode keeps a variable for the same pair.
+        dense = encode_test(
+            compile_test(implementation, test), get_model("relaxed"),
+            dense_order=True,
+        )
+        positions = {
+            a.index: k for k, a in enumerate(dense.order.accesses)
+        }
+        i, j = (positions[a.index] for a in dense.order.accesses
+                if a.thread != INIT_THREAD)
+        assert dense.order.resolved(i, j) is not None
+
+    def test_dense_order_env_fallback(self, monkeypatch):
+        monkeypatch.delenv("CHECKFENCE_DENSE_ORDER", raising=False)
+        assert dense_order_enabled(None) is False
+        assert dense_order_enabled(True) is True
+        monkeypatch.setenv("CHECKFENCE_DENSE_ORDER", "1")
+        assert dense_order_enabled(None) is True
+        assert dense_order_enabled(False) is False
+
+
+class TestCounterexampleDecoding:
+    def test_trace_is_a_linear_extension_of_the_model_order(self):
+        """Every ordered fact the solver committed to is preserved by the
+        topologically sorted trace."""
+        from repro.core.checker import CheckFence, CheckOptions
+
+        checker = CheckFence(
+            get_implementation("msn-unfenced"), CheckOptions()
+        )
+        result = checker.check(get_test("queue", "T0"), "relaxed")
+        assert not result.passed
+        trace = result.counterexample
+        assert trace is not None and trace.steps
+        # Re-encode and re-solve to get a model + decoding we can inspect.
+        compiled = checker.compile(get_test("queue", "T0"), "relaxed")
+        encoded = encode_test(compiled, get_model("relaxed"),
+                              dense_order=False)
+        assert encoded.solve()
+        model = encoded.model_values()
+        decoded = encoded.decode_memory_order(model)
+        position = {a.index: i for i, a in enumerate(encoded.order.accesses)}
+        rank = {a.index: i for i, a in enumerate(decoded)}
+        for x in decoded:
+            for y in decoded:
+                if x.index == y.index:
+                    continue
+                handle = encoded.order.resolved(
+                    position[x.index], position[y.index]
+                )
+                if handle is None:
+                    continue
+                ordered_before = encoded.ctx.lowering.evaluate(handle, model)
+                if ordered_before:
+                    assert rank[x.index] < rank[y.index]
+
+    def test_dense_and_pruned_traces_have_same_step_multiset(self):
+        from repro.core.inclusion import run_inclusion_check
+        from repro.core.specification import mine_specification
+
+        compiled = _compiled_catalog("msn-unfenced", "T0")
+        model = get_model("relaxed")
+        spec = mine_specification(compiled)
+        labels = {}
+        for dense in (False, True):
+            outcome = run_inclusion_check(
+                compiled, model, spec, dense_order=dense
+            )
+            assert not outcome.passed
+            trace = outcome.counterexample
+            labels[dense] = sorted(
+                (step.kind, step.location) for step in trace.steps
+            )
+            # Positions are contiguous whatever the construction.
+            assert [step.position for step in trace.steps] == list(
+                range(len(trace.steps))
+            )
+
+
+class TestSolveSyncRegression:
+    """EncodedTest.solve must never hand the backend an assumption literal
+    whose defining clauses have not been synced (the assumption handles are
+    lowered between two backend syncs)."""
+
+    def _encoded(self):
+        litmus = available_litmus_tests()["store-buffering"]
+        return encode_test(
+            compiled_litmus(litmus), get_model("serial"), dense_order=False
+        )
+
+    def test_fresh_composite_assumption_after_first_solve(self):
+        encoded = self._encoded()
+        assert encoded.solve() is True
+        # Build a *new* composite node after the backend has synced: its
+        # Tseitin clauses do not exist yet when solve() is entered.
+        circuit = encoded.ctx.circuit
+        handles = encoded.observation_equals((0, 1))
+        both = circuit.and_many(handles)
+        contradiction = circuit.and_(both, -handles[0])
+        assert encoded.solve(assumptions=[contradiction]) is False
+        # Every clause the lowering produced is in the backend.
+        assert encoded._synced_clauses == len(encoded.cnf.clauses)
+        # The formula itself is untouched by the failed assumption.
+        assert encoded.solve() is True
+
+    def test_backend_is_synced_before_and_after_lowering(self, monkeypatch):
+        encoded = self._encoded()
+        observed = []
+        original = encoded.ctx.lowering.literal
+
+        def recording_literal(handle):
+            observed.append(encoded._synced_clauses == len(encoded.cnf.clauses))
+            return original(handle)
+
+        monkeypatch.setattr(encoded.ctx.lowering, "literal", recording_literal)
+        handles = encoded.observation_equals((1, 0))
+        composite = encoded.ctx.circuit.and_many(handles)
+        assert encoded.solve(assumptions=[composite]) is True
+        # The first lowering call ran against a fully synced backend...
+        assert observed and observed[0] is True
+        # ...and whatever it appended was synced again before solving.
+        assert encoded._synced_clauses == len(encoded.cnf.clauses)
+
+
+class TestSessionDenseKnob:
+    def test_session_resolves_and_keys_on_the_knob(self):
+        from repro.core.checker import CheckOptions
+        from repro.core.session import CheckSession
+
+        implementation = get_implementation("msn")
+        test = get_test("queue", "T0")
+        dense_session = CheckSession(
+            implementation, CheckOptions(dense_order=True)
+        )
+        pruned_session = CheckSession(implementation, CheckOptions())
+        assert dense_session.dense_order is True
+        assert pruned_session.dense_order is False
+        dense_encoded = dense_session.encoded(test, "relaxed")
+        pruned_encoded = pruned_session.encoded(test, "relaxed")
+        assert dense_encoded.stats.dense_order is True
+        assert pruned_encoded.stats.dense_order is False
+        assert (
+            pruned_encoded.stats.cnf_clauses < dense_encoded.stats.cnf_clauses
+        )
+        key_dense = dense_session._encoded_key(test, get_model("relaxed"))
+        key_pruned = pruned_session._encoded_key(test, get_model("relaxed"))
+        assert key_dense != key_pruned
+
+    def test_litmus_matrix_forwards_the_knob(self):
+        """`checkfence litmus --dense-order` really runs the dense
+        construction (the knob is forwarded through the matrix cells)."""
+        from repro.core.checker import CheckOptions
+        from repro.harness.matrix import litmus_cells, run_matrix
+
+        cells = litmus_cells(["sc"])[:2]
+        dense = run_matrix(cells, options=CheckOptions(dense_order=True))
+        pruned = run_matrix(cells, options=CheckOptions())
+        assert dense.ok and pruned.ok
+        for dense_cell, pruned_cell in zip(dense.results, pruned.results):
+            assert dense_cell.stats["order"]["dense_order"] is True
+            assert pruned_cell.stats["order"]["dense_order"] is False
+            assert dense_cell.verdict == pruned_cell.verdict
+            assert (
+                pruned_cell.stats["order"]["cnf_clauses"]
+                <= dense_cell.stats["order"]["cnf_clauses"]
+            )
+
+    def test_all_models_agree_between_sessions(self):
+        """Full sweep verdicts match between a dense and a pruned session."""
+        from repro.core.checker import CheckOptions
+        from repro.core.session import CheckSession
+
+        implementation = get_implementation("msn")
+        test = get_test("queue", "T0")
+        models = [m for m in available_models()]
+        dense = CheckSession(implementation, CheckOptions(dense_order=True))
+        pruned = CheckSession(implementation, CheckOptions(dense_order=False))
+        dense_verdicts = [r.passed for r in dense.sweep(test, models)]
+        pruned_verdicts = [r.passed for r in pruned.sweep(test, models)]
+        assert dense_verdicts == pruned_verdicts

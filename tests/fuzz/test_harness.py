@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.encoding.memory import MemoryModelEncoder
 from repro.fuzz import (
     FuzzProgram,
     fuzz_cells,
@@ -130,12 +129,8 @@ class TestMutationDetection:
     """The acceptance gate: an injected encoder bug must not survive a
     fuzzing campaign."""
 
-    @pytest.fixture
-    def drop_same_address_axiom(self, monkeypatch):
-        monkeypatch.setattr(
-            MemoryModelEncoder, "_assert_same_address_order",
-            lambda self: None,
-        )
+    # drop_same_address_axiom comes from tests/conftest.py and disables
+    # both halves of axiom 1 (static + symbolic).
 
     def test_fuzzer_catches_dropped_axiom(self, drop_same_address_axiom):
         # jobs=1 keeps every check in-process so the monkeypatch applies.

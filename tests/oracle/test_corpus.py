@@ -14,7 +14,6 @@ from pathlib import Path
 
 import pytest
 
-from repro.encoding.memory import MemoryModelEncoder
 from repro.fuzz import FuzzProgram, compiled_fuzz_program
 from repro.oracle import differential_check
 
@@ -63,12 +62,9 @@ def test_corpus_oracle_agrees_with_sat(model):
 class TestEncoderMutationIsCaught:
     """Dropping the same-address store-order axiom must not go unnoticed."""
 
-    @pytest.fixture
-    def drop_same_address_axiom(self, monkeypatch):
-        monkeypatch.setattr(
-            MemoryModelEncoder, "_assert_same_address_order",
-            lambda self: None,
-        )
+    # The drop_same_address_axiom fixture (tests/conftest.py) disables
+    # both halves of the axiom: the statically resolved constant-address
+    # pairs and the symbolic implication.
 
     def test_coherence_sentinel_diverges(self, drop_same_address_axiom):
         report = differential_check(

@@ -169,13 +169,7 @@ class TestFuzzCommand:
             assert len(program.threads) == 1
             assert all(len(t) <= 2 for t in program.threads)
 
-    def test_divergence_sets_exit_code(self, capsys, monkeypatch):
-        from repro.encoding.memory import MemoryModelEncoder
-
-        monkeypatch.setattr(
-            MemoryModelEncoder, "_assert_same_address_order",
-            lambda self: None,
-        )
+    def test_divergence_sets_exit_code(self, capsys, drop_same_address_axiom):
         code = main([
             "fuzz", "--budget", "25", "--seed", "1", "--jobs", "1",
             "--models", "relaxed", "--quiet",

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Run the benchmark suite and append one consolidated trend snapshot.
+
+Each invocation runs a selection of ``benchmarks/bench_*.py`` modules under
+pytest-benchmark, gathers every per-test record (wall-clock seconds plus the
+embedded ``extra_info`` blocks: solver counters, memory-order encoding
+counters, matrix scaling records), and writes a single consolidated
+``BENCH_<n>.json`` at the repository root — ``<n>`` is one past the highest
+existing snapshot, so the repo accumulates a perf trajectory that future
+PRs can diff against (CI uploads the file as an artifact).
+
+Usage::
+
+    python tools/bench_trend.py                  # the default (fast) set
+    python tools/bench_trend.py --all            # every bench_*.py module
+    python tools/bench_trend.py --benchmarks fig2_litmus,encoding_size
+    python tools/bench_trend.py --dry-run        # list what would run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+#: Modules run by default: the paper's headline figures plus the encoding
+#: size gate — each finishes in seconds-to-a-couple-minutes.  The slower
+#: experiment sweeps (fig8 catalog, sec4x, matrix scaling) are opt-in via
+#: --all or --benchmarks.
+DEFAULT_SET = [
+    "fig2_litmus",
+    "fig10_inclusion",
+    "encoding_size",
+    "fuzz_throughput",
+]
+
+
+def available_benchmarks() -> list[str]:
+    return sorted(
+        path.stem[len("bench_"):]
+        for path in BENCH_DIR.glob("bench_*.py")
+    )
+
+
+def next_snapshot_path() -> Path:
+    highest = 0
+    for path in REPO_ROOT.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return REPO_ROOT / f"BENCH_{highest + 1}.json"
+
+
+def run_benchmark(name: str, timeout: float | None) -> dict:
+    """Run one benchmark module; returns its consolidated record."""
+    module = BENCH_DIR / f"bench_{name}.py"
+    with tempfile.NamedTemporaryFile(
+        suffix=".json", prefix=f"bench-{name}-", delete=False
+    ) as handle:
+        json_path = Path(handle.name)
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    command = [
+        sys.executable, "-m", "pytest", str(module), "-q",
+        f"--benchmark-json={json_path}",
+    ]
+    try:
+        completed = subprocess.run(
+            command, cwd=REPO_ROOT, env=env, timeout=timeout,
+            capture_output=True, text=True,
+        )
+        status = "ok" if completed.returncode == 0 else "failed"
+        tail = "\n".join(completed.stdout.splitlines()[-5:])
+    except subprocess.TimeoutExpired:
+        status, tail = "timeout", ""
+    record: dict = {"benchmark": name, "status": status, "pytest_tail": tail}
+    try:
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        payload = None
+    finally:
+        try:
+            json_path.unlink()
+        except OSError:
+            pass
+    if payload is not None:
+        tests = []
+        total = 0.0
+        for bench in payload.get("benchmarks", []):
+            seconds = bench.get("stats", {}).get("mean", 0.0)
+            total += seconds
+            tests.append({
+                "name": bench.get("name"),
+                "seconds": seconds,
+                "extra_info": bench.get("extra_info", {}),
+            })
+        record["tests"] = tests
+        record["total_seconds"] = total
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run benchmarks and write a consolidated BENCH_<n>.json "
+        "trend snapshot at the repo root"
+    )
+    parser.add_argument(
+        "--benchmarks", default=None, metavar="NAMES",
+        help="comma-separated module keys (bench_<key>.py); "
+        f"default: {','.join(DEFAULT_SET)}",
+    )
+    parser.add_argument("--all", action="store_true",
+                        help="run every bench_*.py module")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-module timeout in seconds (default: 600)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the snapshot here instead of the next "
+                        "BENCH_<n>.json")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="list the modules that would run and exit")
+    args = parser.parse_args(argv)
+
+    known = available_benchmarks()
+    if args.all:
+        selection = known
+    elif args.benchmarks:
+        selection = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
+        unknown = [n for n in selection if n not in known]
+        if unknown:
+            parser.error(
+                f"unknown benchmarks {', '.join(unknown)} "
+                f"(known: {', '.join(known)})"
+            )
+    else:
+        selection = [n for n in DEFAULT_SET if n in known]
+
+    if args.dry_run:
+        for name in selection:
+            print(f"bench_{name}.py")
+        return 0
+
+    records = []
+    for name in selection:
+        print(f"bench_trend: running bench_{name}.py ...", flush=True)
+        record = run_benchmark(name, timeout=args.timeout)
+        wall = record.get("total_seconds")
+        suffix = f" ({wall:.2f}s measured)" if wall is not None else ""
+        print(f"bench_trend: bench_{name}.py {record['status']}{suffix}",
+              flush=True)
+        records.append(record)
+
+    snapshot = {
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "environment": {
+            key: os.environ.get(key, "")
+            for key in ("CHECKFENCE_SOLVER", "CHECKFENCE_DENSE_ORDER",
+                        "CHECKFENCE_JOBS", "CHECKFENCE_LARGE")
+        },
+        "benchmarks": records,
+    }
+    out_path = Path(args.out) if args.out else next_snapshot_path()
+    out_path.write_text(
+        json.dumps(snapshot, indent=2, default=str) + "\n", encoding="utf-8"
+    )
+    print(f"bench_trend: wrote {out_path}")
+    return 0 if all(r["status"] == "ok" for r in records) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
