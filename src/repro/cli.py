@@ -49,6 +49,12 @@ def _dense_order(args) -> bool | None:
     return True if args.dense_order else None
 
 
+def _simplify(args) -> bool | None:
+    """The --no-simplify flag as a CheckOptions value: False when given,
+    None otherwise so the CHECKFENCE_SIMPLIFY fallback stays reachable."""
+    return False if args.no_simplify else None
+
+
 def _cmd_list(_args) -> int:
     print("Implementations (Table 1 plus variants):")
     rows = []
@@ -86,6 +92,7 @@ def _cmd_check(args) -> int:
         default_loop_bound=args.bound,
         solver_backend=args.solver,
         dense_order=_dense_order(args),
+        simplify=_simplify(args),
     )
     checker = CheckFence(implementation, options)
     result = checker.check(test, get_model(args.model))
@@ -114,6 +121,7 @@ def _cmd_sweep(args) -> int:
         specification_method=args.spec_method,
         solver_backend=args.solver,
         dense_order=_dense_order(args),
+        simplify=_simplify(args),
     )
     session = CheckSession(implementation, options)
     models = [get_model(name.strip()) for name in args.models.split(",")]
@@ -168,6 +176,7 @@ def _cmd_litmus(args) -> int:
         options=CheckOptions(
             solver_backend=args.solver,
             dense_order=_dense_order(args),
+            simplify=_simplify(args),
         ),
     )
     catalog = available_litmus_tests()
@@ -207,6 +216,7 @@ def _cmd_matrix(args) -> int:
         specification_method=args.spec_method,
         solver_backend=args.solver,
         dense_order=_dense_order(args),
+        simplify=_simplify(args),
     )
     if args.litmus:
         cells = litmus_cells(models)
@@ -276,7 +286,7 @@ def _cmd_oracle(args) -> int:
         name = args.spec
     report = differential_check(
         compiled, model, backend_spec=args.solver, name=name,
-        dense_order=_dense_order(args),
+        dense_order=_dense_order(args), simplify=_simplify(args),
     )
     if report.inconclusive:
         print(report.describe())
@@ -323,6 +333,7 @@ def _cmd_fuzz(args) -> int:
         options=CheckOptions(
             solver_backend=args.solver,
             dense_order=_dense_order(args),
+            simplify=_simplify(args),
         ),
         progress=None if args.quiet else _matrix_progress,
         shrink=not args.no_shrink,
@@ -374,10 +385,19 @@ def build_parser() -> argparse.ArgumentParser:
         "conflict-aware one; same verdicts, bigger formulas — the "
         "differential baseline (default: CHECKFENCE_DENSE_ORDER or pruned)"
     )
+    simplify_help = (
+        "disable the in-process CNF preprocessor (unit propagation, "
+        "equivalent literals, subsumption, bounded variable elimination) "
+        "that runs between lowering and solving; same verdicts, bigger "
+        "formulas — the differential baseline "
+        "(default: CHECKFENCE_SIMPLIFY or on)"
+    )
 
     def add_dense_flag(sub_parser):
         sub_parser.add_argument("--dense-order", action="store_true",
                                 help=dense_help)
+        sub_parser.add_argument("--no-simplify", action="store_true",
+                                help=simplify_help)
 
     check_parser = sub.add_parser(
         "check",

@@ -60,6 +60,13 @@ class CheckOptions:
     #: The two constructions produce identical outcome sets; the dense one
     #: exists as a differential baseline and escape hatch.
     dense_order: bool | None = None
+    #: Run the in-process CNF preprocessor (unit propagation, equivalent
+    #: literals, subsumption, bounded variable elimination — see
+    #: :mod:`repro.sat.simplify`) between lowering and solving.  None
+    #: defers to CHECKFENCE_SIMPLIFY (default: on; ``0`` / ``--no-simplify``
+    #: disables).  Both settings produce identical verdicts and outcome
+    #: sets; off exists as a differential baseline and escape hatch.
+    simplify: bool | None = None
 
 
 class CheckFence:

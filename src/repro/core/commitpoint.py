@@ -53,6 +53,7 @@ def run_commit_point_check(
     max_iterations: int = 100_000,
     backend_factory: BackendFactory | None = None,
     dense_order: bool | None = None,
+    simplify: bool | None = None,
 ) -> CommitPointResult:
     """Check the test with the lazy validation baseline."""
     start = time.perf_counter()
@@ -61,8 +62,9 @@ def run_commit_point_check(
     validated = ObservationSet(labels=labels, method="commit-point")
     encoded = encode_test(
         compiled, model, backend_factory=backend_factory,
-        dense_order=dense_order,
+        dense_order=dense_order, simplify=simplify,
     )
+    encoded.expect_enumeration()
     solver_calls = 0
     counterexample = None
     passed = True
@@ -70,7 +72,7 @@ def run_commit_point_check(
         solver_calls += 1
         if not encoded.solve():
             break
-        observation = encoded.decode_observation(encoded.model_values())
+        observation = encoded.decode_current_observation()
         if miner.contains(observation):
             validated.add(observation)
             encoded.block_observation(observation)

@@ -38,6 +38,7 @@ def run_inclusion_check(
     encoded: EncodedTest | None = None,
     backend_factory: BackendFactory | None = None,
     dense_order: bool | None = None,
+    simplify: bool | None = None,
 ) -> InclusionOutcome:
     """Check ``obs(E_{T,I,Y}) ⊆ S``; returns a counterexample if it fails.
 
@@ -53,7 +54,7 @@ def run_inclusion_check(
     if encoded is None:
         encoded = encode_test(
             compiled, model, backend_factory=backend_factory,
-            dense_order=dense_order,
+            dense_order=dense_order, simplify=simplify,
         )
     encoded.require_not_in(specification.observations)
     start = time.perf_counter()
@@ -72,12 +73,13 @@ def run_assertion_check(
     encoded: EncodedTest | None = None,
     backend_factory: BackendFactory | None = None,
     dense_order: bool | None = None,
+    simplify: bool | None = None,
 ) -> InclusionOutcome:
     """Search for an execution that violates an ``assert`` statement."""
     if encoded is None:
         encoded = encode_test(
             compiled, model, backend_factory=backend_factory,
-            dense_order=dense_order,
+            dense_order=dense_order, simplify=simplify,
         )
     if not encoded.assertions:
         return InclusionOutcome(True, None, 0.0, encoded)

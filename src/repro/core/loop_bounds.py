@@ -42,6 +42,7 @@ def refine_loop_bounds(
     use_range_analysis: bool = True,
     backend_factory: BackendFactory | None = None,
     dense_order: bool | None = None,
+    simplify: bool | None = None,
 ) -> LoopBoundResult:
     """Find loop bounds sufficient for all executions of ``test``."""
     start = time.perf_counter()
@@ -62,7 +63,7 @@ def refine_loop_bounds(
         )
         encoded = encode_test(
             compiled, model, backend_factory=backend_factory,
-            dense_order=dense_order,
+            dense_order=dense_order, simplify=simplify,
         )
         if not encoded.overflow_handles:
             converged = True

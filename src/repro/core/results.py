@@ -38,6 +38,16 @@ class CheckStatistics:
     solver_restarts: int = 0
     solver_learned_clauses: int = 0
     solver_deleted_clauses: int = 0
+    #: In-process CNF preprocessing (repro.sat.simplify): whether the
+    #: knob was resolved on for this check.  The backend may still bypass
+    #: itself on formulas below the engagement threshold — zero
+    #: ``solver_vars_eliminated``/``solver_preprocess_seconds`` with
+    #: ``simplify=True`` means exactly that.
+    simplify: bool = False
+    solver_vars_eliminated: int = 0
+    solver_clauses_subsumed: int = 0
+    solver_equiv_merged: int = 0
+    solver_preprocess_seconds: float = 0.0
     solver_backend: str = ""
     #: False when the backend cannot report counters (external DIMACS
     #: solvers), so zeros are not mistaken for a trivially easy instance.
@@ -53,6 +63,10 @@ class CheckStatistics:
             self.solver_restarts = stats.restarts
             self.solver_learned_clauses = stats.learned_clauses
             self.solver_deleted_clauses = stats.deleted_clauses
+            self.solver_vars_eliminated = stats.vars_eliminated
+            self.solver_clauses_subsumed = stats.clauses_subsumed
+            self.solver_equiv_merged = stats.equiv_merged
+            self.solver_preprocess_seconds = stats.preprocess_seconds
         else:
             self.solver_counters_available = False
         if backend_name:
@@ -69,6 +83,10 @@ class CheckStatistics:
             "restarts": self.solver_restarts,
             "learned_clauses": self.solver_learned_clauses,
             "deleted_clauses": self.solver_deleted_clauses,
+            "vars_eliminated": self.solver_vars_eliminated,
+            "clauses_subsumed": self.solver_clauses_subsumed,
+            "equiv_merged": self.solver_equiv_merged,
+            "preprocess_seconds": self.solver_preprocess_seconds,
         }
 
     def merge_encoding(self, stats: EncodingStatistics) -> None:

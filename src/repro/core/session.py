@@ -34,6 +34,7 @@ from repro.core.specification import ObservationSet, mine_specification
 from repro.datatypes.spec import DataTypeImplementation
 from repro.encoding.formula import EncodedTest, encode_test
 from repro.encoding.memory import dense_order_enabled
+from repro.sat.simplify import simplify_enabled
 from repro.encoding.testprogram import CompiledTest, compile_test
 from repro.lang.lower import compile_c
 from repro.lsl.program import Program, SymbolicTest
@@ -63,6 +64,9 @@ class CheckSession:
         #: CHECKFENCE_DENSE_ORDER environment variable) so every encoding
         #: and cache key of this session agrees.
         self.dense_order = dense_order_enabled(self.options.dense_order)
+        #: CNF preprocessing, resolved once (option wins, then the
+        #: CHECKFENCE_SIMPLIFY environment variable) for the same reason.
+        self.simplify = simplify_enabled(self.options.simplify)
         self._compiled: dict[tuple, CompiledTest] = {}
         self._specifications: dict[tuple, ObservationSet] = {}
         self._encoded: dict[tuple, EncodedTest] = {}
@@ -119,6 +123,7 @@ class CheckSession:
                 use_range_analysis=self.options.use_range_analysis,
                 backend_factory=self.backend_factory,
                 dense_order=self.dense_order,
+                simplify=self.simplify,
             )
             merged = dict(refined.bounds)
             if self.options.loop_bounds:
@@ -161,6 +166,7 @@ class CheckSession:
             self.options.specification_method,
             backend_factory=self.backend_factory,
             dense_order=self.dense_order,
+            simplify=self.simplify,
         )
         self._specifications[key] = spec
         return spec
@@ -180,15 +186,19 @@ class CheckSession:
             model,
             backend_factory=self.backend_factory,
             dense_order=self.dense_order,
+            simplify=self.simplify,
         )
         self._encoded[key] = encoded
         return encoded
 
     def _encoded_key(self, test: SymbolicTest, model: MemoryModel) -> tuple:
-        """Cache key of an encoded formula: the order construction is part
-        of the key, so a pruned and a dense encoding never alias even if
-        the environment flips mid-session."""
-        return (self._test_key(test), model.name, self.dense_order)
+        """Cache key of an encoded formula: the order construction and the
+        simplification knob are part of the key, so encodings built under
+        different settings never alias even if the environment flips
+        mid-session."""
+        return (
+            self._test_key(test), model.name, self.dense_order, self.simplify,
+        )
 
     # ---------------------------------------------------------------- check
 
@@ -206,6 +216,7 @@ class CheckSession:
             memory_model=model.name,
         )
         stats.merge_encoding(encoded.stats)
+        stats.simplify = self.simplify
         stats.observation_set_size = len(specification)
         stats.mining_seconds = specification.mining_seconds
         solver_before = (

@@ -66,11 +66,13 @@ class SatSpecificationMiner:
         max_observations: int = 100_000,
         backend_factory: BackendFactory | None = None,
         dense_order: bool | None = None,
+        simplify: bool | None = None,
     ):
         self.compiled = compiled
         self.max_observations = max_observations
         self.backend_factory = backend_factory
         self.dense_order = dense_order
+        self.simplify = simplify
 
     def mine(self) -> ObservationSet:
         start = time.perf_counter()
@@ -78,18 +80,19 @@ class SatSpecificationMiner:
         # learned clauses survive across the repeated solve() calls.
         encoded: EncodedTest = encode_test(
             self.compiled, SERIAL, backend_factory=self.backend_factory,
-            dense_order=self.dense_order,
+            dense_order=self.dense_order, simplify=self.simplify,
         )
         spec = ObservationSet(
             labels=self.compiled.observation_labels(), method="sat"
         )
+        encoded.expect_enumeration()
         iterations = 0
         while iterations < self.max_observations:
             result = encoded.solve()
             iterations += 1
             if not result:
                 break
-            observation = encoded.decode_observation(encoded.model_values())
+            observation = encoded.decode_current_observation()
             spec.add(observation)
             encoded.block_observation(observation)
         spec.solver_iterations = iterations
@@ -283,6 +286,7 @@ def mine_specification(
     method: str = "auto",
     backend_factory: BackendFactory | None = None,
     dense_order: bool | None = None,
+    simplify: bool | None = None,
 ) -> ObservationSet:
     """Mine the observation set with the requested method.
 
@@ -297,6 +301,7 @@ def mine_specification(
         return ReferenceSpecificationMiner(compiled).mine()
     if method == "sat":
         return SatSpecificationMiner(
-            compiled, backend_factory=backend_factory, dense_order=dense_order
+            compiled, backend_factory=backend_factory, dense_order=dense_order,
+            simplify=simplify,
         ).mine()
     raise ValueError(f"unknown specification mining method {method!r}")

@@ -70,6 +70,7 @@ def run_fuzz_cell(cell: MatrixCell, options) -> "CellResult":
         compiled, cell.model, backend_spec=options.solver_backend,
         name=cell.test,
         dense_order=getattr(options, "dense_order", None),
+        simplify=getattr(options, "simplify", None),
     )
     notes = []
     if report.inconclusive:
@@ -99,6 +100,7 @@ def shrink_divergence(
     backend_spec: str | None = None,
     max_rounds: int = 100,
     dense_order: bool | None = None,
+    simplify: bool | None = None,
 ) -> tuple[FuzzProgram, DifferentialReport]:
     """Greedily minimize a diverging program, keeping the divergence.
 
@@ -108,6 +110,7 @@ def shrink_divergence(
         return differential_check(
             candidate.compile(), model, backend_spec=backend_spec,
             name=candidate.spec(), dense_order=dense_order,
+            simplify=simplify,
         )
 
     current = report_for(program)
@@ -287,17 +290,20 @@ def run_fuzz(
         # and shrink to a minimal reproducer.
         program = FuzzProgram.parse(cell_result.cell.test)
         dense_order = getattr(options, "dense_order", None)
+        simplify = getattr(options, "simplify", None)
         if shrink:
             program, report = shrink_divergence(
                 program, cell_result.cell.model,
                 backend_spec=options.solver_backend,
                 dense_order=dense_order,
+                simplify=simplify,
             )
         else:
             report = differential_check(
                 program.compile(), cell_result.cell.model,
                 backend_spec=options.solver_backend, name=program.spec(),
                 dense_order=dense_order,
+                simplify=simplify,
             )
         if report.diverged:
             description = report.describe()

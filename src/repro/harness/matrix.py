@@ -364,6 +364,7 @@ def _run_cell(cell: MatrixCell, sessions: dict, options) -> CellResult:
             outcome = observation_outcome(
                 litmus, cell.model, backend_spec=options.solver_backend,
                 dense_order=getattr(options, "dense_order", None),
+                simplify=getattr(options, "simplify", None),
             )
             return CellResult(
                 cell=cell,

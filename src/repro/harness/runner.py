@@ -72,6 +72,7 @@ class InclusionRow:
     order_pairs_static: int = 0
     transitivity_clauses: int = 0
     dense_order: bool = False
+    simplify: bool = False
     solver_backend: str = ""
     solver_counters_available: bool = True
     solver_decisions: int = 0
@@ -80,6 +81,10 @@ class InclusionRow:
     solver_restarts: int = 0
     solver_learned_clauses: int = 0
     solver_deleted_clauses: int = 0
+    solver_vars_eliminated: int = 0
+    solver_clauses_subsumed: int = 0
+    solver_equiv_merged: int = 0
+    solver_preprocess_seconds: float = 0.0
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -229,6 +234,7 @@ def inclusion_row(
         order_pairs_static=stats.order_pairs_static,
         transitivity_clauses=stats.transitivity_clauses,
         dense_order=stats.dense_order,
+        simplify=stats.simplify,
         # One source of truth for the counter set: CheckStatistics.
         **{f"solver_{key}": value for key, value in stats.solver_dict().items()},
     )
@@ -374,9 +380,11 @@ def method_comparison(
     observation_seconds = time.perf_counter() - start
 
     compiled = checker.compile(test, model)
-    # Same order construction on both sides of the Fig. 12 comparison.
+    # Same order construction and preprocessing on both sides of the
+    # Fig. 12 comparison.
     commit_result = run_commit_point_check(
-        compiled, model, dense_order=checker.session.dense_order
+        compiled, model, dense_order=checker.session.dense_order,
+        simplify=checker.session.simplify,
     )
     return MethodComparison(
         implementation=implementation_name,

@@ -31,6 +31,7 @@ def mine_sat_outcomes(
     backend_spec: str | None = None,
     max_outcomes: int = 4096,
     dense_order: bool | None = None,
+    simplify: bool | None = None,
 ) -> set[tuple[int, ...]]:
     """Enumerate every reachable observation vector from the SAT encoding.
 
@@ -41,9 +42,10 @@ def mine_sat_outcomes(
     model = get_model(model)
     encoded = encode_test(
         compiled, model, backend_factory=make_backend_factory(backend_spec),
-        dense_order=dense_order,
+        dense_order=dense_order, simplify=simplify,
     )
     outcomes: set[tuple[int, ...]] = set()
+    encoded.expect_enumeration()
     while True:
         if len(outcomes) > max_outcomes:
             raise SatMiningOverflow(
@@ -51,7 +53,7 @@ def mine_sat_outcomes(
             )
         if not encoded.solve():
             return outcomes
-        observation = encoded.decode_observation(encoded.model_values())
+        observation = encoded.decode_current_observation()
         if observation in outcomes:  # pragma: no cover - solver bug guard
             raise RuntimeError(
                 f"solver returned blocked observation {observation!r}"
@@ -144,6 +146,7 @@ def differential_check(
     max_nodes: int = 400_000,
     max_outcomes: int = 4096,
     dense_order: bool | None = None,
+    simplify: bool | None = None,
 ) -> DifferentialReport:
     """Compare oracle and SAT outcome sets for one (test, model) pair."""
     model = get_model(model)
@@ -160,6 +163,7 @@ def differential_check(
             report.sat_outcomes = mine_sat_outcomes(
                 compiled, model, backend_spec=backend_spec,
                 max_outcomes=max_outcomes, dense_order=dense_order,
+                simplify=simplify,
             )
         except SatMiningOverflow as exc:
             # A budget breach, like the oracle's own: skip, don't error.

@@ -10,6 +10,9 @@ Public surface:
   :func:`repro.sat.backend.make_backend_factory`.
 * :class:`repro.sat.circuit.Circuit` / :class:`repro.sat.circuit.CnfLowering`
   — boolean circuits with Tseitin conversion.
+* :mod:`repro.sat.simplify` — in-process SatELite-style CNF preprocessing
+  (:class:`repro.sat.simplify.SimplifyingBackend`) between lowering and
+  solving, with model reconstruction and a frozen-variable contract.
 * :class:`repro.sat.bitvec.BitVecBuilder` — fixed-width bit-vector terms.
 * :mod:`repro.sat.dimacs` — DIMACS import/export (and
   :mod:`repro.sat.dimacs_cli`, a competition-style CLI around the internal
@@ -31,6 +34,14 @@ from repro.sat.backend import (
 from repro.sat.circuit import Circuit, CnfLowering
 from repro.sat.bitvec import BitVec, BitVecBuilder, width_for
 from repro.sat.dimacs import read_dimacs, write_dimacs
+from repro.sat.simplify import (
+    Simplifier,
+    SimplifyingBackend,
+    SimplifyStats,
+    simplify_cnf,
+    simplify_enabled,
+    simplify_min_clauses,
+)
 
 __all__ = [
     "CNF",
@@ -52,4 +63,10 @@ __all__ = [
     "width_for",
     "read_dimacs",
     "write_dimacs",
+    "Simplifier",
+    "SimplifyingBackend",
+    "SimplifyStats",
+    "simplify_cnf",
+    "simplify_enabled",
+    "simplify_min_clauses",
 ]

@@ -61,6 +61,8 @@ class SolverBackend(Protocol):
 
     def add_cnf(self, cnf: CNF) -> None: ...
 
+    def freeze(self, variables: Iterable[int]) -> None: ...
+
     def solve(
         self,
         assumptions: Sequence[int] = (),
@@ -68,6 +70,8 @@ class SolverBackend(Protocol):
     ) -> bool | None: ...
 
     def model(self) -> dict[int, bool]: ...
+
+    def values_of(self, variables: Iterable[int]) -> dict[int, bool]: ...
 
     def stats(self) -> SolverStats | None: ...
 
@@ -94,6 +98,11 @@ class InternalBackend:
     def add_cnf(self, cnf: CNF) -> None:
         self.solver.add_cnf(cnf)
 
+    def freeze(self, variables: Iterable[int]) -> None:
+        """No-op: the plain solver never removes variables.  Preprocessing
+        backends (:class:`repro.sat.simplify.SimplifyingBackend`) use the
+        frozen set to protect variables the caller will mention again."""
+
     def solve(
         self,
         assumptions: Sequence[int] = (),
@@ -105,6 +114,9 @@ class InternalBackend:
 
     def model(self) -> dict[int, bool]:
         return self.solver.model()
+
+    def values_of(self, variables: Iterable[int]) -> dict[int, bool]:
+        return self.solver.values_of(variables)
 
     def stats(self) -> SolverStats:
         return self.solver.total_stats
@@ -202,6 +214,12 @@ class DimacsBackend:
     def add_cnf(self, cnf: CNF) -> None:
         self.ensure_vars(cnf.num_vars)
         self.add_clauses(cnf.clauses)
+
+    def freeze(self, variables: Iterable[int]) -> None:
+        """No-op: the DIMACS export keeps every variable (see
+        :meth:`InternalBackend.freeze`)."""
+        if self._fallback is not None:
+            self._fallback.freeze(variables)
 
     # -------------------------------------------------------------- solving
 
@@ -311,6 +329,12 @@ class DimacsBackend:
         if self._fallback is not None:
             return self._fallback.model()
         return dict(self._model)
+
+    def values_of(self, variables: Iterable[int]) -> dict[int, bool]:
+        if self._fallback is not None:
+            return self._fallback.values_of(variables)
+        model = self._model
+        return {var: model.get(var, False) for var in variables}
 
     def stats(self) -> SolverStats | None:
         """External solvers do not report counters in a common format, so

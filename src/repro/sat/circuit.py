@@ -160,6 +160,13 @@ class CnfLowering:
             var = self._lower_node(index)
         return var if handle > 0 else -var
 
+    def lowered_var(self, handle: int) -> int | None:
+        """The SAT variable of ``handle`` if the node was already lowered,
+        ``None`` otherwise — a non-forcing peek (no clauses are emitted),
+        used to compute the preprocessor's frozen set without growing the
+        formula."""
+        return self._node_to_var.get(abs(handle))
+
     def _lower_node(self, index: int) -> int:
         # Iterative DFS to avoid recursion limits on deep circuits.
         stack = [index]

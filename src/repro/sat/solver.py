@@ -50,7 +50,13 @@ def _to_external(ilit: int) -> int:
 
 @dataclass
 class SolverStats:
-    """Counters reported after each :meth:`Solver.solve` call."""
+    """Counters reported after each :meth:`Solver.solve` call.
+
+    The ``vars_eliminated`` / ``clauses_subsumed`` / ``equiv_merged`` /
+    ``preprocess_seconds`` counters are zero for a bare solver; they are
+    filled in by :class:`repro.sat.simplify.SimplifyingBackend` when
+    in-process CNF preprocessing runs in front of the solver.
+    """
 
     decisions: int = 0
     propagations: int = 0
@@ -59,6 +65,10 @@ class SolverStats:
     learned_clauses: int = 0
     deleted_clauses: int = 0
     max_decision_level: int = 0
+    vars_eliminated: int = 0
+    clauses_subsumed: int = 0
+    equiv_merged: int = 0
+    preprocess_seconds: float = 0.0
 
     def merge(self, other: "SolverStats") -> None:
         self.decisions += other.decisions
@@ -70,6 +80,10 @@ class SolverStats:
         self.max_decision_level = max(
             self.max_decision_level, other.max_decision_level
         )
+        self.vars_eliminated += other.vars_eliminated
+        self.clauses_subsumed += other.clauses_subsumed
+        self.equiv_merged += other.equiv_merged
+        self.preprocess_seconds += other.preprocess_seconds
 
     def copy(self) -> "SolverStats":
         return SolverStats(
@@ -80,6 +94,10 @@ class SolverStats:
             learned_clauses=self.learned_clauses,
             deleted_clauses=self.deleted_clauses,
             max_decision_level=self.max_decision_level,
+            vars_eliminated=self.vars_eliminated,
+            clauses_subsumed=self.clauses_subsumed,
+            equiv_merged=self.equiv_merged,
+            preprocess_seconds=self.preprocess_seconds,
         )
 
     def since(self, earlier: "SolverStats") -> "SolverStats":
@@ -93,6 +111,12 @@ class SolverStats:
             learned_clauses=self.learned_clauses - earlier.learned_clauses,
             deleted_clauses=self.deleted_clauses - earlier.deleted_clauses,
             max_decision_level=self.max_decision_level,
+            vars_eliminated=self.vars_eliminated - earlier.vars_eliminated,
+            clauses_subsumed=self.clauses_subsumed - earlier.clauses_subsumed,
+            equiv_merged=self.equiv_merged - earlier.equiv_merged,
+            preprocess_seconds=(
+                self.preprocess_seconds - earlier.preprocess_seconds
+            ),
         )
 
     def as_dict(self) -> dict:
@@ -104,6 +128,10 @@ class SolverStats:
             "learned_clauses": self.learned_clauses,
             "deleted_clauses": self.deleted_clauses,
             "max_decision_level": self.max_decision_level,
+            "vars_eliminated": self.vars_eliminated,
+            "clauses_subsumed": self.clauses_subsumed,
+            "equiv_merged": self.equiv_merged,
+            "preprocess_seconds": self.preprocess_seconds,
         }
 
 
@@ -235,7 +263,12 @@ class Solver:
         self._order = VarOrderHeap(self._activity)
         self.stats = SolverStats()
         self.total_stats = SolverStats()
-        self._model: dict[int, bool] = {}
+        #: Assignment snapshot of the last SAT result (list indexed by
+        #: variable; None before any SAT result).  The dict view is built
+        #: lazily by :meth:`model`; :meth:`values_of` reads the snapshot
+        #: directly, which the outcome-mining loops rely on.
+        self._model_assign: list[int] | None = None
+        self._model: dict[int, bool] | None = None
         if cnf is not None:
             self.add_cnf(cnf)
 
@@ -368,11 +401,34 @@ class Solver:
 
     def value(self, var: int) -> bool | None:
         """Return the model value of ``var`` from the last SAT result."""
-        return self._model.get(var)
+        assign = self._model_assign
+        if assign is None or not 1 <= var < len(assign):
+            return None
+        return assign[var] == _TRUE
 
     def model(self) -> dict[int, bool]:
         """Return the satisfying assignment found by the last solve() call."""
+        if self._model_assign is None:
+            return {}
+        if self._model is None:
+            assign = self._model_assign
+            self._model = {
+                var: assign[var] == _TRUE for var in range(1, len(assign))
+            }
         return dict(self._model)
+
+    def values_of(self, variables: Iterable[int]) -> dict[int, bool]:
+        """Model values of selected variables from the last SAT result,
+        without materializing (or copying) the full model dict — the
+        narrow accessor the outcome-enumeration hot path uses."""
+        assign = self._model_assign
+        if assign is None:
+            return {}
+        bound = len(assign)
+        return {
+            var: (assign[var] == _TRUE) if 0 < var < bound else False
+            for var in variables
+        }
 
     # ------------------------------------------------------------ assignments
 
@@ -634,7 +690,8 @@ class Solver:
         exhausted before a result was reached.
         """
         self.stats = SolverStats()
-        self._model: dict[int, bool] = {}
+        self._model_assign = None
+        self._model = None
         self._backtrack(0)
         if not self._ok:
             self.total_stats.merge(self.stats)
@@ -722,11 +779,9 @@ class Solver:
 
             var = self._pick_branch_var()
             if var is None:
-                # All variables assigned: SAT.
-                self._model = {
-                    v: self._assign[v] == _TRUE
-                    for v in range(1, self._num_vars + 1)
-                }
+                # All variables assigned: SAT.  Snapshot the assignment
+                # (C-level list copy); model() builds the dict view lazily.
+                self._model_assign = self._assign[:]
                 self._backtrack(0)
                 self.total_stats.merge(self.stats)
                 return True

@@ -127,3 +127,39 @@ class TestCheckFenceFacade:
             sorted(internal.specification.observations)
             == sorted(dimacs.specification.observations)
         )
+
+
+class TestSimplifyKnob:
+    def test_session_resolves_and_keys_on_the_knob(self, monkeypatch):
+        monkeypatch.delenv("CHECKFENCE_SIMPLIFY", raising=False)
+        implementation = get_implementation("msn")
+        test = get_test("queue", "T0")
+        on_session = CheckSession(implementation, CheckOptions())
+        off_session = CheckSession(
+            implementation, CheckOptions(simplify=False)
+        )
+        assert on_session.simplify is True
+        assert off_session.simplify is False
+        model = session_module.get_model("relaxed")
+        assert (
+            on_session._encoded_key(test, model)
+            != off_session._encoded_key(test, model)
+        )
+        assert on_session.encoded(test, "relaxed").simplify is True
+        assert off_session.encoded(test, "relaxed").simplify is False
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("CHECKFENCE_SIMPLIFY", "0")
+        session = CheckSession(get_implementation("msn"), CheckOptions())
+        assert session.simplify is False
+
+    def test_check_records_simplify_in_stats(self, monkeypatch):
+        monkeypatch.delenv("CHECKFENCE_SIMPLIFY", raising=False)
+        session = CheckSession(get_implementation("msn"), CheckOptions())
+        result = session.check(get_test("queue", "T0"), "sc")
+        assert result.stats.simplify is True
+        off = CheckSession(
+            get_implementation("msn"), CheckOptions(simplify=False)
+        ).check(get_test("queue", "T0"), "sc")
+        assert off.stats.simplify is False
+        assert off.passed == result.passed

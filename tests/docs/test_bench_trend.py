@@ -1,0 +1,85 @@
+"""Tests for the ``tools/bench_trend.py`` snapshot comparison gate."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__)
+)))
+
+
+@pytest.fixture(scope="module")
+def bench_trend():
+    spec = importlib.util.spec_from_file_location(
+        "bench_trend", os.path.join(_REPO_ROOT, "tools", "bench_trend.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _snapshot(path, seconds: dict, statuses: dict | None = None):
+    statuses = statuses or {}
+    payload = {
+        "benchmarks": [
+            {
+                "benchmark": name,
+                "status": statuses.get(name, "ok"),
+                "total_seconds": value,
+            }
+            for name, value in seconds.items()
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def test_repo_snapshots_exist_and_pass_the_gate(bench_trend):
+    """The committed trend (currently BENCH_1 and BENCH_2) must satisfy
+    its own regression gate."""
+    paths = bench_trend.snapshot_paths()
+    assert len(paths) >= 2, "the perf trend needs at least two snapshots"
+    assert bench_trend.compare_snapshots(paths[-1], paths[-2]) == 0
+
+
+def test_regression_past_gate_fails(tmp_path, bench_trend, capsys):
+    old = _snapshot(tmp_path / "old.json", {"fig": 1.0, "other": 5.0})
+    new = _snapshot(tmp_path / "new.json", {"fig": 1.5, "other": 5.1})
+    assert bench_trend.compare_snapshots(new, old) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "fig" in out
+
+
+def test_small_absolute_growth_is_not_flagged(tmp_path, bench_trend):
+    # +50% relative but only 0.015s absolute: below the noise floor.
+    old = _snapshot(tmp_path / "old.json", {"micro": 0.03})
+    new = _snapshot(tmp_path / "new.json", {"micro": 0.045})
+    assert bench_trend.compare_snapshots(new, old) == 0
+
+
+def test_new_and_missing_benchmarks_do_not_fail(tmp_path, bench_trend, capsys):
+    old = _snapshot(tmp_path / "old.json", {"gone": 2.0, "kept": 1.0})
+    new = _snapshot(tmp_path / "new.json", {"kept": 1.0, "added": 9.0})
+    assert bench_trend.compare_snapshots(new, old) == 0
+    out = capsys.readouterr().out
+    assert "new (no baseline)" in out
+    assert "missing from newest" in out
+
+
+def test_failed_benchmarks_are_excluded(tmp_path, bench_trend):
+    old = _snapshot(tmp_path / "old.json", {"fig": 1.0})
+    new = _snapshot(
+        tmp_path / "new.json", {"fig": 9.0}, statuses={"fig": "failed"}
+    )
+    # A failed run has no trustworthy wall-clock; it is reported as
+    # missing rather than compared.
+    assert bench_trend.compare_snapshots(new, old) == 0
+
+def test_default_set_includes_simplify(bench_trend):
+    assert "simplify" in bench_trend.DEFAULT_SET
+    assert set(bench_trend.DEFAULT_SET) <= set(
+        bench_trend.available_benchmarks()
+    )

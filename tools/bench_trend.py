@@ -9,12 +9,21 @@ counters, matrix scaling records), and writes a single consolidated
 existing snapshot, so the repo accumulates a perf trajectory that future
 PRs can diff against (CI uploads the file as an artifact).
 
+``--compare`` mode diffs the two newest snapshots instead of running
+anything: a per-benchmark wall-clock delta table, exiting non-zero when
+any benchmark present in both snapshots regressed by more than 25%
+(relative) *and* 0.1s (absolute — so micro-benchmarks are not failed on
+scheduler noise).  CI runs the comparison after every snapshot so the
+perf trajectory is a gate, not just an artifact.
+
 Usage::
 
     python tools/bench_trend.py                  # the default (fast) set
     python tools/bench_trend.py --all            # every bench_*.py module
     python tools/bench_trend.py --benchmarks fig2_litmus,encoding_size
     python tools/bench_trend.py --dry-run        # list what would run
+    python tools/bench_trend.py --compare        # newest vs previous
+    python tools/bench_trend.py --compare --against BENCH_1.json
 """
 
 from __future__ import annotations
@@ -41,7 +50,13 @@ DEFAULT_SET = [
     "fig10_inclusion",
     "encoding_size",
     "fuzz_throughput",
+    "simplify",
 ]
+
+#: --compare regression gate: fail when a benchmark got more than 25%
+#: slower AND the absolute growth exceeds 0.1s (micro-modules jitter).
+REGRESSION_RELATIVE = 0.25
+REGRESSION_ABSOLUTE = 0.1
 
 
 def available_benchmarks() -> list[str]:
@@ -51,13 +66,77 @@ def available_benchmarks() -> list[str]:
     )
 
 
-def next_snapshot_path() -> Path:
-    highest = 0
+def snapshot_paths() -> list[Path]:
+    """Existing BENCH_<n>.json snapshots, oldest first."""
+    numbered = []
     for path in REPO_ROOT.glob("BENCH_*.json"):
         match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
         if match:
-            highest = max(highest, int(match.group(1)))
+            numbered.append((int(match.group(1)), path))
+    return [path for _, path in sorted(numbered)]
+
+
+def next_snapshot_path() -> Path:
+    paths = snapshot_paths()
+    if not paths:
+        return REPO_ROOT / "BENCH_1.json"
+    highest = int(re.fullmatch(r"BENCH_(\d+)\.json", paths[-1].name).group(1))
     return REPO_ROOT / f"BENCH_{highest + 1}.json"
+
+
+def _benchmark_seconds(snapshot: dict) -> dict[str, float]:
+    """Per-benchmark wall-clock totals of one snapshot (only benchmarks
+    that ran to completion contribute)."""
+    seconds = {}
+    for record in snapshot.get("benchmarks", []):
+        if record.get("status") == "ok" and "total_seconds" in record:
+            seconds[record["benchmark"]] = record["total_seconds"]
+    return seconds
+
+
+def compare_snapshots(new_path: Path, old_path: Path) -> int:
+    """Print a per-benchmark wall-clock delta table; return a non-zero
+    exit code when any shared benchmark regressed past the gate."""
+    new = json.loads(new_path.read_text(encoding="utf-8"))
+    old = json.loads(old_path.read_text(encoding="utf-8"))
+    new_seconds = _benchmark_seconds(new)
+    old_seconds = _benchmark_seconds(old)
+    names = sorted(set(new_seconds) | set(old_seconds))
+    width = max((len(name) for name in names), default=9)
+    print(f"bench_trend: {new_path.name} vs {old_path.name}")
+    print(f"{'benchmark':<{width}}  {'old[s]':>8}  {'new[s]':>8}  "
+          f"{'delta':>8}  status")
+    regressions = []
+    for name in names:
+        old_value = old_seconds.get(name)
+        new_value = new_seconds.get(name)
+        if old_value is None:
+            print(f"{name:<{width}}  {'-':>8}  {new_value:>8.2f}  "
+                  f"{'-':>8}  new (no baseline)")
+            continue
+        if new_value is None:
+            print(f"{name:<{width}}  {old_value:>8.2f}  {'-':>8}  "
+                  f"{'-':>8}  missing from newest")
+            continue
+        delta = new_value - old_value
+        relative = delta / old_value if old_value > 0 else 0.0
+        regressed = (
+            relative > REGRESSION_RELATIVE and delta > REGRESSION_ABSOLUTE
+        )
+        status = "REGRESSION" if regressed else "ok"
+        if regressed:
+            regressions.append(name)
+        print(f"{name:<{width}}  {old_value:>8.2f}  {new_value:>8.2f}  "
+              f"{relative:>+7.0%}  {status}")
+    if regressions:
+        print(
+            f"bench_trend: {len(regressions)} wall-clock regression(s) "
+            f"past {REGRESSION_RELATIVE:.0%}/{REGRESSION_ABSOLUTE}s: "
+            + ", ".join(regressions)
+        )
+        return 1
+    print("bench_trend: no wall-clock regressions past the gate")
+    return 0
 
 
 def run_benchmark(name: str, timeout: float | None) -> dict:
@@ -130,7 +209,38 @@ def main(argv: list[str] | None = None) -> int:
                         "BENCH_<n>.json")
     parser.add_argument("--dry-run", action="store_true",
                         help="list the modules that would run and exit")
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="do not run anything: diff the newest snapshot against the "
+        "previous one (or --against) and exit non-zero on wall-clock "
+        "regressions past the gate",
+    )
+    parser.add_argument(
+        "--snapshot", default=None, metavar="FILE",
+        help="with --compare: the newer snapshot (default: newest "
+        "BENCH_<n>.json)",
+    )
+    parser.add_argument(
+        "--against", default=None, metavar="FILE",
+        help="with --compare: the baseline snapshot (default: the "
+        "second-newest BENCH_<n>.json)",
+    )
     args = parser.parse_args(argv)
+
+    if args.compare:
+        paths = snapshot_paths()
+        new_path = Path(args.snapshot) if args.snapshot else (
+            paths[-1] if paths else None
+        )
+        old_path = Path(args.against) if args.against else (
+            paths[-2] if len(paths) >= 2 else None
+        )
+        if new_path is None or old_path is None:
+            parser.error(
+                "--compare needs two snapshots (found "
+                f"{len(paths)} BENCH_<n>.json at the repo root)"
+            )
+        return compare_snapshots(new_path, old_path)
 
     known = available_benchmarks()
     if args.all:
@@ -170,6 +280,8 @@ def main(argv: list[str] | None = None) -> int:
         "environment": {
             key: os.environ.get(key, "")
             for key in ("CHECKFENCE_SOLVER", "CHECKFENCE_DENSE_ORDER",
+                        "CHECKFENCE_SIMPLIFY",
+                        "CHECKFENCE_SIMPLIFY_MIN_CLAUSES",
                         "CHECKFENCE_JOBS", "CHECKFENCE_LARGE")
         },
         "benchmarks": records,
