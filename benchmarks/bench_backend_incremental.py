@@ -1,0 +1,224 @@
+"""A/B: restart-per-solve vs persistent incremental external solving.
+
+The paper's toolchain exported one DIMACS file per query and restarted
+zChaff from scratch; the ``ipasir`` backends keep one external solver
+alive across the whole solve/block mining loop, so learned clauses from
+one query prune the next.  This module measures exactly that contrast on
+the specification-mining workload (the heaviest enumeration loop in the
+pipeline):
+
+* **restart** — ``DimacsBackend`` over the in-tree DIMACS CLI: a fresh
+  subprocess and a full clause-database re-export per solve;
+* **persistent** — ``IncrementalPipeBackend``: the same in-tree solver
+  behind one long-lived ``--incremental`` process (clauses shipped once,
+  learned clauses preserved);
+* **library** — ``IpasirBackend`` over a real IPASIR shared library,
+  when one is installed (skipped otherwise).
+
+Both lanes run the identical mining loop, so on the uncapped test the
+observation sets must agree exactly — the verdict-identity gate of the
+incremental path.  Results land in the BENCH trend JSON via
+``extra_info``.
+
+Not in the default ``bench_trend`` set (the restart lane is deliberately
+slow); run via ``tools/bench_trend.py --benchmarks backend_incremental``
+or directly with pytest.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro.core.specification import SatSpecificationMiner
+from repro.datatypes.registry import category_of, get_implementation
+from repro.encoding import compile_test
+from repro.harness.catalog import get_test
+from repro.sat.backend import DimacsBackend
+from repro.sat.ipasir import (
+    IncrementalPipeBackend,
+    IpasirBackend,
+    find_ipasir_library,
+)
+
+_CLI_COMMAND = [sys.executable, "-m", "repro.sat.dimacs_cli"]
+
+#: The A/B pair from the issue: a small queue test mined to completion
+#: (verdict-identity asserted) and the largest catalog test capped to a
+#: fixed number of solve/block iterations (per-solve timing only — a full
+#: restart-per-solve mining run on a ~375k-clause formula is pointlessly
+#: slow, which is rather the point of this benchmark).
+FULL_TEST = ("msn", "Ti2")
+CAPPED_TEST = ("lazylist", "Saaarr")
+CAPPED_SOLVES = 6
+
+
+@pytest.fixture(autouse=True)
+def src_on_subprocess_path(monkeypatch):
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "src")
+    )
+    existing = os.environ.get("PYTHONPATH")
+    monkeypatch.setenv(
+        "PYTHONPATH", src + os.pathsep + existing if existing else src
+    )
+
+
+def _mine(compiled, factory, max_observations=100_000):
+    miner = SatSpecificationMiner(
+        compiled, max_observations=max_observations,
+        backend_factory=factory,
+    )
+    return miner.mine()
+
+
+def _compiled(implementation_name, test_name):
+    implementation = get_implementation(implementation_name)
+    test = get_test(category_of(implementation_name), test_name)
+    return compile_test(implementation, test)
+
+
+def test_restart_vs_persistent_full_mining(benchmark):
+    """msn/Ti2 mined to completion under both lanes: identical
+    observation sets, both wall-clocks recorded."""
+    compiled = _compiled(*FULL_TEST)
+
+    def run_both():
+        restart = _mine(
+            compiled, lambda: DimacsBackend(command=_CLI_COMMAND)
+        )
+        persistent = _mine(compiled, IncrementalPipeBackend)
+        return restart, persistent
+
+    restart, persistent = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    benchmark.extra_info["incremental_ab"] = {
+        "test": "/".join(FULL_TEST),
+        "observations": len(restart),
+        "solves": restart.solver_iterations,
+        "restart_seconds": restart.mining_seconds,
+        "persistent_seconds": persistent.mining_seconds,
+        "speedup": (
+            restart.mining_seconds / persistent.mining_seconds
+            if persistent.mining_seconds > 0 else None
+        ),
+    }
+    assert restart.observations == persistent.observations
+    assert restart.solver_iterations == persistent.solver_iterations
+
+
+def test_restart_vs_persistent_capped_large(benchmark):
+    """lazylist/Saaarr for a fixed number of solve/block iterations: the
+    per-solve cost of re-export + cold start vs one warm solver."""
+    compiled = _compiled(*CAPPED_TEST)
+
+    def run_both():
+        restart = _mine(
+            compiled, lambda: DimacsBackend(command=_CLI_COMMAND),
+            max_observations=CAPPED_SOLVES,
+        )
+        persistent = _mine(
+            compiled, IncrementalPipeBackend,
+            max_observations=CAPPED_SOLVES,
+        )
+        return restart, persistent
+
+    restart, persistent = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    benchmark.extra_info["incremental_ab"] = {
+        "test": "/".join(CAPPED_TEST),
+        "capped_solves": CAPPED_SOLVES,
+        "restart_seconds": restart.mining_seconds,
+        "restart_seconds_per_solve": (
+            restart.mining_seconds / restart.solver_iterations
+        ),
+        "persistent_seconds": persistent.mining_seconds,
+        "persistent_seconds_per_solve": (
+            persistent.mining_seconds / persistent.solver_iterations
+        ),
+    }
+    assert restart.solver_iterations == persistent.solver_iterations
+
+
+@pytest.mark.skipif(
+    find_ipasir_library() is None,
+    reason="no IPASIR shared library installed",
+)
+def test_ipasir_library_vs_restart(benchmark):
+    """With a real IPASIR library (CI's cadical job): the acceptance gate
+    of the issue — persistent library mining at least 2x faster than the
+    restart-per-solve DIMACS path on the full msn/Ti2 loop, verdicts
+    identical."""
+    compiled = _compiled(*FULL_TEST)
+    library = find_ipasir_library()
+
+    def run_both():
+        restart = _mine(
+            compiled, lambda: DimacsBackend(command=_CLI_COMMAND)
+        )
+        incremental = _mine(compiled, lambda: IpasirBackend(library))
+        return restart, incremental
+
+    restart, incremental = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    speedup = (
+        restart.mining_seconds / incremental.mining_seconds
+        if incremental.mining_seconds > 0 else float("inf")
+    )
+    benchmark.extra_info["incremental_ab"] = {
+        "test": "/".join(FULL_TEST),
+        "library": library,
+        "observations": len(restart),
+        "restart_seconds": restart.mining_seconds,
+        "ipasir_seconds": incremental.mining_seconds,
+        "speedup": speedup,
+    }
+    assert restart.observations == incremental.observations
+    assert speedup >= 2.0, (
+        f"persistent IPASIR mining was only {speedup:.1f}x faster than "
+        "restart-per-solve"
+    )
+
+
+@pytest.mark.skipif(
+    find_ipasir_library() is None,
+    reason="no IPASIR shared library installed",
+)
+def test_ipasir_library_vs_restart_capped_tpc6(benchmark):
+    """The issue's headline workload, msn/Tpc6, capped to a fixed number
+    of solve/block iterations (full restart-per-solve mining on it takes
+    many minutes): persistent library solving must average at least 2x
+    faster per solve, with identical per-iteration verdicts."""
+    compiled = _compiled("msn", "Tpc6")
+    library = find_ipasir_library()
+
+    def run_both():
+        restart = _mine(
+            compiled, lambda: DimacsBackend(command=_CLI_COMMAND),
+            max_observations=CAPPED_SOLVES,
+        )
+        incremental = _mine(
+            compiled, lambda: IpasirBackend(library),
+            max_observations=CAPPED_SOLVES,
+        )
+        return restart, incremental
+
+    restart, incremental = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    speedup = (
+        restart.mining_seconds / incremental.mining_seconds
+        if incremental.mining_seconds > 0 else float("inf")
+    )
+    benchmark.extra_info["incremental_ab"] = {
+        "test": "msn/Tpc6",
+        "library": library,
+        "capped_solves": CAPPED_SOLVES,
+        "restart_seconds": restart.mining_seconds,
+        "ipasir_seconds": incremental.mining_seconds,
+        "speedup": speedup,
+    }
+    assert restart.solver_iterations == incremental.solver_iterations
+    assert speedup >= 2.0, (
+        f"persistent IPASIR mining was only {speedup:.1f}x faster than "
+        "restart-per-solve on msn/Tpc6"
+    )

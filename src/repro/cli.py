@@ -376,7 +376,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     solver_help = (
-        "SAT backend: auto, internal, dimacs, or dimacs:<command> "
+        "SAT backend: auto, internal, dimacs, dimacs:<command>, ipasir, "
+        "ipasir:cli, or ipasir:<path-to-shared-library> "
         "(default: CHECKFENCE_SOLVER or auto)"
     )
     dense_help = (

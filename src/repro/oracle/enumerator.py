@@ -32,7 +32,11 @@ operational machine that never touches the SAT stack:
 
 States reached by different interleavings but with the same performed set,
 memory view and token bindings have the same futures, so they are memoised;
-the search is exhaustive yet far below ``n!``.
+the search is exhaustive yet far below ``n!``.  The memo key is three
+packed integers (performed-set bitmask, memory view, bindings) built by
+flat loops over fixed per-run bit slots — canonical without sorting, and
+far cheaper than the tuple-of-sorted-tuples key it replaces, since key
+construction runs once per explored state.
 
 Everything that exceeds a budget (trace steps, explored states, value
 domains) or falls outside the supported fragment yields an
@@ -198,6 +202,13 @@ class _Enumerator:
         self._init_tokens: dict[int, Token] = {}
         self._visited: set = set()
         self._result = result
+        # Memo-key packing state: every location/token gets a bit slot of
+        # ``stride`` bits on first sight (first-seen order is deterministic
+        # within a run, which is all canonicality needs); a slot holds
+        # ``value + 1`` so absence (0) differs from a bound/stored 0.
+        self._stride = self.mask.bit_length() + 1
+        self._loc_shift: dict[int, int] = {}
+        self._token_shift: dict[Token, int] = {}
         self._dfs(0, {}, {})
 
     def _prepare_structure(self, trace: ProgramTrace) -> None:
@@ -291,11 +302,42 @@ class _Enumerator:
         self.nodes += 1
         if self.nodes > self.max_nodes:
             raise _BudgetExceeded()
-        key = (
-            mask,
-            tuple(sorted(memory.items())),
-            tuple(sorted((t.index, v) for t, v in bindings.items())),
-        )
+        stride = self._stride
+        max_value = self.mask
+        packable = True
+        mem_key = 0
+        loc_shift = self._loc_shift
+        for loc, value in memory.items():
+            if not 0 <= value <= max_value:
+                packable = False
+                break
+            shift = loc_shift.get(loc)
+            if shift is None:
+                shift = len(loc_shift) * stride
+                loc_shift[loc] = shift
+            mem_key |= (value + 1) << shift
+        bind_key = 0
+        if packable:
+            token_shift = self._token_shift
+            for token, value in bindings.items():
+                if not 0 <= value <= max_value:
+                    packable = False
+                    break
+                shift = token_shift.get(token)
+                if shift is None:
+                    shift = len(token_shift) * stride
+                    token_shift[token] = shift
+                bind_key |= (value + 1) << shift
+        if packable:
+            key = (mask, mem_key, bind_key)
+        else:
+            # Out-of-range value (defensive; eval_expr masks everything):
+            # fall back to the canonical-by-sorting tuple key.
+            key = (
+                mask,
+                tuple(sorted(memory.items())),
+                tuple(sorted((t.index, v) for t, v in bindings.items())),
+            )
         if key in self._visited:
             return
         self._visited.add(key)

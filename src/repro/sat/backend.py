@@ -22,7 +22,14 @@ Backend choice is a string *spec* threaded through
 * ``dimacs:<command>`` — a specific solver command, e.g.
   ``dimacs:kissat -q`` or
   ``dimacs:python -m repro.sat.dimacs_cli`` (the in-tree solver behind a
-  subprocess/DIMACS pipe, useful for differential testing).
+  subprocess/DIMACS pipe, useful for differential testing);
+* ``ipasir`` — a persistent incremental external solver loaded as an
+  IPASIR shared library (:mod:`repro.sat.ipasir`), auto-discovered via
+  ``CHECKFENCE_IPASIR_LIB`` / known sonames, internal fallback when none
+  is installed;
+* ``ipasir:cli`` — the in-tree solver behind a persistent incremental
+  subprocess pipe (``python -m repro.sat.dimacs_cli --incremental``);
+* ``ipasir:<path>`` — a specific IPASIR shared library file.
 """
 
 from __future__ import annotations
@@ -69,6 +76,8 @@ class SolverBackend(Protocol):
         conflict_limit: int | None = None,
     ) -> bool | None: ...
 
+    def failed_assumptions(self) -> list[int]: ...
+
     def model(self) -> dict[int, bool]: ...
 
     def values_of(self, variables: Iterable[int]) -> dict[int, bool]: ...
@@ -111,6 +120,12 @@ class InternalBackend:
         return self.solver.solve(
             assumptions=assumptions, conflict_limit=conflict_limit
         )
+
+    def failed_assumptions(self) -> list[int]:
+        """Subset of the last solve's assumptions that is already
+        unsatisfiable together with the formula; empty when the formula
+        alone is unsatisfiable or the last result was SAT."""
+        return self.solver.failed_assumptions()
 
     def model(self) -> dict[int, bool]:
         return self.solver.model()
@@ -180,6 +195,7 @@ class DimacsBackend:
         self._clauses: list[tuple[int, ...]] = []
         self._unsat = False
         self._model: dict[int, bool] = {}
+        self._failed: list[int] = []
 
     # ----------------------------------------------------------- clause I/O
 
@@ -235,6 +251,7 @@ class DimacsBackend:
         # conflict_limit is a budget hint for the internal solver; external
         # solvers run to completion.
         self._model = {}
+        self._failed = []
         if self._unsat:
             return False
         with tempfile.TemporaryDirectory(prefix="checkfence-dimacs-") as tmp:
@@ -249,6 +266,13 @@ class DimacsBackend:
                 proc = subprocess.run(
                     command, capture_output=True, text=True, check=False
                 )
+            except FileNotFoundError as exc:
+                raise BackendError(
+                    f"solver binary {self._command[0]!r} not found "
+                    f"(searched PATH: {os.environ.get('PATH', '')!r}); "
+                    "install it, use --solver dimacs:<command> with a "
+                    "command that exists, or fall back to --solver internal"
+                ) from exc
             except OSError as exc:
                 raise BackendError(
                     f"failed to run {self._command[0]!r}: {exc}"
@@ -259,9 +283,15 @@ class DimacsBackend:
                 with open(result_file, "r", encoding="utf-8") as handle:
                     output = handle.read()
                 from_result_file = True
-            return self._parse_result(
+            result = self._parse_result(
                 proc.returncode, output, proc.stderr, from_result_file
             )
+            if result is False:
+                # The DIMACS interchange carries no failed-assumption
+                # information, so the whole assumption set is the
+                # (conservative but sound) core.
+                self._failed = list(assumptions)
+            return result
 
     def _write_problem(self, path: str, assumptions: Sequence[int]) -> None:
         with open(path, "w", encoding="utf-8") as handle:
@@ -325,6 +355,15 @@ class DimacsBackend:
             self._model = model
         return status
 
+    def failed_assumptions(self) -> list[int]:
+        """Conservative core: the DIMACS interchange format carries no
+        failed-assumption information, so after an UNSAT solve this is the
+        full assumption set of that solve (a sound over-approximation).
+        The internal fallback reports its real (smaller) core."""
+        if self._fallback is not None:
+            return self._fallback.failed_assumptions()
+        return list(self._failed)
+
     def model(self) -> dict[int, bool]:
         if self._fallback is not None:
             return self._fallback.model()
@@ -366,7 +405,28 @@ def make_backend_factory(spec: str | None = None) -> BackendFactory:
         if not command:
             raise ValueError(f"empty solver command in spec {spec!r}")
         return lambda: DimacsBackend(command=command)
+    if spec == "ipasir" or spec.startswith("ipasir:"):
+        # Imported lazily: repro.sat.ipasir imports from this module's
+        # sibling (solver stats) and is only needed for these specs.
+        from repro.sat import ipasir as ipasir_module
+
+        if spec == "ipasir":
+            def factory() -> SolverBackend:
+                library = ipasir_module.find_ipasir_library()
+                if library is None:
+                    backend = InternalBackend()
+                    backend.name = "ipasir(fallback:internal)"
+                    return backend
+                return ipasir_module.IpasirBackend(library)
+            return factory
+        argument = spec[len("ipasir:"):].strip()
+        if not argument:
+            raise ValueError(f"empty IPASIR library path in spec {spec!r}")
+        if argument == "cli":
+            return ipasir_module.IncrementalPipeBackend
+        return lambda: ipasir_module.IpasirBackend(argument)
     raise ValueError(
         f"unknown solver backend spec {spec!r} "
-        "(expected auto, internal, dimacs, or dimacs:<command>)"
+        "(expected auto, internal, dimacs, dimacs:<command>, "
+        "ipasir, ipasir:cli, or ipasir:<path>)"
     )

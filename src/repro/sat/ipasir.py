@@ -1,0 +1,513 @@
+"""Incremental external solving through the IPASIR C API.
+
+IPASIR ("Reentrant Incremental Sat solver API", the standard interface of
+the SAT competition incremental track) is the lingua franca of incremental
+SAT solvers: cadical, picosat, cryptominisat, lingeling and friends all
+ship a shared library exporting
+
+* ``ipasir_init`` / ``ipasir_release`` — solver lifecycle,
+* ``ipasir_add`` — push clause literals (0-terminated),
+* ``ipasir_assume`` — add a one-shot assumption for the next solve,
+* ``ipasir_solve`` — returns 10 (SAT), 20 (UNSAT) or 0 (interrupted),
+* ``ipasir_val`` — model value of a literal after SAT,
+* ``ipasir_failed`` — failed-assumption membership after UNSAT.
+
+Where the paper's toolchain exported one monolithic CNF per query and
+restarted zChaff from scratch, an IPASIR solver *persists* across the
+hundreds of solve/block iterations the specification miner and the fence
+inference loop issue, so learned clauses from one query prune the next.
+
+Two backends are provided:
+
+* :class:`IpasirBackend` — loads an IPASIR shared library via
+  :mod:`ctypes` (``CHECKFENCE_IPASIR_LIB``, or auto-discovery of
+  ``libcadical``/``libcryptominisat5``/``libpicosat``/``liblingeling``);
+* :class:`IncrementalPipeBackend` — the same persistent-solver protocol
+  over a line-based pipe to ``python -m repro.sat.dimacs_cli
+  --incremental``, so the incremental subprocess path stays testable on
+  machines with no system SAT library at all.
+
+Both register under the ``ipasir`` backend spec (see
+:func:`repro.sat.backend.make_backend_factory`): ``ipasir`` auto-discovers
+a library and falls back to the internal solver, ``ipasir:cli`` forces the
+pipe backend, and ``ipasir:<path>`` loads a specific shared library.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import ctypes.util
+import os
+import subprocess
+import sys
+from typing import IO, Iterable, Sequence
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import SolverStats
+
+IPASIR_SAT = 10
+IPASIR_UNSAT = 20
+
+#: Environment variable naming the shared library to load for ``ipasir``.
+IPASIR_LIB_ENV = "CHECKFENCE_IPASIR_LIB"
+
+#: Library base names probed (via ctypes.util.find_library and common
+#: soname spellings) when no explicit path is configured.
+_KNOWN_LIBRARIES: tuple[str, ...] = (
+    "cadical",
+    "cryptominisat5",
+    "picosat",
+    "lingeling",
+)
+
+#: The symbols every IPASIR implementation must export.
+_REQUIRED_SYMBOLS = (
+    "ipasir_init",
+    "ipasir_release",
+    "ipasir_add",
+    "ipasir_assume",
+    "ipasir_solve",
+    "ipasir_val",
+    "ipasir_failed",
+)
+
+
+class IpasirError(RuntimeError):
+    """An IPASIR library could not be loaded or misbehaved."""
+
+
+class IpasirLibrary:
+    """A loaded IPASIR shared library with typed entry points."""
+
+    def __init__(self, path: str) -> None:
+        try:
+            cdll = ctypes.CDLL(path)
+        except OSError as exc:
+            raise IpasirError(f"cannot load IPASIR library {path!r}: {exc}")
+        missing = [
+            symbol for symbol in _REQUIRED_SYMBOLS
+            if not hasattr(cdll, symbol)
+        ]
+        if missing:
+            raise IpasirError(
+                f"{path!r} is not an IPASIR library "
+                f"(missing symbols: {', '.join(missing)})"
+            )
+        self.path = path
+        self._cdll = cdll
+        cdll.ipasir_init.restype = ctypes.c_void_p
+        cdll.ipasir_init.argtypes = []
+        cdll.ipasir_release.restype = None
+        cdll.ipasir_release.argtypes = [ctypes.c_void_p]
+        cdll.ipasir_add.restype = None
+        cdll.ipasir_add.argtypes = [ctypes.c_void_p, ctypes.c_int32]
+        cdll.ipasir_assume.restype = None
+        cdll.ipasir_assume.argtypes = [ctypes.c_void_p, ctypes.c_int32]
+        cdll.ipasir_solve.restype = ctypes.c_int
+        cdll.ipasir_solve.argtypes = [ctypes.c_void_p]
+        cdll.ipasir_val.restype = ctypes.c_int32
+        cdll.ipasir_val.argtypes = [ctypes.c_void_p, ctypes.c_int32]
+        cdll.ipasir_failed.restype = ctypes.c_int
+        cdll.ipasir_failed.argtypes = [ctypes.c_void_p, ctypes.c_int32]
+        if hasattr(cdll, "ipasir_signature"):
+            cdll.ipasir_signature.restype = ctypes.c_char_p
+            cdll.ipasir_signature.argtypes = []
+
+    def signature(self) -> str:
+        if hasattr(self._cdll, "ipasir_signature"):
+            raw = self._cdll.ipasir_signature()
+            if raw:
+                return raw.decode("utf-8", "replace")
+        return os.path.basename(self.path)
+
+    def init(self) -> int:
+        handle = self._cdll.ipasir_init()
+        if not handle:
+            raise IpasirError(f"ipasir_init() of {self.path!r} returned NULL")
+        return handle
+
+    def release(self, handle: int) -> None:
+        self._cdll.ipasir_release(handle)
+
+    def add(self, handle: int, literal: int) -> None:
+        self._cdll.ipasir_add(handle, literal)
+
+    def assume(self, handle: int, literal: int) -> None:
+        self._cdll.ipasir_assume(handle, literal)
+
+    def solve(self, handle: int) -> int:
+        return self._cdll.ipasir_solve(handle)
+
+    def val(self, handle: int, literal: int) -> int:
+        return self._cdll.ipasir_val(handle, literal)
+
+    def failed(self, handle: int, literal: int) -> bool:
+        return bool(self._cdll.ipasir_failed(handle, literal))
+
+
+def find_ipasir_library() -> str | None:
+    """Locate an IPASIR shared library: ``CHECKFENCE_IPASIR_LIB`` first,
+    then :func:`ctypes.util.find_library` and common soname spellings of
+    the known solvers.  Returns a loadable path/soname or None."""
+    configured = os.environ.get(IPASIR_LIB_ENV)
+    if configured:
+        return configured
+    candidates: list[str] = []
+    for base in _KNOWN_LIBRARIES:
+        found = ctypes.util.find_library(base)
+        if found:
+            candidates.append(found)
+        candidates.append(f"lib{base}.so")
+    for candidate in candidates:
+        try:
+            IpasirLibrary(candidate)
+        except IpasirError:
+            continue
+        return candidate
+    return None
+
+
+class IpasirBackend:
+    """A persistent incremental solver behind the SolverBackend protocol.
+
+    The underlying IPASIR solver object lives for the whole backend
+    lifetime: clauses accumulate, assumptions are one-shot (exactly the
+    protocol :class:`repro.encoding.formula.EncodedTest` expects), and the
+    solver's learned clauses carry over between the solve/block iterations
+    of the mining loops.
+    """
+
+    def __init__(self, library: IpasirLibrary | str | None = None) -> None:
+        if library is None:
+            found = find_ipasir_library()
+            if found is None:
+                raise IpasirError(
+                    "no IPASIR shared library found (set "
+                    f"{IPASIR_LIB_ENV} or install one of: "
+                    + ", ".join(f"lib{b}.so" for b in _KNOWN_LIBRARIES)
+                    + ")"
+                )
+            library = found
+        if isinstance(library, str):
+            library = IpasirLibrary(library)
+        self._library = library
+        self._handle = library.init()
+        self.name = f"ipasir({library.signature()})"
+        self._num_vars = 0
+        self._unsat = False
+        self._last_result: bool | None = None
+        self._failed: list[int] = []
+        self._solves = 0
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        handle = getattr(self, "_handle", None)
+        if handle:
+            try:
+                self._library.release(handle)
+            except Exception:
+                pass
+            self._handle = None
+
+    # ----------------------------------------------------------- clause I/O
+
+    def ensure_vars(self, num_vars: int) -> None:
+        if num_vars > self._num_vars:
+            self._num_vars = num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        add = self._library.add
+        handle = self._handle
+        count = 0
+        num_vars = self._num_vars
+        for lit in literals:
+            if lit == 0:
+                raise IpasirError("0 is not a valid literal")
+            var = lit if lit > 0 else -lit
+            if var > num_vars:
+                num_vars = var
+            add(handle, lit)
+            count += 1
+        add(handle, 0)
+        self._num_vars = num_vars
+        if count == 0:
+            self._unsat = True
+            return False
+        return True
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
+        add = self._library.add
+        handle = self._handle
+        num_vars = self._num_vars
+        ok = True
+        for clause in clauses:
+            count = 0
+            for lit in clause:
+                if lit == 0:
+                    raise IpasirError("0 is not a valid literal")
+                var = lit if lit > 0 else -lit
+                if var > num_vars:
+                    num_vars = var
+                add(handle, lit)
+                count += 1
+            add(handle, 0)
+            if count == 0:
+                self._unsat = True
+                ok = False
+        self._num_vars = num_vars
+        return ok
+
+    def add_cnf(self, cnf: CNF) -> None:
+        self.ensure_vars(cnf.num_vars)
+        self.add_clauses(cnf.clauses)
+
+    def freeze(self, variables: Iterable[int]) -> None:
+        """No-op: IPASIR solvers manage frozen/melted state internally
+        (assumption and value queries keep variables alive)."""
+
+    # -------------------------------------------------------------- solving
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+    ) -> bool | None:
+        # conflict_limit is a budget hint for the internal solver; IPASIR
+        # solvers run to completion (ipasir_set_terminate is not worth the
+        # ctypes callback overhead here).
+        self._failed = []
+        library = self._library
+        handle = self._handle
+        for lit in assumptions:
+            library.assume(handle, lit)
+        result = library.solve(handle)
+        self._solves += 1
+        if result == IPASIR_SAT:
+            self._last_result = True
+            return True
+        if result == IPASIR_UNSAT:
+            self._last_result = False
+            self._failed = [
+                lit for lit in assumptions if library.failed(handle, lit)
+            ]
+            return False
+        raise IpasirError(
+            f"{self.name} returned unexpected solve status {result}"
+        )
+
+    def failed_assumptions(self) -> list[int]:
+        """Subset of the last solve's assumptions already unsatisfiable
+        together with the formula (``ipasir_failed``); empty when the
+        formula alone is unsatisfiable or the last result was SAT."""
+        return list(self._failed)
+
+    def model(self) -> dict[int, bool]:
+        if not self._last_result:
+            return {}
+        library = self._library
+        handle = self._handle
+        return {
+            var: library.val(handle, var) > 0
+            for var in range(1, self._num_vars + 1)
+        }
+
+    def values_of(self, variables: Iterable[int]) -> dict[int, bool]:
+        if not self._last_result:
+            return {}
+        library = self._library
+        handle = self._handle
+        num_vars = self._num_vars
+        return {
+            var: (library.val(handle, var) > 0) if 0 < var <= num_vars
+            else False
+            for var in variables
+        }
+
+    def stats(self) -> SolverStats | None:
+        """IPASIR exposes no counter API; None means unavailable."""
+        return None
+
+
+class IncrementalPipeBackend:
+    """Persistent incremental solving over a line-based subprocess pipe.
+
+    Speaks the ``--incremental`` protocol of :mod:`repro.sat.dimacs_cli`
+    (``a``/``s`` command lines in, ``s``/``v``/``f`` result lines out) to a
+    single long-lived solver process, so the subprocess path gets the same
+    learned-clause persistence as a real IPASIR library — with no system
+    solver installed.  Clause lines are buffered and flushed right before
+    each solve to keep pipe round-trips off the add_clause hot path.
+    """
+
+    def __init__(self, command: Sequence[str] | None = None) -> None:
+        if command is None:
+            command = [sys.executable, "-m", "repro.sat.dimacs_cli",
+                       "--incremental"]
+        self._command = list(command)
+        self.name = f"ipasir(cli:{os.path.basename(self._command[0])})"
+        self._process: subprocess.Popen[str] | None = None
+        self._pending: list[str] = []
+        self._num_vars = 0
+        self._unsat = False
+        self._model: dict[int, bool] = {}
+        self._failed: list[int] = []
+
+    # ------------------------------------------------------------- process
+
+    def _ensure_process(self) -> subprocess.Popen:
+        if self._process is None or self._process.poll() is not None:
+            if self._process is not None:
+                raise IpasirError(
+                    f"incremental solver process {self._command!r} exited "
+                    f"with status {self._process.returncode}"
+                )
+            try:
+                self._process = subprocess.Popen(
+                    self._command,
+                    stdin=subprocess.PIPE,
+                    stdout=subprocess.PIPE,
+                    text=True,
+                )
+            except OSError as exc:
+                raise IpasirError(
+                    f"failed to start incremental solver "
+                    f"{self._command!r}: {exc}"
+                ) from exc
+        return self._process
+
+    def close(self) -> None:
+        """Shut the solver process down (idempotent)."""
+        process = self._process
+        self._process = None
+        if process is not None and process.poll() is None:
+            try:
+                if process.stdin is not None:
+                    process.stdin.write("q\n")
+                    process.stdin.flush()
+                    process.stdin.close()
+                process.wait(timeout=5)
+            except (OSError, subprocess.TimeoutExpired):
+                process.kill()
+                process.wait()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ----------------------------------------------------------- clause I/O
+
+    def ensure_vars(self, num_vars: int) -> None:
+        if num_vars > self._num_vars:
+            self._num_vars = num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        clause = list(literals)
+        for lit in clause:
+            if lit == 0:
+                raise IpasirError("0 is not a valid literal")
+            var = lit if lit > 0 else -lit
+            if var > self._num_vars:
+                self._num_vars = var
+        self._pending.append(
+            "a " + " ".join(str(lit) for lit in clause) + " 0\n"
+        )
+        if not clause:
+            self._unsat = True
+            return False
+        return True
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
+        ok = True
+        for clause in clauses:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    def add_cnf(self, cnf: CNF) -> None:
+        self.ensure_vars(cnf.num_vars)
+        self.add_clauses(cnf.clauses)
+
+    def freeze(self, variables: Iterable[int]) -> None:
+        """No-op: the pipe solver keeps every variable."""
+
+    # -------------------------------------------------------------- solving
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+    ) -> bool | None:
+        self._model = {}
+        self._failed = []
+        process = self._ensure_process()
+        assert process.stdin is not None and process.stdout is not None
+        try:
+            if self._pending:
+                process.stdin.writelines(self._pending)
+                self._pending.clear()
+            process.stdin.write(
+                "s " + " ".join(str(lit) for lit in assumptions) + " 0\n"
+            )
+            process.stdin.flush()
+        except OSError as exc:
+            raise IpasirError(
+                f"incremental solver process {self._command!r} "
+                f"went away: {exc}"
+            ) from exc
+        status: bool | None = None
+        literals: list[int] = []
+        while True:
+            line = process.stdout.readline()
+            if not line:
+                raise IpasirError(
+                    f"incremental solver process {self._command!r} closed "
+                    "its output mid-query"
+                )
+            line = line.strip()
+            if line.startswith("s "):
+                verdict = line[2:].strip().upper()
+                if verdict == "SATISFIABLE":
+                    status = True
+                elif verdict == "UNSATISFIABLE":
+                    status = False
+                else:
+                    raise IpasirError(f"unexpected status line {line!r}")
+            elif line.startswith("v "):
+                chunk = [int(token) for token in line[2:].split()]
+                if chunk and chunk[-1] == 0:
+                    literals.extend(chunk[:-1])
+                    break
+                literals.extend(chunk)
+            elif line.startswith("f "):
+                chunk = [int(token) for token in line[2:].split()]
+                if chunk and chunk[-1] == 0:
+                    chunk.pop()
+                self._failed = chunk
+                break
+            # other lines (comments) are ignored
+        if status is None:
+            raise IpasirError(
+                f"incremental solver process {self._command!r} "
+                "produced no verdict"
+            )
+        if status:
+            model = {var: False for var in range(1, self._num_vars + 1)}
+            for lit in literals:
+                model[abs(lit)] = lit > 0
+            self._model = model
+        return status
+
+    def failed_assumptions(self) -> list[int]:
+        """Failed-assumption core reported by the subprocess (``f`` line)."""
+        return list(self._failed)
+
+    def model(self) -> dict[int, bool]:
+        return dict(self._model)
+
+    def values_of(self, variables: Iterable[int]) -> dict[int, bool]:
+        model = self._model
+        return {var: model.get(var, False) for var in variables}
+
+    def stats(self) -> SolverStats | None:
+        """The pipe protocol does not carry counters; None (unavailable)."""
+        return None

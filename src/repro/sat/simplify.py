@@ -69,6 +69,7 @@ from __future__ import annotations
 
 import os
 import time
+from array import array
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -564,14 +565,20 @@ class Simplifier:
         clauses = self._clauses
         occs = self._occs
         count = len(clauses)
-        sigs = [0] * count
+        # One flat 64-bit signature per clause slot: the subsumption scan
+        # reads these by index millions of times, so a packed array('Q')
+        # (one contiguous buffer, unboxed stores) beats a list of ints.
+        sigs = array("Q", bytes(8 * count))
         csets: list[frozenset | None] = [None] * count
         live: list[int] = []
         for index, clause in enumerate(clauses):
             if clause is None:
                 continue
             live.append(index)
-            sigs[index] = _sig(clause)
+            signature = 0
+            for lit in clause:
+                signature |= 1 << (((lit << 1) ^ (lit >> 63)) & 63)
+            sigs[index] = signature
             csets[index] = frozenset(clause)
         live.sort(key=lambda i: len(clauses[i]))
         changed = False
@@ -875,6 +882,11 @@ class SimplifyingBackend:
         self._to_inner: dict[int, int] = {}
         self._from_inner: list[int] = [0]
         self._unsat = False
+        #: Inner assumption literal -> original literal (last solve), and
+        #: an override core for UNSAT verdicts decided before the inner
+        #: solver ran (constant-false assumption).
+        self._assumption_origin: dict[int, int] = {}
+        self._forced_core: list[int] | None = None
 
     # ------------------------------------------------------------ clause I/O
 
@@ -1027,6 +1039,8 @@ class SimplifyingBackend:
                 simplifier.stats.preprocess_seconds += (
                     time.perf_counter() - load_start
                 )
+        self._assumption_origin = {}
+        self._forced_core = None
         if self._unsat:
             return False
         inner_assumptions: list[int] = []
@@ -1042,11 +1056,31 @@ class SimplifyingBackend:
             if mapped is True:
                 continue
             if mapped is False:
+                # The assumption contradicts a root-level fact: it alone is
+                # a failed-assumption core.
+                self._forced_core = [lit]
                 return False
-            inner_assumptions.append(self._inner_lit(mapped))
+            inner_lit = self._inner_lit(mapped)
+            self._assumption_origin.setdefault(inner_lit, lit)
+            inner_assumptions.append(inner_lit)
         return self.inner.solve(
             assumptions=inner_assumptions, conflict_limit=conflict_limit
         )
+
+    def failed_assumptions(self) -> list[int]:
+        """The inner solver's failed-assumption core mapped back onto the
+        original assumption literals of the last solve; ``[lit]`` when an
+        assumption contradicted a root-level fact before the inner solver
+        ran, ``[]`` when the formula alone is unsatisfiable."""
+        if self._bypass:
+            return self.inner.failed_assumptions()
+        if self._forced_core is not None:
+            return list(self._forced_core)
+        origin = self._assumption_origin
+        return [
+            origin[lit] for lit in self.inner.failed_assumptions()
+            if lit in origin
+        ]
 
     # ---------------------------------------------------------------- models
 

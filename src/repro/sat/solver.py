@@ -10,10 +10,13 @@ tool.  It implements the standard conflict-driven clause-learning algorithm:
   lazily, so no ordering work is proportional to the variable count),
 * Luby restarts,
 * LBD-aware deletion of learned clauses ("glue" clauses with literal
-  block distance <= 2 are never deleted), and
+  block distance <= 2 are never deleted),
 * incremental solving under assumptions (used by the specification-mining
   loop, which repeatedly re-solves the same formula with extra blocking
-  clauses).
+  clauses), and
+* failed-assumption cores (:meth:`Solver.failed_assumptions`), computed
+  MiniSat-style by tracing the implication graph from the failing
+  assumption back to the assumption decisions it depends on.
 
 The implementation is pure Python and therefore much slower than a native
 solver, but it is complete and deterministic, which is what the checker
@@ -21,11 +24,26 @@ needs.
 
 Internally literals are encoded as ``2*var`` (positive) and ``2*var + 1``
 (negative); the public interface uses DIMACS-style signed integers.
+
+Clause storage is a flat ``array('i')`` arena instead of lists-of-lists:
+a clause handle ``off`` points at its first literal, the literals occupy
+``arena[off:arena[off - 1]]`` (the header word before them holds the
+exclusive end index), and the two watched literals always sit at ``off``
+and ``off+1`` — so the hot keep-watch path reads ``arena[off]`` with no
+offset arithmetic at all.
+Watch lists hold plain int offsets into the arena, and binary clauses are
+specialized out of the arena entirely: ``_bin_watches[l]`` lists the
+literals directly implied when ``l`` becomes true, so two-literal clauses
+(the bulk of a CheckFence encoding) propagate without touching clause
+storage at all.  Reasons are packed into one int per variable: ``0`` for
+decisions/assumptions, a positive arena offset for long clauses, and
+``-other_literal`` for binary implications.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass
 from heapq import heapify, heappop, heappush
 from typing import Iterable, Sequence
 
@@ -34,6 +52,10 @@ from repro.sat.cnf import CNF
 _UNASSIGNED = -1
 _FALSE = 0
 _TRUE = 1
+
+#: Arena compaction thresholds: compact at a restart once deletions have
+#: wasted this many ints *and* the waste is a third of the arena.
+_COMPACT_MIN_WASTE = 65536
 
 
 def _to_internal(literal: int) -> int:
@@ -236,6 +258,7 @@ class Solver:
             model = solver.model()        # dict var -> bool
         solver.add_clause([-3, 5])        # incremental strengthening
         solver.solve(assumptions=[7])
+        solver.failed_assumptions()       # core after an UNSAT solve
     """
 
     def __init__(self, cnf: CNF | None = None) -> None:
@@ -243,18 +266,35 @@ class Solver:
         # Per-variable state, indexed by variable number (1-based, slot 0 unused).
         self._assign: list[int] = [_UNASSIGNED]
         self._level: list[int] = [0]
-        self._reason: list[list[int] | None] = [None]
+        # Packed reason: 0 = decision/assumption/none, >0 = arena offset,
+        # <0 = binary implication (the negated value is the other literal).
+        self._reason: list[int] = [0]
         self._activity: list[float] = [0.0]
         self._phase: list[bool] = [True]
-        # Watches indexed by internal literal.
-        self._watches: list[list[list[int]]] = [[], []]
-        self._clauses: list[list[int]] = []
-        self._learned: list[list[int]] = []
-        self._learned_activity: list[float] = []
-        self._learned_lbd: list[int] = []
+        # Clause arena: [end, lit, lit, ...] records back to back; a clause
+        # handle points at its first literal and the header word before it
+        # holds the exclusive end index.  Index 0 holds a sentinel so real
+        # handles are always positive (the reason encoding relies on that).
+        # Watched literals live at off / off+1.
+        self._arena: array = array("i", [0])
+        #: Offsets of original / learned (size >= 3) clauses in the arena.
+        self._clauses: list[int] = []
+        self._learned: list[int] = []
+        self._cla_activity: dict[int, float] = {}
+        self._cla_lbd: dict[int, int] = {}
+        #: Arena ints wasted by deleted learned clauses (compaction trigger).
+        self._wasted = 0
+        # Watch lists indexed by internal literal: arena offsets for long
+        # clauses, directly-implied literals for binary clauses.
+        self._watches: list[list[int]] = [[], []]
+        self._bin_watches: list[list[int]] = [[], []]
+        self._num_binary = 0
+        self._learned_binary = 0
         self._trail: list[int] = []  # internal literals in assignment order
         self._trail_lim: list[int] = []
         self._qhead = 0
+        self._seen = bytearray(1)  # conflict-analysis scratch, per variable
+        self._bin_conflict = (0, 0)  # literals of the last binary conflict
         self._var_inc = 1.0
         self._var_decay = 0.95
         self._cla_inc = 1.0
@@ -269,6 +309,8 @@ class Solver:
         #: directly, which the outcome-mining loops rely on.
         self._model_assign: list[int] | None = None
         self._model: dict[int, bool] | None = None
+        #: Failed-assumption core of the last UNSAT solve (external literals).
+        self._conflict_core: list[int] = []
         if cnf is not None:
             self.add_cnf(cnf)
 
@@ -280,11 +322,14 @@ class Solver:
             self._num_vars += 1
             self._assign.append(_UNASSIGNED)
             self._level.append(0)
-            self._reason.append(None)
+            self._reason.append(0)
             self._activity.append(0.0)
             self._phase.append(False)
             self._watches.append([])
             self._watches.append([])
+            self._bin_watches.append([])
+            self._bin_watches.append([])
+            self._seen.append(0)
             self._order.grow(self._num_vars)
             self._order.insert(self._num_vars)
 
@@ -330,15 +375,14 @@ class Solver:
                 self._ok = False
                 return False
             if len(lits) == 1:
-                if not self._enqueue(lits[0], None):
+                if not self._enqueue(lits[0], 0):
                     self._ok = False
                     return False
-                if self._propagate() is not None:
+                if self._propagate() != 0:
                     self._ok = False
                     return False
             else:
-                self._clauses.append(lits)
-                self._watch_clause(lits)
+                self._attach_clause(lits)
         return True
 
     def add_clause(self, literals: Iterable[int]) -> bool:
@@ -372,22 +416,31 @@ class Solver:
             self._ok = False
             return False
         if len(lits) == 1:
-            if not self._enqueue(lits[0], None):
+            if not self._enqueue(lits[0], 0):
                 self._ok = False
                 return False
-            conflict = self._propagate()
-            if conflict is not None:
+            if self._propagate() != 0:
                 self._ok = False
                 return False
             return True
-        clause = lits
-        self._clauses.append(clause)
-        self._watch_clause(clause)
+        self._attach_clause(lits)
         return True
 
-    def _watch_clause(self, clause: list[int]) -> None:
-        self._watches[clause[0] ^ 1].append(clause)
-        self._watches[clause[1] ^ 1].append(clause)
+    def _attach_clause(self, lits: list[int]) -> None:
+        """Store an original clause (len >= 2) and hook up its watches."""
+        if len(lits) == 2:
+            a, b = lits
+            self._bin_watches[a ^ 1].append(b)
+            self._bin_watches[b ^ 1].append(a)
+            self._num_binary += 1
+            return
+        arena = self._arena
+        off = len(arena) + 1
+        arena.append(off + len(lits))
+        arena.extend(lits)
+        self._clauses.append(off)
+        self._watches[lits[0] ^ 1].append(off)
+        self._watches[lits[1] ^ 1].append(off)
 
     # --------------------------------------------------------------- querying
 
@@ -430,17 +483,26 @@ class Solver:
             for var in variables
         }
 
+    def failed_assumptions(self) -> list[int]:
+        """Failed-assumption core of the last :meth:`solve` call.
+
+        After ``solve(assumptions=...)`` returned False, this is a subset of
+        those assumptions (external literals, not necessarily minimal) whose
+        conjunction with the formula is already unsatisfiable.  An empty
+        list means the formula is unsatisfiable on its own.  After a SAT or
+        indeterminate result the list is empty.
+        """
+        return list(self._conflict_core)
+
     # ------------------------------------------------------------ assignments
 
-    def _enqueue(self, ilit: int, reason: list[int] | None) -> bool:
-        value = self._lit_value(ilit)
-        if value == _FALSE:
-            return False
-        if value == _TRUE:
-            return True
+    def _enqueue(self, ilit: int, reason: int) -> bool:
         var = ilit >> 1
-        self._assign[var] = _FALSE if (ilit & 1) else _TRUE
-        self._level[var] = self._decision_level()
+        value = self._assign[var]
+        if value >= 0:
+            return (value ^ (ilit & 1)) == 1
+        self._assign[var] = (ilit & 1) ^ 1
+        self._level[var] = len(self._trail_lim)
         self._reason[var] = reason
         self._phase[var] = not (ilit & 1)
         self._trail.append(ilit)
@@ -450,14 +512,16 @@ class Solver:
         return len(self._trail_lim)
 
     def _backtrack(self, level: int) -> None:
-        if self._decision_level() <= level:
+        if len(self._trail_lim) <= level:
             return
         target = self._trail_lim[level]
         order = self._order
+        assign = self._assign
+        reason = self._reason
         for ilit in reversed(self._trail[target:]):
             var = ilit >> 1
-            self._assign[var] = _UNASSIGNED
-            self._reason[var] = None
+            assign[var] = _UNASSIGNED
+            reason[var] = 0
             order.insert(var)
         del self._trail[target:]
         del self._trail_lim[level:]
@@ -465,57 +529,108 @@ class Solver:
 
     # ------------------------------------------------------------ propagation
 
-    def _propagate(self) -> list[int] | None:
-        """Unit propagation; returns a conflicting clause or None.
+    def _propagate(self) -> int:
+        """Unit propagation; returns a conflict token or 0.
 
-        This is the solver's hottest loop; literal values are computed
-        inline (``assign[var] ^ sign``: 1 = true, 0 = false, negative =
-        unassigned) instead of through :meth:`_lit_value`.
+        The token is the arena offset of the conflicting clause, or -1 for
+        a binary-clause conflict (its two literals are in
+        ``self._bin_conflict``).  This is the solver's hottest loop: clause
+        literals are read straight out of the int arena, literal values are
+        computed inline (``assign[var] ^ sign``: 1 = true, 0 = false,
+        negative = unassigned), and binary clauses propagate through plain
+        implication lists without touching the arena.
         """
         watches = self._watches
+        bin_watches = self._bin_watches
+        arena = self._arena
         assign = self._assign
+        level = self._level
+        reason = self._reason
+        phase = self._phase
         trail = self._trail
-        while self._qhead < len(trail):
-            ilit = trail[self._qhead]
-            self._qhead += 1
-            self.stats.propagations += 1
+        dl = len(self._trail_lim)
+        qhead = self._qhead
+        props = 0
+        while qhead < len(trail):
+            ilit = trail[qhead]
+            qhead += 1
+            props += 1
             false_lit = ilit ^ 1
+            # Binary implications first: no watch maintenance at all.
+            for other in bin_watches[ilit]:
+                var = other >> 1
+                value = assign[var]
+                if value < 0:
+                    assign[var] = (other & 1) ^ 1
+                    level[var] = dl
+                    reason[var] = -false_lit
+                    phase[var] = not (other & 1)
+                    trail.append(other)
+                elif (value ^ (other & 1)) != 1:
+                    self._bin_conflict = (other, false_lit)
+                    self._qhead = qhead
+                    self.stats.propagations += props
+                    return -1
             watch_list = watches[ilit]
+            if not watch_list:
+                continue
             new_watch_list = []
             append_kept = new_watch_list.append
-            i = 0
-            n = len(watch_list)
-            while i < n:
-                clause = watch_list[i]
-                i += 1
-                # Normalize so the false literal is in slot 1.
-                if clause[0] == false_lit:
-                    clause[0], clause[1] = clause[1], clause[0]
-                first = clause[0]
+            conflict_off = 0
+            for off in watch_list:
+                if conflict_off:
+                    # A conflict was found earlier in this list; the
+                    # remaining entries are untouched watches — keep them.
+                    append_kept(off)
+                    continue
+                # Normalize so the false literal sits in the second watch
+                # slot (off+1); the other watch is `first`.
+                first = arena[off]
+                if first == false_lit:
+                    first = arena[off + 1]
+                    arena[off] = first
+                    arena[off + 1] = false_lit
                 value = assign[first >> 1]
                 if value >= 0 and (value ^ (first & 1)) == 1:
-                    append_kept(clause)
+                    append_kept(off)
                     continue
                 # Look for a replacement watch (any non-false literal).
-                found = False
-                for k in range(2, len(clause)):
-                    q = clause[k]
-                    value = assign[q >> 1]
-                    if value < 0 or (value ^ (q & 1)) == 1:
-                        clause[1], clause[k] = q, clause[1]
-                        watches[q ^ 1].append(clause)
-                        found = True
+                # Iterating a slice keeps the loop counter a small int and
+                # reads literals through the C-level array iterator (an
+                # index-based range here would churn boxed large ints).
+                scan = off + 2
+                found = 0
+                for q in arena[scan: arena[off - 1]]:
+                    vq = assign[q >> 1]
+                    if vq < 0 or (vq ^ (q & 1)) == 1:
+                        arena[off + 1] = q
+                        arena[scan + found] = false_lit
+                        watches[q ^ 1].append(off)
+                        found = -1
                         break
-                if found:
+                    found += 1
+                if found < 0:
                     continue
-                append_kept(clause)
-                if not self._enqueue(first, clause):
-                    # Conflict: keep remaining watches and report.
-                    new_watch_list.extend(watch_list[i:])
-                    watches[ilit] = new_watch_list
-                    return clause
+                append_kept(off)
+                if value >= 0:
+                    # `first` is false too: conflict.  Finish keeping the
+                    # rest of the list, then report.
+                    conflict_off = off
+                    continue
+                var = first >> 1
+                assign[var] = (first & 1) ^ 1
+                level[var] = dl
+                reason[var] = off
+                phase[var] = not (first & 1)
+                trail.append(first)
             watches[ilit] = new_watch_list
-        return None
+            if conflict_off:
+                self._qhead = qhead
+                self.stats.propagations += props
+                return conflict_off
+        self._qhead = qhead
+        self.stats.propagations += props
+        return 0
 
     # ------------------------------------------------------- conflict analysis
 
@@ -531,65 +646,90 @@ class Solver:
     def _decay_var_activity(self) -> None:
         self._var_inc /= self._var_decay
 
-    def _bump_clause(self, index: int) -> None:
-        self._learned_activity[index] += self._cla_inc
-        if self._learned_activity[index] > 1e20:
-            for i in range(len(self._learned_activity)):
-                self._learned_activity[i] *= 1e-20
+    def _bump_clause(self, off: int) -> None:
+        activity = self._cla_activity
+        activity[off] = value = activity[off] + self._cla_inc
+        if value > 1e20:
+            for o in activity:
+                activity[o] *= 1e-20
             self._cla_inc *= 1e-20
 
-    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
         """First-UIP conflict analysis.
 
-        Returns the learned clause (internal literals, asserting literal
-        first) and the backtrack level.
+        ``conflict`` is the token returned by :meth:`_propagate`.  Returns
+        the learned clause (internal literals, asserting literal first) and
+        the backtrack level.
         """
+        arena = self._arena
+        level = self._level
+        trail = self._trail
+        reason_of = self._reason
+        seen = self._seen
         learned: list[int] = [0]  # slot for the asserting literal
-        seen = [False] * (self._num_vars + 1)
         counter = 0
-        ilit = -1
-        reason: list[int] | None = conflict
-        index = len(self._trail) - 1
-        current_level = self._decision_level()
+        index = len(trail) - 1
+        current_level = len(self._trail_lim)
 
+        if conflict > 0:
+            lits = arena[conflict: arena[conflict - 1]]
+        else:
+            lits = self._bin_conflict
         while True:
-            assert reason is not None
-            start = 0 if ilit == -1 else 1
-            for k in range(start, len(reason)):
-                q = reason[k]
+            for q in lits:
                 var = q >> 1
-                if not seen[var] and self._level[var] > 0:
-                    seen[var] = True
+                if not seen[var] and level[var] > 0:
+                    seen[var] = 1
                     self._bump_var(var)
-                    if self._level[var] >= current_level:
+                    if level[var] >= current_level:
                         counter += 1
                     else:
                         learned.append(q)
             # Select the next literal on the trail to resolve on.
-            while not seen[self._trail[index] >> 1]:
+            while not seen[trail[index] >> 1]:
                 index -= 1
-            ilit = self._trail[index]
+            ilit = trail[index]
             index -= 1
             var = ilit >> 1
-            seen[var] = False
+            seen[var] = 0
             counter -= 1
             if counter == 0:
                 break
-            reason = self._reason[var]
+            reason = reason_of[var]
+            if reason > 0:
+                # Skip the asserted literal (always the first slot).
+                lits = arena[reason + 1: arena[reason - 1]]
+            else:
+                lits = (-reason,)
         learned[0] = ilit ^ 1
 
         # Clause minimization: drop a literal whose reason clause is entirely
-        # covered by the other learned literals (or level-0 facts).
-        member = {q >> 1 for q in learned}
+        # covered by the other learned literals (or level-0 facts).  The
+        # `seen` flags of learned[1:] are still set from the loop above, so
+        # they double as the membership test.
+        seen[learned[0] >> 1] = 1
         minimized = [learned[0]]
         for q in learned[1:]:
-            reason = self._reason[q >> 1]
-            if reason is not None and all(
-                (r >> 1) in member or self._level[r >> 1] == 0
-                for r in reason[1:]
-            ):
+            reason = reason_of[q >> 1]
+            if reason == 0:
+                minimized.append(q)
                 continue
-            minimized.append(q)
+            if reason < 0:
+                var = (-reason) >> 1
+                if seen[var] or level[var] == 0:
+                    continue
+                minimized.append(q)
+                continue
+            redundant = True
+            for k in range(reason + 1, arena[reason - 1]):
+                var = arena[k] >> 1
+                if not seen[var] and level[var] != 0:
+                    redundant = False
+                    break
+            if not redundant:
+                minimized.append(q)
+        for q in learned:
+            seen[q >> 1] = 0
         learned = minimized
 
         if len(learned) == 1:
@@ -598,9 +738,9 @@ class Solver:
             # Find the literal with the second-highest level and move it to
             # slot 1 (watched position).
             max_index = 1
-            max_level = self._level[learned[1] >> 1]
+            max_level = level[learned[1] >> 1]
             for k in range(2, len(learned)):
-                lvl = self._level[learned[k] >> 1]
+                lvl = level[learned[k] >> 1]
                 if lvl > max_level:
                     max_level = lvl
                     max_index = k
@@ -629,53 +769,135 @@ class Solver:
         """Literal block distance: number of distinct (non-root) decision
         levels among the clause's literals, computed while they are still
         assigned."""
-        levels = {self._level[q >> 1] for q in clause}
+        level = self._level
+        levels = {level[q >> 1] for q in clause}
         levels.discard(0)
         return max(1, len(levels))
 
     def _reduce_learned(self) -> None:
         if len(self._learned) < 2:
             return
+        reason = self._reason
         locked = set()
         for var in range(1, self._num_vars + 1):
-            reason = self._reason[var]
-            if reason is not None:
-                locked.add(id(reason))
-        # Deletion candidates: non-binary, non-glue, not currently a reason.
+            r = reason[var]
+            if r > 0:
+                locked.add(r)
+        lbd = self._cla_lbd
+        activity = self._cla_activity
+        # Deletion candidates: non-glue, not currently a reason (arena
+        # learned clauses always have >= 3 literals; binaries never enter).
         candidates = [
-            i for i, clause in enumerate(self._learned)
-            if len(clause) > 2
-            and self._learned_lbd[i] > 2
-            and id(clause) not in locked
+            off for off in self._learned
+            if lbd[off] > 2 and off not in locked
         ]
         if not candidates:
             return
         # Delete the worse half: high LBD first, ties broken by low activity.
-        candidates.sort(
-            key=lambda i: (-self._learned_lbd[i], self._learned_activity[i])
-        )
+        candidates.sort(key=lambda off: (-lbd[off], activity[off]))
         to_delete = set(candidates[: len(candidates) // 2])
         if not to_delete:
             return
-        kept_clauses: list[list[int]] = []
-        kept_activity: list[float] = []
-        kept_lbd: list[int] = []
-        deleted: set[int] = set()
-        for i, clause in enumerate(self._learned):
-            if i in to_delete:
-                deleted.add(id(clause))
+        arena = self._arena
+        kept: list[int] = []
+        for off in self._learned:
+            if off in to_delete:
                 self.stats.deleted_clauses += 1
+                self._wasted += arena[off - 1] - off + 1
+                del lbd[off]
+                del activity[off]
             else:
-                kept_clauses.append(clause)
-                kept_activity.append(self._learned_activity[i])
-                kept_lbd.append(self._learned_lbd[i])
-        self._learned = kept_clauses
-        self._learned_activity = kept_activity
-        self._learned_lbd = kept_lbd
+                kept.append(off)
+        self._learned = kept
+        watches = self._watches
         for ilit in range(2, 2 * self._num_vars + 2):
-            self._watches[ilit] = [
-                c for c in self._watches[ilit] if id(c) not in deleted
-            ]
+            watch_list = watches[ilit]
+            if watch_list:
+                watches[ilit] = [
+                    off for off in watch_list if off not in to_delete
+                ]
+
+    def _compact_arena(self) -> None:
+        """Rewrite the arena without the holes left by deleted learned
+        clauses, remapping clause offsets everywhere they are stored
+        (clause lists, learned metadata, reasons, watch lists).  Only
+        called at decision level 0."""
+        arena = self._arena
+        new_arena = array("i", [0])
+        remap: dict[int, int] = {}
+        for off in self._clauses:
+            end = arena[off - 1]
+            new_off = len(new_arena) + 1
+            remap[off] = new_off
+            new_arena.append(new_off + (end - off))
+            new_arena.extend(arena[off:end])
+        for off in self._learned:
+            end = arena[off - 1]
+            new_off = len(new_arena) + 1
+            remap[off] = new_off
+            new_arena.append(new_off + (end - off))
+            new_arena.extend(arena[off:end])
+        self._arena = new_arena
+        self._clauses = [remap[off] for off in self._clauses]
+        self._learned = [remap[off] for off in self._learned]
+        self._cla_activity = {
+            remap[off]: value for off, value in self._cla_activity.items()
+        }
+        self._cla_lbd = {
+            remap[off]: value for off, value in self._cla_lbd.items()
+        }
+        reason = self._reason
+        for var in range(1, self._num_vars + 1):
+            r = reason[var]
+            if r > 0:
+                reason[var] = remap[r]
+        watches: list[list[int]] = [[] for _ in range(2 * self._num_vars + 2)]
+        for off in self._clauses:
+            watches[new_arena[off] ^ 1].append(off)
+            watches[new_arena[off + 1] ^ 1].append(off)
+        for off in self._learned:
+            watches[new_arena[off] ^ 1].append(off)
+            watches[new_arena[off + 1] ^ 1].append(off)
+        self._watches = watches
+        self._wasted = 0
+
+    # -------------------------------------------------------- UNSAT core
+
+    def _analyze_final(self, ilit: int) -> list[int]:
+        """Core of assumptions implying the negation of assumption ``ilit``
+        (which was found false while applying assumptions), as external
+        literals including ``ilit`` itself.  MiniSat's ``analyzeFinal``:
+        walk the trail backwards from the implication graph rooted at
+        ``ilit``'s variable; decisions reached at level > 0 are assumption
+        literals (assumption levels are the only open levels here)."""
+        seen = self._seen
+        trail = self._trail
+        reason_of = self._reason
+        level = self._level
+        arena = self._arena
+        core = [_to_external(ilit)]
+        seen[ilit >> 1] = 1
+        for i in range(len(trail) - 1, -1, -1):
+            q = trail[i]
+            var = q >> 1
+            if not seen[var]:
+                continue
+            seen[var] = 0
+            if level[var] == 0:
+                continue
+            reason = reason_of[var]
+            if reason == 0:
+                core.append(_to_external(q))
+            elif reason < 0:
+                other = (-reason) >> 1
+                if level[other] > 0:
+                    seen[other] = 1
+            else:
+                for k in range(reason + 1, arena[reason - 1]):
+                    u = arena[k] >> 1
+                    if level[u] > 0:
+                        seen[u] = 1
+        return core
 
     # ------------------------------------------------------------------ solve
 
@@ -692,11 +914,12 @@ class Solver:
         self.stats = SolverStats()
         self._model_assign = None
         self._model = None
+        self._conflict_core = []
         self._backtrack(0)
         if not self._ok:
             self.total_stats.merge(self.stats)
             return False
-        if self._propagate() is not None:
+        if self._propagate() != 0:
             self._ok = False
             self.total_stats.merge(self.stats)
             return False
@@ -711,16 +934,16 @@ class Solver:
         restart_count = 0
         conflicts_until_restart = 32 * _luby(restart_count)
         conflicts_since_restart = 0
-        max_learned = max(1000, len(self._clauses) // 2)
+        max_learned = max(1000, self.num_clauses // 2)
         total_conflicts = 0
 
         while True:
             conflict = self._propagate()
-            if conflict is not None:
+            if conflict != 0:
                 self.stats.conflicts += 1
                 total_conflicts += 1
                 conflicts_since_restart += 1
-                if self._decision_level() == 0:
+                if len(self._trail_lim) == 0:
                     self.total_stats.merge(self.stats)
                     if not iassumptions:
                         self._ok = False
@@ -730,17 +953,31 @@ class Solver:
                 lbd = self._clause_lbd(learned)
                 self._backtrack(backtrack_level)
                 if len(learned) == 1:
-                    if not self._enqueue(learned[0], None):
+                    if not self._enqueue(learned[0], 0):
+                        self.total_stats.merge(self.stats)
+                        return False
+                elif len(learned) == 2:
+                    first, second = learned
+                    self._bin_watches[first ^ 1].append(second)
+                    self._bin_watches[second ^ 1].append(first)
+                    self._learned_binary += 1
+                    self.stats.learned_clauses += 1
+                    if not self._enqueue(first, -second):
                         self.total_stats.merge(self.stats)
                         return False
                 else:
-                    self._learned.append(learned)
-                    self._learned_activity.append(0.0)
-                    self._learned_lbd.append(lbd)
-                    self._bump_clause(len(self._learned) - 1)
-                    self._watch_clause(learned)
+                    arena = self._arena
+                    off = len(arena) + 1
+                    arena.append(off + len(learned))
+                    arena.extend(learned)
+                    self._learned.append(off)
+                    self._cla_activity[off] = 0.0
+                    self._cla_lbd[off] = lbd
+                    self._bump_clause(off)
+                    self._watches[learned[0] ^ 1].append(off)
+                    self._watches[learned[1] ^ 1].append(off)
                     self.stats.learned_clauses += 1
-                    if not self._enqueue(learned[0], learned):
+                    if not self._enqueue(learned[0], off):
                         self.total_stats.merge(self.stats)
                         return False
                 self._decay_var_activity()
@@ -755,14 +992,19 @@ class Solver:
                     conflicts_until_restart = 32 * _luby(restart_count)
                     conflicts_since_restart = 0
                     self._backtrack(0)
-                if len(self._learned) > max_learned:
+                    if (
+                        self._wasted > _COMPACT_MIN_WASTE
+                        and self._wasted * 3 > len(self._arena)
+                    ):
+                        self._compact_arena()
+                if self.num_learned > max_learned:
                     self._reduce_learned()
                     max_learned = int(max_learned * 1.3)
                 continue
 
             # No conflict: apply pending assumptions, then decide.
-            if self._decision_level() < len(iassumptions):
-                ilit = iassumptions[self._decision_level()]
+            if len(self._trail_lim) < len(iassumptions):
+                ilit = iassumptions[len(self._trail_lim)]
                 value = self._lit_value(ilit)
                 if value == _TRUE:
                     # Already satisfied; open an empty decision level so the
@@ -770,11 +1012,12 @@ class Solver:
                     self._trail_lim.append(len(self._trail))
                     continue
                 if value == _FALSE:
+                    self._conflict_core = self._analyze_final(ilit)
                     self._backtrack(0)
                     self.total_stats.merge(self.stats)
                     return False
                 self._trail_lim.append(len(self._trail))
-                self._enqueue(ilit, None)
+                self._enqueue(ilit, 0)
                 continue
 
             var = self._pick_branch_var()
@@ -787,12 +1030,11 @@ class Solver:
                 return True
             self.stats.decisions += 1
             self._trail_lim.append(len(self._trail))
-            self.stats.max_decision_level = max(
-                self.stats.max_decision_level, self._decision_level()
-            )
+            if len(self._trail_lim) > self.stats.max_decision_level:
+                self.stats.max_decision_level = len(self._trail_lim)
             phase = self._phase[var]
             ilit = 2 * var + (0 if phase else 1)
-            self._enqueue(ilit, None)
+            self._enqueue(ilit, 0)
 
     # ------------------------------------------------------------- utilities
 
@@ -802,11 +1044,11 @@ class Solver:
 
     @property
     def num_clauses(self) -> int:
-        return len(self._clauses)
+        return len(self._clauses) + self._num_binary
 
     @property
     def num_learned(self) -> int:
-        return len(self._learned)
+        return len(self._learned) + self._learned_binary
 
 
 def solve_cnf(cnf: CNF, assumptions: Sequence[int] = ()) -> dict[int, bool] | None:

@@ -78,6 +78,57 @@ def test_failed_benchmarks_are_excluded(tmp_path, bench_trend):
     # missing rather than compared.
     assert bench_trend.compare_snapshots(new, old) == 0
 
+def _snapshot_with_counters(path, name, seconds, solver=None, simplify=None):
+    test = {"name": "t", "seconds": seconds, "extra_info": {}}
+    if solver is not None:
+        test["extra_info"]["solver"] = solver
+    if simplify is not None:
+        test["extra_info"]["simplify"] = simplify
+    payload = {
+        "benchmarks": [
+            {
+                "benchmark": name,
+                "status": "ok",
+                "total_seconds": seconds,
+                "tests": [test],
+            }
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def test_counter_diff_is_reported_but_not_gated(tmp_path, bench_trend, capsys):
+    """Solver-counter growth shows up in the --compare report even when
+    wall-clock stays flat — but it never fails the gate by itself."""
+    old = _snapshot_with_counters(
+        tmp_path / "old.json", "fig", 1.0,
+        solver={"propagations": 1000, "conflicts": 10},
+        simplify={"preprocess_seconds": 0.5},
+    )
+    new = _snapshot_with_counters(
+        tmp_path / "new.json", "fig", 1.0,
+        solver={"propagations": 9000, "conflicts": 80},
+        simplify={"preprocess_seconds": 2.0},
+    )
+    assert bench_trend.compare_snapshots(new, old) == 0
+    out = capsys.readouterr().out
+    assert "fig.propagations" in out
+    assert "fig.conflicts" in out
+    assert "fig.preprocess_seconds" in out
+    assert "+800%" in out  # propagations delta
+    assert "not gated" in out
+
+
+def test_counter_diff_skips_benchmarks_without_counters(
+    tmp_path, bench_trend, capsys
+):
+    old = _snapshot(tmp_path / "old.json", {"fig": 1.0})
+    new = _snapshot(tmp_path / "new.json", {"fig": 1.0})
+    assert bench_trend.compare_snapshots(new, old) == 0
+    assert "no shared solver counters" in capsys.readouterr().out
+
+
 def test_default_set_includes_simplify(bench_trend):
     assert "simplify" in bench_trend.DEFAULT_SET
     assert set(bench_trend.DEFAULT_SET) <= set(

@@ -1,0 +1,169 @@
+/* A minimal IPASIR-compliant SAT solver, used to exercise the ctypes
+ * loading path of repro.sat.ipasir on machines with no system SAT
+ * library installed.  The test session compiles it with
+ *
+ *     gcc -shared -fPIC -O1 -o libipasirstub.so ipasir_stub.c
+ *
+ * (see tests/sat/test_backend_contract.py).  Solving is plain recursive
+ * DPLL over the variables that occur in the formula — exponential, but
+ * the contract suite only feeds it a handful of variables.  After an
+ * UNSAT solve, ipasir_failed reports every assumption as failed (the
+ * conservative superset the IPASIR contract permits).
+ */
+
+#include <stdlib.h>
+#include <string.h>
+
+typedef struct {
+    int *lits;          /* clause literals, one 0 terminator per clause */
+    size_t nlits, cap;
+    int *assumps;
+    size_t nassumps, acap;
+    int assumps_stale;   /* assumptions belong to the previous solve */
+    int maxvar;
+    signed char *values; /* 1-based; 0 unknown, 1 true, -1 false */
+    int last_result;     /* 10 SAT / 20 UNSAT / 0 never solved */
+} Stub;
+
+static void push_lit(Stub *s, int lit) {
+    if (s->nlits == s->cap) {
+        s->cap = s->cap ? s->cap * 2 : 256;
+        s->lits = (int *)realloc(s->lits, s->cap * sizeof(int));
+    }
+    s->lits[s->nlits++] = lit;
+}
+
+/* 1 satisfiable under vals, 0 conflict, -1 undecided */
+static int formula_status(const Stub *s, const signed char *vals) {
+    size_t i = 0;
+    int decided_all = 1;
+    while (i < s->nlits) {
+        int clause_true = 0, clause_open = 0;
+        for (; s->lits[i]; i++) {
+            int lit = s->lits[i];
+            int var = lit > 0 ? lit : -lit;
+            signed char v = vals[var];
+            if (v == 0)
+                clause_open = 1;
+            else if ((v > 0) == (lit > 0))
+                clause_true = 1;
+        }
+        i++; /* skip the 0 terminator */
+        if (!clause_true) {
+            if (!clause_open)
+                return 0;
+            decided_all = 0;
+        }
+    }
+    return decided_all ? 1 : -1;
+}
+
+static int dpll(const Stub *s, signed char *vals) {
+    int status = formula_status(s, vals);
+    if (status >= 0)
+        return status;
+    int var = 0;
+    for (int v = 1; v <= s->maxvar; v++)
+        if (vals[v] == 0) { var = v; break; }
+    if (!var)
+        return 1; /* unreachable: undecided formula has an open variable */
+    vals[var] = 1;
+    if (dpll(s, vals))
+        return 1;
+    vals[var] = -1;
+    if (dpll(s, vals))
+        return 1;
+    vals[var] = 0;
+    return 0;
+}
+
+const char *ipasir_signature(void) { return "dpll-stub-1.0"; }
+
+void *ipasir_init(void) {
+    Stub *s = (Stub *)calloc(1, sizeof(Stub));
+    return s;
+}
+
+void ipasir_release(void *solver) {
+    Stub *s = (Stub *)solver;
+    free(s->lits);
+    free(s->assumps);
+    free(s->values);
+    free(s);
+}
+
+void ipasir_add(void *solver, int lit) {
+    Stub *s = (Stub *)solver;
+    int var = lit > 0 ? lit : -lit;
+    if (var > s->maxvar)
+        s->maxvar = var;
+    push_lit(s, lit);
+}
+
+void ipasir_assume(void *solver, int lit) {
+    Stub *s = (Stub *)solver;
+    int var = lit > 0 ? lit : -lit;
+    if (var > s->maxvar)
+        s->maxvar = var;
+    if (s->assumps_stale) {
+        /* assumptions are one-shot: the previous solve's set (kept alive
+         * for ipasir_failed) is discarded as soon as a new one starts */
+        s->nassumps = 0;
+        s->assumps_stale = 0;
+    }
+    if (s->nassumps == s->acap) {
+        s->acap = s->acap ? s->acap * 2 : 16;
+        s->assumps = (int *)realloc(s->assumps, s->acap * sizeof(int));
+    }
+    s->assumps[s->nassumps++] = lit;
+}
+
+int ipasir_solve(void *solver) {
+    Stub *s = (Stub *)solver;
+    if (s->assumps_stale) {
+        s->nassumps = 0; /* no new assumptions since the last solve */
+        s->assumps_stale = 0;
+    }
+    free(s->values);
+    s->values = (signed char *)calloc((size_t)s->maxvar + 1, 1);
+    int conflict = 0;
+    for (size_t i = 0; i < s->nassumps; i++) {
+        int lit = s->assumps[i];
+        int var = lit > 0 ? lit : -lit;
+        signed char want = lit > 0 ? 1 : -1;
+        if (s->values[var] && s->values[var] != want) {
+            conflict = 1;
+            break;
+        }
+        s->values[var] = want;
+    }
+    int sat = !conflict && dpll(s, s->values);
+    s->last_result = sat ? 10 : 20;
+    s->assumps_stale = 1;
+    if (!sat) {
+        memset(s->values, 0, (size_t)s->maxvar + 1);
+        return 20;
+    }
+    return 10;
+}
+
+int ipasir_val(void *solver, int lit) {
+    Stub *s = (Stub *)solver;
+    int var = lit > 0 ? lit : -lit;
+    if (s->last_result != 10 || var > s->maxvar || !s->values[var])
+        return lit > 0 ? -lit : lit; /* unassigned: report false */
+    int positive = s->values[var] > 0;
+    if ((lit > 0) == positive)
+        return lit;
+    return -lit;
+}
+
+int ipasir_failed(void *solver, int lit) {
+    Stub *s = (Stub *)solver;
+    if (s->last_result != 20)
+        return 0;
+    for (size_t i = 0; i < s->nassumps; i++)
+        if (s->assumps[i] == lit)
+            return 1;
+    return 0;
+}

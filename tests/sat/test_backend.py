@@ -13,6 +13,7 @@ The differential suite checks random small CNFs three ways:
 from __future__ import annotations
 
 import itertools
+import os
 import random
 import sys
 
@@ -140,6 +141,19 @@ class TestDimacsBackendViaCli:
         backend.add_clause([1])
         with pytest.raises(BackendError):
             backend.solve()
+
+    def test_missing_binary_error_is_actionable(self):
+        """A missing solver binary must name the binary, show the PATH
+        that was searched, and point at the ways out."""
+        backend = DimacsBackend(command=["no-such-solver-xyz"])
+        backend.add_clause([1])
+        with pytest.raises(BackendError) as excinfo:
+            backend.solve()
+        message = str(excinfo.value)
+        assert "no-such-solver-xyz" in message
+        assert "PATH" in message
+        assert os.environ.get("PATH", "") in message
+        assert "--solver internal" in message
 
 
 @pytest.mark.skipif(

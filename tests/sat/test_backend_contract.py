@@ -1,0 +1,164 @@
+"""Shared conformance suite for every SolverBackend implementation.
+
+Each backend family — internal CDCL, DIMACS subprocess (over the in-tree
+CLI, so no system solver is needed), IPASIR shared library (a C stub
+compiled on the fly with gcc), the incremental pipe, and the simplifying
+wrapper — must satisfy the same observable contract: solving under
+temporary assumptions, failed-assumption cores after UNSAT, incremental
+clause addition after both SAT and UNSAT verdicts, and ``values_of``
+agreement with ``model``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.sat.backend import DimacsBackend, InternalBackend
+from repro.sat.ipasir import IncrementalPipeBackend, IpasirBackend
+from repro.sat.simplify import SimplifyingBackend
+
+_CLI_COMMAND = [sys.executable, "-m", "repro.sat.dimacs_cli"]
+
+
+@pytest.fixture(autouse=True)
+def src_on_subprocess_path(monkeypatch):
+    """Subprocess backends must find the repro package."""
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    src = os.path.abspath(src)
+    existing = os.environ.get("PYTHONPATH")
+    monkeypatch.setenv(
+        "PYTHONPATH", src + os.pathsep + existing if existing else src
+    )
+
+
+@pytest.fixture(scope="session")
+def ipasir_stub_library(tmp_path_factory):
+    """Compile tests/sat/ipasir_stub.c into a shared library once per
+    session; skip the IPASIR-library lane when no C compiler is around."""
+    compiler = shutil.which("cc") or shutil.which("gcc")
+    if compiler is None:
+        pytest.skip("no C compiler available to build the IPASIR stub")
+    source = os.path.join(os.path.dirname(__file__), "ipasir_stub.c")
+    out_dir = tmp_path_factory.mktemp("ipasir-stub")
+    library = str(out_dir / "libipasirstub.so")
+    build = subprocess.run(
+        [compiler, "-shared", "-fPIC", "-O1", "-o", library, source],
+        capture_output=True, text=True,
+    )
+    if build.returncode != 0:
+        pytest.skip(f"IPASIR stub build failed: {build.stderr.strip()}")
+    return library
+
+
+BACKENDS = ["internal", "dimacs", "ipasir-lib", "ipasir-pipe", "simplify"]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    kind = request.param
+    if kind == "internal":
+        made = InternalBackend()
+    elif kind == "dimacs":
+        made = DimacsBackend(command=_CLI_COMMAND)
+    elif kind == "ipasir-lib":
+        library = request.getfixturevalue("ipasir_stub_library")
+        made = IpasirBackend(library)
+    elif kind == "ipasir-pipe":
+        made = IncrementalPipeBackend()
+    else:
+        made = SimplifyingBackend(InternalBackend(), min_clauses=0)
+    yield made
+    close = getattr(made, "close", None)
+    if close is not None:
+        close()
+
+
+def test_solve_under_assumptions_is_temporary(backend):
+    backend.ensure_vars(2)
+    backend.add_clause([1, 2])
+    assert backend.solve([-1]) is True
+    assert backend.values_of([2]) == {2: True}
+    # The assumption does not persist: both polarities stay reachable.
+    assert backend.solve([1]) is True
+    assert backend.values_of([1]) == {1: True}
+    assert backend.solve() is True
+
+
+def test_failed_assumption_core(backend):
+    backend.ensure_vars(3)
+    backend.add_clause([1, 2])
+    assumptions = [-1, -2, 3]
+    assert backend.solve(assumptions) is False
+    core = backend.failed_assumptions()
+    assert core, "UNSAT under assumptions must yield a non-empty core"
+    assert set(core) <= set(assumptions)
+    # The core alone must still be unsatisfiable with the formula.
+    assert backend.solve(core) is False
+
+
+def test_formula_level_unsat_core_is_sound(backend, request):
+    backend.ensure_vars(1)
+    backend.add_clause([1])
+    backend.add_clause([-1])
+    assert backend.solve([1]) is False
+    core = backend.failed_assumptions()
+    # Every backend must stay within the assumption set; the precise
+    # backends additionally report the empty core (= the formula alone is
+    # unsatisfiable).  DIMACS and simple IPASIR solvers may
+    # over-approximate with the full assumption set, which is sound.
+    assert set(core) <= {1}
+    if request.node.callspec.params["backend"] in ("internal", "simplify"):
+        assert core == []
+
+
+def test_incremental_addition_after_sat(backend):
+    backend.ensure_vars(2)
+    backend.add_clause([1, 2])
+    assert backend.solve() is True
+    backend.add_clause([-1])
+    assert backend.solve() is True
+    assert backend.values_of([1, 2]) == {1: False, 2: True}
+    backend.add_clause([-2])
+    assert backend.solve() is False
+
+
+def test_incremental_addition_after_unsat_verdict(backend):
+    backend.ensure_vars(3)
+    backend.add_clause([1, 2])
+    assert backend.solve([-1, -2]) is False
+    # An UNSAT-under-assumptions verdict must not poison later solves.
+    backend.add_clause([3])
+    assert backend.solve() is True
+    assert backend.values_of([3]) == {3: True}
+
+
+def test_values_of_agrees_with_model(backend):
+    backend.ensure_vars(4)
+    backend.add_clauses([[1], [-1, 2], [3, 4], [-3]])
+    assert backend.solve() is True
+    model = backend.model()
+    values = backend.values_of([1, 2, 3, 4])
+    assert values == {var: model[var] for var in (1, 2, 3, 4)}
+    assert values[1] is True and values[2] is True
+    assert values[3] is False and values[4] is True
+
+
+def test_blocking_clause_enumeration(backend):
+    """The solve/block loop every mining pass runs: enumerate all models
+    over a small variable set by blocking each one found."""
+    backend.ensure_vars(2)
+    backend.add_clause([1, 2])
+    seen = set()
+    while backend.solve() is True:
+        values = backend.values_of([1, 2])
+        seen.add((values[1], values[2]))
+        backend.add_clause(
+            [-1 if values[1] else 1, -2 if values[2] else 2]
+        )
+        assert len(seen) <= 4, "enumeration failed to terminate"
+    assert seen == {(True, True), (True, False), (False, True)}

@@ -13,8 +13,11 @@ PRs can diff against (CI uploads the file as an artifact).
 anything: a per-benchmark wall-clock delta table, exiting non-zero when
 any benchmark present in both snapshots regressed by more than 25%
 (relative) *and* 0.1s (absolute — so micro-benchmarks are not failed on
-scheduler noise).  CI runs the comparison after every snapshot so the
-perf trajectory is a gate, not just an artifact.
+scheduler noise), plus a report-only diff of the solver-stat counters
+(propagations, conflicts, preprocess_seconds) — deterministic numbers
+that expose kernel regressions even when 1-core CI timing is too noisy
+to gate on.  CI runs the comparison after every snapshot so the perf
+trajectory is a gate, not just an artifact.
 
 Usage::
 
@@ -94,9 +97,73 @@ def _benchmark_seconds(snapshot: dict) -> dict[str, float]:
     return seconds
 
 
+#: Solver-stat counters diffed by --compare (report-only, no gate): they
+#: are deterministic per build, so kernel/encoding regressions show up in
+#: them even when wall-clock numbers drown in 1-core CI scheduler noise.
+COUNTER_KEYS = ("propagations", "conflicts", "preprocess_seconds")
+
+
+def _benchmark_counters(snapshot: dict) -> dict[str, dict[str, float]]:
+    """Per-benchmark solver-counter totals, summed over the benchmark's
+    tests.  Counters live in each test's ``extra_info.solver`` block
+    (``preprocess_seconds`` also in ``extra_info.simplify``); benchmarks
+    recording neither contribute nothing."""
+    totals: dict[str, dict[str, float]] = {}
+    for record in snapshot.get("benchmarks", []):
+        if record.get("status") != "ok":
+            continue
+        sums: dict[str, float] = {}
+        for test in record.get("tests", []):
+            extra = test.get("extra_info", {})
+            for block_name in ("solver", "simplify"):
+                block = extra.get(block_name)
+                if not isinstance(block, dict):
+                    continue
+                for key in COUNTER_KEYS:
+                    value = block.get(key)
+                    if isinstance(value, (int, float)):
+                        sums[key] = sums.get(key, 0) + value
+        if sums:
+            totals[record["benchmark"]] = sums
+    return totals
+
+
+def _print_counter_diff(new: dict, old: dict) -> None:
+    """The report-only counter table of --compare."""
+    new_counters = _benchmark_counters(new)
+    old_counters = _benchmark_counters(old)
+    shared = sorted(set(new_counters) & set(old_counters))
+    rows = []
+    for name in shared:
+        for key in COUNTER_KEYS:
+            old_value = old_counters[name].get(key)
+            new_value = new_counters[name].get(key)
+            if old_value is None or new_value is None:
+                continue
+            rows.append((f"{name}.{key}", old_value, new_value))
+    if not rows:
+        print("bench_trend: no shared solver counters to diff")
+        return
+    width = max(len(label) for label, _, _ in rows)
+    print("solver counters (report-only, not gated):")
+    print(f"{'counter':<{width}}  {'old':>12}  {'new':>12}  {'delta':>8}")
+    for label, old_value, new_value in rows:
+        if old_value > 0:
+            relative = f"{(new_value - old_value) / old_value:+7.0%}"
+        else:
+            relative = "-" if new_value == old_value else "new"
+        if label.endswith("seconds"):
+            old_text, new_text = f"{old_value:.2f}", f"{new_value:.2f}"
+        else:
+            old_text, new_text = f"{old_value:.0f}", f"{new_value:.0f}"
+        print(f"{label:<{width}}  {old_text:>12}  {new_text:>12}  "
+              f"{relative:>8}")
+
+
 def compare_snapshots(new_path: Path, old_path: Path) -> int:
-    """Print a per-benchmark wall-clock delta table; return a non-zero
-    exit code when any shared benchmark regressed past the gate."""
+    """Print a per-benchmark wall-clock delta table plus a report-only
+    solver-counter diff; return a non-zero exit code when any shared
+    benchmark regressed past the wall-clock gate."""
     new = json.loads(new_path.read_text(encoding="utf-8"))
     old = json.loads(old_path.read_text(encoding="utf-8"))
     new_seconds = _benchmark_seconds(new)
@@ -128,6 +195,7 @@ def compare_snapshots(new_path: Path, old_path: Path) -> int:
             regressions.append(name)
         print(f"{name:<{width}}  {old_value:>8.2f}  {new_value:>8.2f}  "
               f"{relative:>+7.0%}  {status}")
+    _print_counter_diff(new, old)
     if regressions:
         print(
             f"bench_trend: {len(regressions)} wall-clock regression(s) "

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Assert two ``checkfence matrix --json`` outputs are verdict-identical.
+
+CI runs the small-catalog matrix once per solver backend and feeds both
+JSON files here; any per-cell verdict difference (or a cell present in
+one run only) fails with a readable diff.  Timing and counters are
+ignored — only (implementation, test, model) -> verdict matters.
+
+Usage::
+
+    python tools/compare_matrix_verdicts.py baseline.json candidate.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def _verdicts(path: str) -> dict[tuple[str, str, str], str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    out: dict[tuple[str, str, str], str] = {}
+    for cell in payload.get("cells", []):
+        key = (cell["implementation"], cell["test"], cell["model"])
+        out[key] = cell["verdict"]
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print(
+            "usage: python tools/compare_matrix_verdicts.py "
+            "BASELINE.json CANDIDATE.json",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = _verdicts(argv[0])
+    candidate = _verdicts(argv[1])
+    if not baseline:
+        print(f"no cells in {argv[0]}", file=sys.stderr)
+        return 1
+    problems = []
+    for key in sorted(set(baseline) | set(candidate)):
+        left = baseline.get(key)
+        right = candidate.get(key)
+        if left != right:
+            name = "/".join(key)
+            problems.append(f"  {name}: {left or 'missing'} vs {right or 'missing'}")
+    if problems:
+        print(
+            f"verdict mismatch between {argv[0]} and {argv[1]}:\n"
+            + "\n".join(problems)
+        )
+        return 1
+    print(
+        f"{len(baseline)} cells verdict-identical "
+        f"({argv[0]} vs {argv[1]})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
