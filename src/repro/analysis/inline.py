@@ -71,7 +71,7 @@ def rename_statements(
             elif isinstance(stmt, Store):
                 out.append(Store(reg(stmt.addr), reg(stmt.src)))
             elif isinstance(stmt, Fence):
-                out.append(Fence(stmt.kind))
+                out.append(Fence(stmt.kind, candidate=stmt.candidate))
             elif isinstance(stmt, Atomic):
                 out.append(Atomic(walk(stmt.body)))
             elif isinstance(stmt, Call):

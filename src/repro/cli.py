@@ -12,6 +12,8 @@ Examples::
     checkfence matrix --litmus --models sc,tso,pso,relaxed --jobs 2 --json -
     checkfence oracle --litmus store-buffering --model tso
     checkfence oracle --spec "x=1 r0=y | y=1 r1=x" --model sc
+    checkfence synthesize --impl msn-unfenced --test T0 --model relaxed
+    checkfence synthesize --spec "x=1 y=1 | r0=y r1=x" --models tso,pso,relaxed
     checkfence fuzz --budget 500 --seed 1 --jobs 4
 """
 
@@ -308,6 +310,102 @@ def _cmd_oracle(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_synthesize(args) -> int:
+    models = [
+        name.strip()
+        for name in (args.models.split(",") if args.models else [args.model])
+        if name.strip()
+    ]
+    if args.fuzz_budget is not None:
+        if args.impl or args.spec:
+            print("synthesize: --fuzz-budget excludes --impl/--spec",
+                  file=sys.stderr)
+            return 2
+        from repro.core.synthesize import fuzz_synthesis_smoke
+
+        report = fuzz_synthesis_smoke(args.fuzz_budget, args.seed, models)
+        for failure in report.failures:
+            print(f"FAIL {failure}")
+        print(report.describe())
+        return 0 if report.ok else 1
+    if bool(args.impl) == bool(args.spec):
+        print("synthesize: pass exactly one of --impl or --spec",
+              file=sys.stderr)
+        return 2
+    if args.impl and not args.test:
+        print("synthesize: --impl requires --test", file=sys.stderr)
+        return 2
+    if args.spec:
+        from repro.core.synthesize import synthesize_litmus
+        from repro.fuzz.generator import FuzzProgram, FuzzSpecError
+        from repro.sat.backend import make_backend_factory
+
+        try:
+            program = FuzzProgram.parse(args.spec)
+        except FuzzSpecError as exc:
+            print(f"synthesize: {exc}", file=sys.stderr)
+            return 2
+        result = synthesize_litmus(
+            program,
+            models,
+            backend_factory=make_backend_factory(args.solver),
+            dense_order=_dense_order(args),
+            simplify=_simplify(args),
+            exact=not args.no_exact,
+            exact_budget=args.budget,
+        )
+        target = f"{args.spec!r}"
+    else:
+        implementation = get_implementation(args.impl)
+        category = category_of(args.impl)
+        test = get_test(category, args.test)
+        options = CheckOptions(
+            solver_backend=args.solver,
+            dense_order=_dense_order(args),
+            simplify=_simplify(args),
+            synthesis_exact=not args.no_exact,
+            synthesis_budget=args.budget,
+        )
+        session = CheckSession(implementation, options)
+        result = session.synthesize(test, models)
+        target = f"{args.impl} / {args.test}"
+
+    report = sys.stdout
+    if args.json is not None:
+        report = _emit_json(result.as_dict(), args.json, "synthesize")
+    stats = result.stats
+    print(
+        f"fence synthesis for {target} under {', '.join(result.models)} "
+        f"({stats.candidates} candidate fences, {stats.solves} solves, "
+        f"{stats.solve_seconds:.2f}s solving)",
+        file=report,
+    )
+    if result.already_passes:
+        print("already passes; no fences needed", file=report)
+        return 0
+    if not result.feasible:
+        for note in result.notes:
+            print(f"infeasible: {note}", file=report)
+        return 1
+    print(
+        f"failing queries repaired: {', '.join(result.failing_queries)}",
+        file=report,
+    )
+    for fence in result.fences:
+        print(f"  insert {fence.describe()}", file=report)
+    optimality = "cost-optimal" if result.optimal else "1-minimal"
+    print(
+        f"{len(result.fences)} fence(s), total cost {result.cost} "
+        f"({optimality}); independently re-checked: "
+        f"sufficient={'yes' if result.verified_sufficient else 'NO'}, "
+        f"minimal={'yes' if result.verified_minimal else 'NO'}",
+        file=report,
+    )
+    for note in result.notes:
+        print(f"note: {note}", file=report)
+    return 0 if result.verified_sufficient and result.verified_minimal else 1
+
+
 def _cmd_fuzz(args) -> int:
     from repro.fuzz import FuzzConfig, run_fuzz
 
@@ -548,6 +646,56 @@ def build_parser() -> argparse.ArgumentParser:
     oracle_parser.add_argument("--solver", default=None, help=solver_help)
     add_dense_flag(oracle_parser)
 
+    synth_parser = sub.add_parser(
+        "synthesize",
+        help="synthesize a minimal fence set that turns a FAILing "
+        "(implementation, test, model) cell into PASS, printing placements "
+        "as LSL source locations (exit code 1 when infeasible or the "
+        "independent re-check fails)",
+    )
+    synth_parser.add_argument("--impl", default=None,
+                              help="implementation variant (see 'list')")
+    synth_parser.add_argument("--test", default=None,
+                              help="Fig. 8 test name, e.g. T0")
+    synth_parser.add_argument(
+        "--spec", default=None, metavar="SPEC",
+        help="synthesize for a fuzz litmus program instead, e.g. "
+        "'x=1 y=1 | r0=y r1=x' (the specification is its SC outcome set)",
+    )
+    synth_parser.add_argument("--model", default="relaxed",
+                              help="memory model (default: relaxed)")
+    synth_parser.add_argument(
+        "--models", default=None,
+        help="comma-separated memory models; one fence set is synthesized "
+        "that repairs ALL of them (overrides --model)",
+    )
+    synth_parser.add_argument(
+        "--no-exact", action="store_true",
+        help="stop after destructive deletion (1-minimal) instead of "
+        "escalating to the exact minimal-correction search",
+    )
+    synth_parser.add_argument(
+        "--budget", type=int, default=60,
+        help="solve budget of the exact escalation (default: 60)",
+    )
+    synth_parser.add_argument(
+        "--fuzz-budget", type=int, default=None, metavar="N",
+        help="smoke mode: synthesize + verify fences for N seeded random "
+        "litmus programs instead of a single target (exit 1 on any "
+        "unrepaired or oracle-refuted program)",
+    )
+    synth_parser.add_argument(
+        "--seed", type=int, default=1,
+        help="generator seed for --fuzz-budget (default: 1)",
+    )
+    synth_parser.add_argument("--solver", default=None, help=solver_help)
+    add_dense_flag(synth_parser)
+    synth_parser.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the result (fences, cost, verification, search stats) "
+        "as JSON to FILE, or '-' for stdout",
+    )
+
     fuzz_parser = sub.add_parser(
         "fuzz",
         help="differential fuzzing: generate random litmus programs and "
@@ -605,6 +753,7 @@ def main(argv: list[str] | None = None) -> int:
         "litmus": _cmd_litmus,
         "matrix": _cmd_matrix,
         "oracle": _cmd_oracle,
+        "synthesize": _cmd_synthesize,
         "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)

@@ -67,6 +67,15 @@ class CheckOptions:
     #: disables).  Both settings produce identical verdicts and outcome
     #: sets; off exists as a differential baseline and escape hatch.
     simplify: bool | None = None
+    #: Fence kinds offered at every candidate slot during synthesis
+    #: (``checkfence synthesize``).  None: the four partial kinds.
+    synthesis_kinds: tuple | None = None
+    #: Escalate from destructive deletion to the exact (implicit hitting
+    #: set) search, proving cost-optimality of the synthesized set.
+    synthesis_exact: bool = True
+    #: Solve budget of the exact escalation; when exhausted the 1-minimal
+    #: deletion result is returned with ``optimal=False``.
+    synthesis_budget: int = 60
 
 
 class CheckFence:
@@ -111,6 +120,11 @@ class CheckFence:
         """Check one test under several memory models, sharing the compiled
         test and the mined specification across them."""
         return self.session.sweep(test, memory_models)
+
+    def synthesize(self, test: SymbolicTest, memory_models, kinds=None):
+        """Synthesize a minimal fence set making the test PASS under every
+        given model (see :func:`repro.core.synthesize.synthesize_fences`)."""
+        return self.session.synthesize(test, memory_models, kinds=kinds)
 
 
 def check(

@@ -290,3 +290,17 @@ class CheckSession:
         model gets its own encoded formula and incremental backend.
         """
         return [self.check(test, model) for model in memory_models]
+
+    # ----------------------------------------------------------- synthesis
+
+    def synthesize(self, test: SymbolicTest, memory_models, kinds=None):
+        """Synthesize a minimal fence set that makes ``test`` PASS under
+        every model in ``memory_models`` (see
+        :func:`repro.core.synthesize.synthesize_fences`).  Runs warm: the
+        mined specification is shared with :meth:`check` via the session
+        cache, and the whole search reuses one incremental backend per
+        model."""
+        # Imported here to avoid a cycle: synthesize drives sessions.
+        from repro.core.synthesize import synthesize_fences
+
+        return synthesize_fences(self, test, memory_models, kinds=kinds)

@@ -56,6 +56,11 @@ class EncodingContext:
         self._atomic_counter = 0
         self._initial_values: dict[int, BitVec] = {}
         self._heap_policies: dict[int, str] = {}
+        #: Selector variables of candidate fences, by candidate label.  One
+        #: variable per label, shared by every dynamic fence instance that
+        #: carries it (inlining/unrolling duplicates the statement but not
+        #: the label).
+        self.fence_selectors: dict[str, int] = {}
 
     # ------------------------------------------------------------- plumbing
 
@@ -88,6 +93,14 @@ class EncodingContext:
         """Record the initialization policy of a heap object's cells."""
         for offset in range(max(1, stmt.num_cells)):
             self._heap_policies.setdefault(base + offset, stmt.init)
+
+    def fence_selector(self, label: str) -> int:
+        """The selector variable of a candidate fence (minted on first use)."""
+        handle = self.fence_selectors.get(label)
+        if handle is None:
+            handle = self.circuit.var(f"fence_sel[{label}]")
+            self.fence_selectors[label] = handle
+        return handle
 
     # -------------------------------------------------------- initial values
 
@@ -210,6 +223,9 @@ class EncodedTest:
         self._backend: SolverBackend | None = None
         self._synced_clauses = 0
         self._not_in_guards: dict[frozenset, int] = {}
+        #: Assumption literal -> circuit handle of the most recent solve,
+        #: for mapping failed-assumption cores back to handles.
+        self._assumed_handles: dict[int, int] = {}
         #: Per-slot observation bit plan (constants and CNF literals),
         #: built lazily for the projected enumeration paths.
         self._obs_plan: list[list[bool | int]] | None = None
@@ -219,6 +235,12 @@ class EncodedTest:
     @property
     def cnf(self):
         return self.ctx.lowering.cnf
+
+    @property
+    def fence_selectors(self) -> dict[str, int]:
+        """Candidate-fence selector variables by label (see
+        :meth:`EncodingContext.fence_selector`)."""
+        return self.ctx.fence_selectors
 
     def _ensure_backend(self) -> SolverBackend:
         if self._backend is None:
@@ -272,6 +294,7 @@ class EncodedTest:
         handles.extend(handle for handle, _ in self.assertions)
         handles.extend(self.overflow_handles.values())
         handles.extend(self._not_in_guards.values())
+        handles.extend(self.fence_selectors.values())
         for handle in handles:
             var = lowered(handle)
             if var is not None:
@@ -303,8 +326,21 @@ class EncodedTest:
         """
         self._ensure_backend()
         assumption_lits = [self.ctx.lowering.literal(h) for h in assumptions]
+        self._assumed_handles = dict(zip(assumption_lits, assumptions))
         backend = self._ensure_backend()
         return backend.solve(assumptions=assumption_lits)
+
+    def failed_assumption_handles(self) -> list[int]:
+        """The failed-assumption core of the last (UNSAT) solve, mapped back
+        to the circuit handles that were passed to :meth:`solve`.  Empty
+        after a SAT solve, or when the formula alone is unsatisfiable."""
+        if self._backend is None:
+            return []
+        return [
+            self._assumed_handles[lit]
+            for lit in self._backend.failed_assumptions()
+            if lit in self._assumed_handles
+        ]
 
     def model_values(self) -> dict[int, bool]:
         if self._backend is None:
@@ -597,6 +633,11 @@ def encode_test(
         for bit in slot.value.bits:
             context.lowering.literal(bit)
     for handle, _ in assertions:
+        context.lowering.literal(handle)
+    # Candidate-fence selectors are assumed (and appear in cores) after the
+    # first solve, so they need CNF variables — and protection from the
+    # preprocessor — up front.
+    for handle in context.fence_selectors.values():
         context.lowering.literal(handle)
 
     stats = EncodingStatistics()

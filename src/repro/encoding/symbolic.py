@@ -166,8 +166,16 @@ class ThreadSymbolicExecutor:
         elif isinstance(stmt, Store):
             self._store(stmt)
         elif isinstance(stmt, Fence):
+            guard = self._guard()
+            if stmt.candidate is not None:
+                # A candidate fence orders accesses only when its selector
+                # is assumed; with the selector free the solver can switch
+                # the fence off, so an unassumed candidate never constrains.
+                guard = circuit.and_(
+                    guard, self.ctx.fence_selector(stmt.candidate)
+                )
             self.encoding.fences.append(
-                FenceEvent(self.thread, self._next_seq(), stmt.kind, self._guard())
+                FenceEvent(self.thread, self._next_seq(), stmt.kind, guard)
             )
         elif isinstance(stmt, Assume):
             condition = self._truth(stmt.cond)

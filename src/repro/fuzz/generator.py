@@ -158,13 +158,56 @@ class FuzzProgram:
 
     # ---------------------------------------------------------- compilation
 
-    def compile(self) -> CompiledTest:
-        """Lower to a :class:`CompiledTest` (one invocation per thread)."""
+    def fence_slots(self) -> list[tuple[int, int]]:
+        """Candidate fence positions: ``(thread, position)`` pairs where a
+        fence could order accesses — between two (possibly non-adjacent)
+        non-fence operations of one thread.  The fence would sit *before*
+        the operation at ``position``."""
+        slots: list[tuple[int, int]] = []
+        for thread_index, thread in enumerate(self.threads):
+            for position in range(1, len(thread)):
+                if thread[position - 1].kind == "fence":
+                    continue  # same boundary as the existing fence
+                if all(op.kind == "fence" for op in thread[position:]):
+                    continue  # no access after the slot: nothing to order
+                slots.append((thread_index, position))
+        return slots
+
+    def with_fences(self, placements) -> "FuzzProgram":
+        """A copy with concrete fences inserted: ``placements`` is an
+        iterable of ``(thread, position, FenceKind)`` as produced by
+        :meth:`fence_slots` plus a kind; the fence lands before the
+        operation originally at ``position``."""
+        by_thread: dict[int, list[tuple[int, FenceKind]]] = {}
+        for thread_index, position, kind in placements:
+            by_thread.setdefault(thread_index, []).append((position, kind))
+        threads = []
+        for thread_index, thread in enumerate(self.threads):
+            ops = list(thread)
+            # Insert back-to-front so earlier positions stay valid; two
+            # fences on one slot keep a stable kind order.
+            for position, kind in sorted(
+                by_thread.get(thread_index, ()),
+                key=lambda entry: (entry[0], entry[1].value),
+                reverse=True,
+            ):
+                ops.insert(position, FuzzOp(kind="fence", fence=kind))
+            threads.append(tuple(ops))
+        return FuzzProgram(threads=tuple(threads))
+
+    def compile(self, candidate_kinds=None) -> CompiledTest:
+        """Lower to a :class:`CompiledTest` (one invocation per thread).
+
+        With ``candidate_kinds`` (an iterable of :class:`FenceKind`), every
+        :meth:`fence_slots` boundary additionally receives one *candidate*
+        fence per kind, labelled ``t<thread>@<position>:<kind>`` — the raw
+        material of fence synthesis (:mod:`repro.core.synthesize`)."""
         spec = self.spec()
         program = Program(name="fuzz")
         for address in self.addresses():
             program.add_global(GlobalDecl(name=address, initial=0))
         layout = build_layout(program)
+        slots = set(self.fence_slots()) if candidate_kinds else set()
 
         invocations: list[CompiledInvocation] = []
         operations: dict[str, OperationSpec] = {}
@@ -175,6 +218,12 @@ class FuzzProgram:
             load_regs: list[str] = []
             for position, op in enumerate(thread):
                 prefix = f"{name}%{position}"
+                if (thread_index, position) in slots:
+                    for kind in candidate_kinds:
+                        statements.append(Fence(
+                            kind,
+                            candidate=f"{name}@{position}:{kind.value}",
+                        ))
                 if op.kind == "fence":
                     statements.append(Fence(op.fence))
                     continue

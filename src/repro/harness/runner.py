@@ -397,8 +397,10 @@ def method_comparison(
 
 @dataclass
 class FenceExperiment:
-    """Section 4.2: the unfenced algorithm fails on Relaxed, the fenced one
-    passes, and both pass under sequential consistency."""
+    """Section 4.2/4.3: the unfenced algorithm fails on Relaxed, the fenced
+    one passes, both pass under sequential consistency — and fence synthesis
+    (:mod:`repro.core.synthesize`) automatically repairs the unfenced
+    variant with a verified fence set no larger than the hand-placed one."""
 
     implementation: str
     test: str
@@ -406,6 +408,14 @@ class FenceExperiment:
     unfenced_fails_relaxed: bool
     unfenced_passes_sc: bool
     counterexample: str = ""
+    #: Labels of the synthesized fence set (empty when synthesis was
+    #: skipped because the unfenced variant did not fail).
+    synthesized_labels: tuple[str, ...] = ()
+    synthesized_cost: int = 0
+    synthesis_sufficient: bool = False
+    synthesis_minimal: bool = False
+    #: Unconditional fences in the hand-fenced variant's LSL program.
+    hand_fence_count: int = 0
 
     @property
     def reproduces_paper(self) -> bool:
@@ -415,14 +425,59 @@ class FenceExperiment:
             and self.unfenced_passes_sc
         )
 
+    @property
+    def synthesis_repairs(self) -> bool:
+        """Synthesis found a verified minimal fence set at most as large
+        as the hand-placed one (the Section 4.3 automation claim)."""
+        return (
+            self.synthesis_sufficient
+            and self.synthesis_minimal
+            and len(self.synthesized_labels) <= self.hand_fence_count
+        )
 
-def fence_experiment(base_name: str, test_name: str) -> FenceExperiment:
-    fenced = check_catalog_test(base_name, test_name, "relaxed")
-    unfenced_relaxed = check_catalog_test(f"{base_name}-unfenced", test_name, "relaxed")
+
+def count_hand_fences(implementation_name: str) -> int:
+    """Unconditional fences in an implementation's compiled LSL program."""
+    from repro.lang.lower import compile_c
+    from repro.lsl.instructions import Fence, iter_statements
+
+    implementation = get_implementation(implementation_name)
+    program = compile_c(implementation.source, implementation.name)
+    return sum(
+        1
+        for procedure in program.procedures.values()
+        for stmt in iter_statements(procedure.body)
+        if isinstance(stmt, Fence) and stmt.candidate is None
+    )
+
+
+def fence_experiment(
+    base_name: str, test_name: str, synthesize: bool = True,
+    memory_model: str = "relaxed",
+) -> FenceExperiment:
+    from repro.core.session import CheckSession
+
+    fenced = check_catalog_test(base_name, test_name, memory_model)
+    unfenced_relaxed = check_catalog_test(
+        f"{base_name}-unfenced", test_name, memory_model
+    )
     unfenced_sc = check_catalog_test(f"{base_name}-unfenced", test_name, "sc")
     counterexample = ""
     if unfenced_relaxed.counterexample is not None:
         counterexample = unfenced_relaxed.counterexample.format()
+    synthesized_labels: tuple[str, ...] = ()
+    synthesized_cost = 0
+    synthesis_sufficient = False
+    synthesis_minimal = False
+    if synthesize and not unfenced_relaxed.passed:
+        session = CheckSession(get_implementation(f"{base_name}-unfenced"))
+        category = category_of(base_name)
+        test = get_test(category, test_name)
+        synthesis = session.synthesize(test, [memory_model])
+        synthesized_labels = tuple(synthesis.labels)
+        synthesized_cost = synthesis.cost
+        synthesis_sufficient = synthesis.verified_sufficient
+        synthesis_minimal = synthesis.verified_minimal
     return FenceExperiment(
         implementation=base_name,
         test=test_name,
@@ -430,4 +485,9 @@ def fence_experiment(base_name: str, test_name: str) -> FenceExperiment:
         unfenced_fails_relaxed=not unfenced_relaxed.passed,
         unfenced_passes_sc=unfenced_sc.passed,
         counterexample=counterexample,
+        synthesized_labels=synthesized_labels,
+        synthesized_cost=synthesized_cost,
+        synthesis_sufficient=synthesis_sufficient,
+        synthesis_minimal=synthesis_minimal,
+        hand_fence_count=count_hand_fences(base_name),
     )

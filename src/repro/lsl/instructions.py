@@ -119,11 +119,23 @@ class Store(Statement):
 
 @dataclass
 class Fence(Statement):
-    """A memory ordering fence."""
+    """A memory ordering fence.
+
+    ``candidate`` marks a *candidate* fence for synthesis: the fence only
+    takes effect when its selector assumption (one circuit variable per
+    distinct label, see :meth:`repro.encoding.formula.EncodingContext
+    .fence_selector`) is assumed true.  ``None`` (the default) is an
+    ordinary unconditional fence.  All inlined/unrolled copies of one
+    source-level candidate share the label, so one selector governs every
+    dynamic instance of that program point.
+    """
 
     kind: FenceKind
+    candidate: str | None = None
 
     def __str__(self) -> str:
+        if self.candidate is not None:
+            return f'fence?("{self.kind.value}", {self.candidate!r})'
         return f'fence("{self.kind.value}")'
 
 

@@ -76,7 +76,14 @@ class SolverBackend(Protocol):
         conflict_limit: int | None = None,
     ) -> bool | None: ...
 
-    def failed_assumptions(self) -> list[int]: ...
+    def failed_assumptions(self) -> list[int]:
+        """Subset of the last solve's assumptions already unsatisfiable
+        together with the formula.  Uniform contract across backends:
+        non-empty only when the most recent :meth:`solve` returned
+        ``False`` — after a SAT or UNKNOWN result, or before any solve,
+        this is ``[]`` (core-guided searches rely on that to distinguish
+        "no core" from a stale one)."""
+        ...
 
     def model(self) -> dict[int, bool]: ...
 
@@ -196,6 +203,7 @@ class DimacsBackend:
         self._unsat = False
         self._model: dict[int, bool] = {}
         self._failed: list[int] = []
+        self._last_result: bool | None = None
 
     # ----------------------------------------------------------- clause I/O
 
@@ -252,7 +260,9 @@ class DimacsBackend:
         # solvers run to completion.
         self._model = {}
         self._failed = []
+        self._last_result = None
         if self._unsat:
+            self._last_result = False
             return False
         with tempfile.TemporaryDirectory(prefix="checkfence-dimacs-") as tmp:
             problem = os.path.join(tmp, "problem.cnf")
@@ -291,6 +301,7 @@ class DimacsBackend:
                 # information, so the whole assumption set is the
                 # (conservative but sound) core.
                 self._failed = list(assumptions)
+            self._last_result = result
             return result
 
     def _write_problem(self, path: str, assumptions: Sequence[int]) -> None:
@@ -359,9 +370,14 @@ class DimacsBackend:
         """Conservative core: the DIMACS interchange format carries no
         failed-assumption information, so after an UNSAT solve this is the
         full assumption set of that solve (a sound over-approximation).
-        The internal fallback reports its real (smaller) core."""
+        The internal fallback reports its real (smaller) core.  Empty
+        unless the most recent solve actually returned UNSAT — guarded by
+        the recorded result, not just the reset-on-solve, so a solver-error
+        path can never leak a stale core."""
         if self._fallback is not None:
             return self._fallback.failed_assumptions()
+        if self._last_result is not False:
+            return []
         return list(self._failed)
 
     def model(self) -> dict[int, bool]:

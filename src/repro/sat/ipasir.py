@@ -275,6 +275,7 @@ class IpasirBackend:
         # solvers run to completion (ipasir_set_terminate is not worth the
         # ctypes callback overhead here).
         self._failed = []
+        self._last_result = None
         library = self._library
         handle = self._handle
         for lit in assumptions:
@@ -297,7 +298,10 @@ class IpasirBackend:
     def failed_assumptions(self) -> list[int]:
         """Subset of the last solve's assumptions already unsatisfiable
         together with the formula (``ipasir_failed``); empty when the
-        formula alone is unsatisfiable or the last result was SAT."""
+        formula alone is unsatisfiable or the last result was SAT (guarded
+        by the recorded result, so an error path never leaks a core)."""
+        if self._last_result is not False:
+            return []
         return list(self._failed)
 
     def model(self) -> dict[int, bool]:
@@ -350,6 +354,7 @@ class IncrementalPipeBackend:
         self._unsat = False
         self._model: dict[int, bool] = {}
         self._failed: list[int] = []
+        self._last_result: bool | None = None
 
     # ------------------------------------------------------------- process
 
@@ -439,6 +444,7 @@ class IncrementalPipeBackend:
     ) -> bool | None:
         self._model = {}
         self._failed = []
+        self._last_result = None
         process = self._ensure_process()
         assert process.stdin is not None and process.stdout is not None
         try:
@@ -495,10 +501,15 @@ class IncrementalPipeBackend:
             for lit in literals:
                 model[abs(lit)] = lit > 0
             self._model = model
+        self._last_result = status
         return status
 
     def failed_assumptions(self) -> list[int]:
-        """Failed-assumption core reported by the subprocess (``f`` line)."""
+        """Failed-assumption core reported by the subprocess (``f`` line);
+        empty unless the most recent solve returned UNSAT (guarded by the
+        recorded result, so an error path never leaks a core)."""
+        if self._last_result is not False:
+            return []
         return list(self._failed)
 
     def model(self) -> dict[int, bool]:

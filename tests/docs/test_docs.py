@@ -53,9 +53,15 @@ def test_tutorial_commands_extracted(docs_check):
     # The failing check declares its expected nonzero exit code.
     failing = [
         expected for _, argv, expected in commands
-        if "msn-unfenced" in argv
+        if "msn-unfenced" in argv and "check" in argv
     ]
     assert failing == [1]
+    # The synthesize quickstart repairs that same cell and exits cleanly.
+    synthesized = [
+        expected for _, argv, expected in commands
+        if "msn-unfenced" in argv and "synthesize" in argv
+    ]
+    assert synthesized == [0]
     # checkfence shorthand is rewritten to drive the in-tree CLI.
     for kind, argv, _ in commands:
         if kind == "sh":

@@ -148,6 +148,63 @@ def test_values_of_agrees_with_model(backend):
     assert values[3] is False and values[4] is True
 
 
+def test_core_is_empty_after_sat(backend):
+    """Uniform contract (regression): ``failed_assumptions()`` is non-empty
+    only when the MOST RECENT solve returned UNSAT.  A core-guided search
+    interleaves UNSAT and SAT solves on one backend, and a stale core
+    surviving a SAT verdict would silently corrupt its working set."""
+    backend.ensure_vars(2)
+    backend.add_clause([1, 2])
+    # Before any solve: nothing to report.
+    assert backend.failed_assumptions() == []
+    # UNSAT under assumptions: some core appears.
+    assert backend.solve([-1, -2]) is False
+    assert backend.failed_assumptions()
+    # The very next SAT solve must clear it — even for backends whose
+    # UNSAT core is the conservative full assumption set.
+    assert backend.solve([-1]) is True
+    assert backend.failed_assumptions() == []
+    # And a SAT solve with no assumptions at all.
+    assert backend.solve([-1, -2]) is False
+    assert backend.failed_assumptions()
+    assert backend.solve() is True
+    assert backend.failed_assumptions() == []
+
+
+def test_core_driven_deletion_search_parity(backend):
+    """A miniature of the fence-synthesis loop: selector assumptions guard
+    constraints, the all-on core seeds a working set, and destructive
+    deletion (fixed order) minimizes it.  Every backend must converge to
+    the same minimal set — exact cores (internal, IPASIR, simplify with
+    its substitution-origin mapping) just get there with fewer solves than
+    conservative full-set cores (DIMACS restart).
+
+    The formula routes the selectors through equivalence chains, so under
+    the simplifying backend the core literals come back through the
+    preprocessor's assumption-origin substitution map.
+    """
+    # Vars: 1 = x; selectors 2..5; 6,7 = aliases of selectors 2,3.
+    backend.ensure_vars(7)
+    backend.add_clauses([
+        [-6, -1], [-2, 6], [6, -2],     # 6 <-> s2,  alias6 -> not x
+        [-7, 1], [-3, 7], [7, -3],      # 7 <-> s3,  alias7 -> x
+    ])
+    selectors = [2, 3, 4, 5]
+    assert backend.solve(selectors) is False
+    core = [lit for lit in backend.failed_assumptions() if lit in selectors]
+    assert core, "all-on UNSAT must produce a selector core"
+    working = set(core)
+    # Destructive deletion in fixed descending order.
+    for selector in sorted(working, reverse=True):
+        trial = sorted(working - {selector})
+        if backend.solve(trial) is False:
+            working = set(trial)
+    assert working == {2, 3}
+    # 1-minimality: dropping either remaining selector is SAT again.
+    assert backend.solve([2]) is True
+    assert backend.solve([3]) is True
+
+
 def test_blocking_clause_enumeration(backend):
     """The solve/block loop every mining pass runs: enumerate all models
     over a small variable set by blocking each one found."""

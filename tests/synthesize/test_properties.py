@@ -1,0 +1,111 @@
+"""Property tests for litmus fence synthesis.
+
+Three properties over arbitrary generated programs:
+
+* **Oracle verdict** — the synthesized placement, inserted as concrete
+  fences, restricts the program's outcomes under the weak model to its
+  SC outcome set *according to the operational oracle* (which shares
+  nothing with the SAT stack that drove the search).
+* **Monotonicity** — a set sufficient under ``relaxed`` is sufficient
+  under the stronger ``pso`` and ``tso`` (supersets of forbidden
+  reorderings forbid supersets of outcomes).
+* **Determinism** — re-running synthesis on the same program yields the
+  identical canonical fence set, label for label.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.synthesize import placements_of, synthesize_litmus
+from repro.fuzz import FuzzProgram, generate_program
+from repro.oracle import enumerate_outcomes
+
+
+def random_unfenced_program(seed: int) -> FuzzProgram | None:
+    """A generated program with its fences stripped (synthesis should
+    place its own), or None when stripping empties it."""
+    program = generate_program(random.Random(seed))
+    threads = tuple(
+        stripped
+        for thread in program.threads
+        if (stripped := tuple(op for op in thread if op.kind != "fence"))
+    )
+    if not threads:
+        return None
+    return FuzzProgram(threads=threads)
+
+
+def oracle_outcomes(program: FuzzProgram, model: str):
+    result = enumerate_outcomes(program.compile(), model)
+    assert result.ok, result.reason
+    return result.outcomes
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_synthesized_fences_pass_the_oracle(seed):
+    program = random_unfenced_program(seed)
+    if program is None:
+        return
+    result = synthesize_litmus(program, "relaxed")
+    assert result.feasible, program.spec()
+    assert result.verified_sufficient
+    assert result.verified_minimal
+    if result.already_passes:
+        return
+    specification = oracle_outcomes(program, "sc")
+    fenced = program.with_fences(placements_of(result.fences))
+    repaired = oracle_outcomes(fenced, "relaxed")
+    assert repaired <= specification, (
+        f"{program.spec()}: oracle says the synthesized set "
+        f"{result.labels} leaves non-SC outcomes reachable"
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_relaxed_sufficient_set_holds_under_stronger_models(seed):
+    program = random_unfenced_program(seed)
+    if program is None:
+        return
+    result = synthesize_litmus(program, "relaxed")
+    if not result.feasible or result.already_passes:
+        return
+    specification = oracle_outcomes(program, "sc")
+    fenced = program.with_fences(placements_of(result.fences))
+    for model in ("pso", "tso"):
+        outcomes = oracle_outcomes(fenced, model)
+        assert outcomes <= specification, (
+            f"{program.spec()}: relaxed repair insufficient under {model}"
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_synthesis_is_deterministic(seed):
+    program = random_unfenced_program(seed)
+    if program is None:
+        return
+    first = synthesize_litmus(program, "relaxed")
+    second = synthesize_litmus(program, "relaxed")
+    assert first.labels == second.labels
+    assert first.cost == second.cost
+    assert first.optimal == second.optimal
+
+
+def test_multi_model_synthesis_covers_every_model():
+    """A jointly synthesized set repairs all requested models at once —
+    classic message passing needs the write and read fences even when tso
+    alone would need none."""
+    program = FuzzProgram.parse("x=1 y=1 | r0=y r1=x")
+    joint = synthesize_litmus(program, ["tso", "pso", "relaxed"])
+    assert joint.feasible and not joint.already_passes
+    assert joint.verified_sufficient
+    assert set(joint.labels) == {"t0@1:store-store", "t1@1:load-load"}
+    specification = oracle_outcomes(program, "sc")
+    fenced = program.with_fences(placements_of(joint.fences))
+    for model in ("tso", "pso", "relaxed"):
+        assert oracle_outcomes(fenced, model) <= specification

@@ -1,0 +1,86 @@
+"""Frozen synthesis corpus: pinned minimal fence sets.
+
+Fifteen litmus programs — the classic shapes (MP, SB, LB, IRIW,
+write-chain) plus a band of generator output — each with its canonical
+minimal fence set pinned.  Any engine change that alters a placement,
+adds a fence, or flips a verdict shows up here as an exact-match
+failure, with the spec string in the test id for instant repro via
+``checkfence synthesize --spec '<spec>'``.
+
+The pins are canonical: deterministic across runs and across solver
+backends (the search tie-breaks equal-cost optima lexicographically).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.synthesize import synthesize_litmus
+from repro.fuzz import FuzzProgram
+
+#: (spec, model, expected labels).  Empty tuple = already passes.
+CORPUS = [
+    # -- classics, relaxed ------------------------------------------------
+    ("x=1 y=1 | r0=y r1=x", "relaxed",
+     ("t0@1:store-store", "t1@1:load-load")),          # message passing
+    ("x=1 r0=y | y=1 r1=x", "relaxed",
+     ("t0@1:store-load", "t1@1:store-load")),          # store buffering
+    ("r0=x y=1 | r1=y x=1", "relaxed",
+     ("t0@1:load-store", "t1@1:load-store")),          # load buffering
+    ("x=1 y=1 z=1 | r0=z r1=y r2=x", "relaxed",
+     ("t0@1:store-store", "t0@2:store-store",
+      "t1@1:load-load", "t1@2:load-load")),            # 3-hop MP chain
+    ("x=1 y=1 | y=2 x=2 | r0=x r1=y", "relaxed",
+     ("t1@1:store-store", "t2@1:load-load")),
+    ("x=1 y=1 | r0=y r1=x | r0=x r1=y", "relaxed",
+     ("t0@1:store-store", "t1@1:load-load")),          # MP, two readers
+    ("x=1 | y=1 | r0=x r1=y | r2=y r3=x", "relaxed",
+     ("t2@1:load-load", "t3@1:load-load")),            # IRIW
+    ("x=1 f(ss) y=1 | r0=y r1=x", "relaxed",
+     ("t1@1:load-load",)),                             # writer pre-fenced
+    # -- model sensitivity ------------------------------------------------
+    ("x=1 y=1 | r0=y r1=x | r0=x r1=y", "pso",
+     ("t0@1:store-store",)),
+    ("x=1 | y=1 | r0=x r1=y | r2=y r3=x", "pso", ()),
+    ("x=1 r0=y | y=1 r1=x", "tso",
+     ("t0@1:store-load", "t1@1:store-load")),          # SB fails even on tso
+    ("r0=x x=1 | r1=x x=2", "relaxed", ()),            # coherence suffices
+    # -- generator band (seed 20260808) -----------------------------------
+    ("x=1 | x=2 r0=x r1=y | y=1", "relaxed", ()),
+    ("r0=y r1=x | x=1 r0=x r1=x | x=2 r0=y", "relaxed",
+     ("t1@2:load-load",)),
+    ("y=2 y=1 x=1 | r0=x x=2 | r0=y x=2 r1=x", "relaxed", ()),
+]
+
+
+@pytest.mark.parametrize(
+    "spec,model,expected",
+    CORPUS,
+    ids=[f"{spec} [{model}]" for spec, model, _ in CORPUS],
+)
+def test_corpus_pin(spec, model, expected):
+    program = FuzzProgram.parse(spec)
+    result = synthesize_litmus(program, model)
+    assert result.feasible, f"{spec}: no repairing fence set exists"
+    assert tuple(result.labels) == expected
+    if expected:
+        assert not result.already_passes
+        assert result.optimal
+        assert result.verified_sufficient
+        assert result.verified_minimal
+        assert result.cost == sum(f.cost for f in result.fences)
+    else:
+        assert result.already_passes
+        assert result.cost == 0
+
+
+def test_corpus_covers_every_partial_fence_kind():
+    """The pinned sets between them exercise all four partial barriers —
+    a corpus that only ever placed store-store would not regress the
+    cost weighting."""
+    kinds = {
+        label.split(":")[1]
+        for _, _, expected in CORPUS
+        for label in expected
+    }
+    assert kinds == {"load-load", "load-store", "store-load", "store-store"}
