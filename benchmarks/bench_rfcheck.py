@@ -1,0 +1,133 @@
+"""The reads-from engine against SAT mining and the operational enumerator.
+
+Mining the full outcome set of a litmus test is where the polynomial
+reads-from engine earns its keep: the SAT lane pays one solve/decode/block
+round trip *per outcome* (plus the encoding itself), while the rf engine
+decides each candidate reads-from assignment by incremental order closure —
+no CNF, no solver.  This module times all three lanes on the same workload
+and embeds them in the BENCH trend JSON under ``extra_info["rfcheck"]``:
+
+* **rfcheck** — :func:`repro.rfcheck.rfcheck_outcomes`;
+* **enumerator** — :func:`repro.oracle.enumerate_outcomes` (explicit-state);
+* **sat** — :func:`repro.oracle.differ.mine_sat_outcomes` (solve/block).
+
+Two workloads: the many-outcome headline (81 outcomes under relaxed, the
+shape where per-outcome solver round trips hurt most) carries the >=2x
+rfcheck-vs-SAT acceptance gate, and a litmus-catalog x 5-model sweep
+records the aggregate picture.  Every lane must produce identical outcome
+sets — a benchmark that drifts from the differential oracle is measuring
+the wrong thing.
+"""
+
+import time
+
+from repro.fuzz import FuzzProgram
+from repro.litmus.catalog import available_litmus_tests, compiled_litmus
+from repro.memorymodel.base import available_models
+from repro.oracle import enumerate_outcomes
+from repro.oracle.differ import mine_sat_outcomes
+from repro.rfcheck import rfcheck_outcomes
+
+#: Two threads of two stores + two loads each: 81 reachable outcomes under
+#: relaxed, so SAT mining pays 82 solver calls where the rf engine walks
+#: one candidate space.
+HEADLINE_SPEC = "x=1 x=2 r0=y r1=y | y=1 y=2 r2=x r3=x"
+HEADLINE_MODEL = "relaxed"
+
+#: Per-lane repetitions on the headline: single runs are milliseconds, so
+#: the gate is averaged to keep scheduler noise out of the 2x comparison.
+ROUNDS = 20
+
+
+def _lane(mine, rounds=ROUNDS):
+    """Average wall-clock of ``mine()`` over ``rounds`` runs."""
+    outcomes = mine()
+    start = time.perf_counter()
+    for _ in range(rounds):
+        mine()
+    return outcomes, (time.perf_counter() - start) / rounds
+
+
+def test_many_outcome_headline(benchmark):
+    """The acceptance gate: on a many-outcome test the rf engine mines the
+    identical outcome set at least 2x faster than the SAT lane."""
+    compiled = FuzzProgram.parse(HEADLINE_SPEC).compile()
+
+    def run_lanes():
+        rf, rf_seconds = _lane(
+            lambda: rfcheck_outcomes(compiled, HEADLINE_MODEL).outcomes
+        )
+        enum, enum_seconds = _lane(
+            lambda: enumerate_outcomes(compiled, HEADLINE_MODEL).outcomes
+        )
+        sat, sat_seconds = _lane(
+            lambda: mine_sat_outcomes(compiled, HEADLINE_MODEL)
+        )
+        return (rf, rf_seconds), (enum, enum_seconds), (sat, sat_seconds)
+
+    (rf, rf_seconds), (enum, enum_seconds), (sat, sat_seconds) = (
+        benchmark.pedantic(run_lanes, rounds=1, iterations=1)
+    )
+    speedup = sat_seconds / rf_seconds if rf_seconds > 0 else float("inf")
+    benchmark.extra_info["rfcheck"] = {
+        "workload": "headline",
+        "spec": HEADLINE_SPEC,
+        "model": HEADLINE_MODEL,
+        "outcomes": len(rf),
+        "rounds": ROUNDS,
+        "rfcheck_seconds": rf_seconds,
+        "enumerator_seconds": enum_seconds,
+        "sat_seconds": sat_seconds,
+        "speedup_vs_sat": speedup,
+    }
+    assert rf == enum == sat
+    assert speedup >= 2.0, (
+        f"rf-engine mining was only {speedup:.1f}x faster than SAT "
+        f"solve/block on {HEADLINE_SPEC!r} @ {HEADLINE_MODEL}"
+    )
+
+
+def test_litmus_catalog_sweep(benchmark):
+    """Catalog x every memory model, once per lane: aggregate mining
+    wall-clock with outcome-set identity asserted cell by cell."""
+    compiled_tests = {
+        name: compiled_litmus(litmus)
+        for name, litmus in available_litmus_tests().items()
+    }
+    models = sorted(model.name for model in available_models())
+
+    def run_sweep():
+        totals = {"rfcheck": 0.0, "enumerator": 0.0, "sat": 0.0}
+        for name, compiled in compiled_tests.items():
+            for model in models:
+                rf, seconds = _lane(
+                    lambda: rfcheck_outcomes(compiled, model).outcomes,
+                    rounds=1,
+                )
+                totals["rfcheck"] += seconds
+                enum, seconds = _lane(
+                    lambda: enumerate_outcomes(compiled, model).outcomes,
+                    rounds=1,
+                )
+                totals["enumerator"] += seconds
+                sat, seconds = _lane(
+                    lambda: mine_sat_outcomes(compiled, model), rounds=1
+                )
+                totals["sat"] += seconds
+                assert rf == enum == sat, f"{name} @ {model}"
+        return totals
+
+    totals = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    benchmark.extra_info["rfcheck"] = {
+        "workload": "litmus-catalog",
+        "tests": len(compiled_tests),
+        "models": models,
+        "cells": len(compiled_tests) * len(models),
+        "rfcheck_seconds": totals["rfcheck"],
+        "enumerator_seconds": totals["enumerator"],
+        "sat_seconds": totals["sat"],
+        "speedup_vs_sat": (
+            totals["sat"] / totals["rfcheck"]
+            if totals["rfcheck"] > 0 else float("inf")
+        ),
+    }

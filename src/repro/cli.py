@@ -260,11 +260,16 @@ def _cmd_matrix(args) -> int:
 
 def _cmd_oracle(args) -> int:
     from repro.fuzz.generator import FuzzProgram
-    from repro.oracle import differential_check
+    from repro.oracle import differential_check, parse_engines
 
     if bool(args.litmus) == bool(args.spec):
         print("oracle: pass exactly one of --litmus or --spec",
               file=sys.stderr)
+        return 2
+    try:
+        engines = parse_engines(args.engines)
+    except ValueError as exc:
+        print(f"oracle: {exc}", file=sys.stderr)
         return 2
     model = get_model(args.model)
     if args.litmus:
@@ -289,25 +294,44 @@ def _cmd_oracle(args) -> int:
     report = differential_check(
         compiled, model, backend_spec=args.solver, name=name,
         dense_order=_dense_order(args), simplify=_simplify(args),
+        engines=engines,
     )
-    if report.inconclusive:
-        print(report.describe())
-        return 2
     labels = compiled.observation_labels()
     print(f"{name} @ {model.name}: observation slots "
           f"[{', '.join(labels)}]")
-    print(f"oracle enumerated {len(report.oracle.outcomes)} outcomes "
-          f"({report.oracle.nodes} states, {report.oracle.traces} traces); "
-          f"SAT mined {len(report.sat_outcomes)}")
-    for outcome in sorted(report.oracle.outcomes | report.sat_outcomes):
-        in_oracle = outcome in report.oracle.outcomes
-        in_sat = outcome in report.sat_outcomes
-        marker = "both" if in_oracle and in_sat else (
-            "ORACLE ONLY" if in_oracle else "SAT ONLY"
-        )
-        print(f"  {outcome}  [{marker}]")
-    print(report.describe())
-    return 0 if report.ok else 1
+    ordered = [report.engine_results[e] for e in report.engines]
+    for engine in ordered:
+        if engine.ok:
+            detail = ", ".join(
+                f"{key} {value}" for key, value in engine.stats.items()
+            )
+            line = (f"{engine.engine}: {len(engine.outcomes)} outcomes "
+                    f"in {engine.seconds:.3f}s")
+            if detail:
+                line += f" ({detail})"
+        else:
+            line = f"{engine.engine}: INCONCLUSIVE ({engine.reason})"
+        print(line)
+    conclusive = [engine for engine in ordered if engine.ok]
+    union: set = set()
+    for engine in conclusive:
+        union |= engine.outcomes
+    if len(conclusive) > 1:
+        for outcome in sorted(union):
+            allowing = [e.engine for e in conclusive if outcome in e.outcomes]
+            if len(allowing) == len(conclusive):
+                marker = "both" if len(conclusive) == 2 else "all"
+            else:
+                marker = f"ONLY {'/'.join(allowing)}"
+            print(f"  {outcome}  [{marker}]")
+    else:
+        for outcome in sorted(union):
+            print(f"  {outcome}")
+    if len(ordered) > 1:
+        print(report.describe())
+    # Exit 1 only on a proven divergence; INCONCLUSIVE engines are a
+    # skipped comparison, not a failure.
+    return 1 if report.diverged else 0
 
 
 def _cmd_synthesize(args) -> int:
@@ -408,6 +432,7 @@ def _cmd_synthesize(args) -> int:
 
 def _cmd_fuzz(args) -> int:
     from repro.fuzz import FuzzConfig, run_fuzz
+    from repro.oracle import parse_engines
 
     models = [name.strip() for name in args.models.split(",") if name.strip()]
     if not models or args.budget <= 0:
@@ -415,6 +440,11 @@ def _cmd_fuzz(args) -> int:
         # would "pass" having compared nothing.
         print("fuzz: no cells selected (check --models / --budget)",
               file=sys.stderr)
+        return 2
+    try:
+        engines = parse_engines(args.engines)
+    except ValueError as exc:
+        print(f"fuzz: {exc}", file=sys.stderr)
         return 2
     config = FuzzConfig(
         max_threads=args.max_threads,
@@ -435,6 +465,7 @@ def _cmd_fuzz(args) -> int:
         ),
         progress=None if args.quiet else _matrix_progress,
         shrink=not args.no_shrink,
+        engines=engines,
     )
     report = sys.stdout
     if args.json is not None:
@@ -626,12 +657,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress the per-cell progress stream on stderr",
     )
 
+    engines_help = (
+        "comma-separated consistency engines to compare — any of "
+        "enumerator, rfcheck, sat — or 'all' (default: enumerator,sat)"
+    )
+
     oracle_parser = sub.add_parser(
         "oracle",
         help="enumerate a litmus-shaped program's outcome set with the "
-        "operational oracle and cross-check it against the SAT encoding "
-        "(exit codes: 0 agreement, 1 divergence, 2 usage error or no "
-        "verdict — the program is outside the oracle's fragment/budgets)",
+        "selected consistency engines (operational enumerator, reads-from "
+        "closure engine, SAT mining) and cross-check them pairwise "
+        "(exit codes: 0 agreement or no verdict — INCONCLUSIVE engines "
+        "skip the comparison, they never fail it — 1 proven divergence, "
+        "2 usage error)",
     )
     oracle_parser.add_argument(
         "--litmus", default=None, metavar="NAME",
@@ -643,6 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     oracle_parser.add_argument("--model", default="relaxed",
                                help="memory model (default: relaxed)")
+    oracle_parser.add_argument("--engines", default=None, help=engines_help)
     oracle_parser.add_argument("--solver", default=None, help=solver_help)
     add_dense_flag(oracle_parser)
 
@@ -718,6 +757,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="operations per thread (default: up to 4)")
     fuzz_parser.add_argument("--addrs", type=int, default=2,
                              help="shared addresses (default: 2)")
+    fuzz_parser.add_argument("--engines", default=None, help=engines_help)
     fuzz_parser.add_argument("--jobs", type=int, default=None, help=jobs_help)
     fuzz_parser.add_argument(
         "--shard-by", default="test", choices=list(SHARD_AXES),
@@ -756,7 +796,13 @@ def main(argv: list[str] | None = None) -> int:
         "synthesize": _cmd_synthesize,
         "fuzz": _cmd_fuzz,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        # The matrix pool has already torn its workers down by the time
+        # the interrupt reaches here; report the conventional 128+SIGINT.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

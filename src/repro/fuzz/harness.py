@@ -21,9 +21,20 @@ import time
 from dataclasses import dataclass, field
 
 from repro.fuzz.generator import FuzzConfig, FuzzProgram, generate_corpus
-from repro.harness.matrix import FUZZ_KIND, MatrixCell, MatrixResult, run_matrix
+from repro.harness.matrix import (
+    ENGINES_KIND,
+    FUZZ_KIND,
+    MatrixCell,
+    MatrixResult,
+    run_matrix,
+)
 from repro.memorymodel.base import get_model
-from repro.oracle.differ import DifferentialReport, differential_check
+from repro.oracle.differ import (
+    DEFAULT_ENGINES,
+    DifferentialReport,
+    differential_check,
+    parse_engines,
+)
 
 #: Memory models a campaign covers by default (all five of the paper).
 DEFAULT_MODELS = ("serial", "sc", "tso", "pso", "relaxed")
@@ -45,14 +56,33 @@ def compiled_fuzz_program(spec: str):
     return cached
 
 
-def fuzz_cells(specs, models) -> list[MatrixCell]:
-    """One matrix cell per (program spec, memory model)."""
+def fuzz_cells(specs, models, engines=None) -> list[MatrixCell]:
+    """One matrix cell per (program spec, memory model).
+
+    With the default engine pair the cells keep their historical shape
+    (implementation ``"fuzz"``, :data:`FUZZ_KIND`); a non-default engine
+    selection produces :data:`ENGINES_KIND` cells whose implementation
+    column carries the engine list, which is how the selection travels to
+    pool workers without widening the cell tuple.
+    """
     model_names = [get_model(m).name for m in models]
+    selected = parse_engines(engines)
+    if selected == DEFAULT_ENGINES:
+        implementation, kind = "fuzz", FUZZ_KIND
+    else:
+        implementation, kind = ",".join(selected), ENGINES_KIND
     return [
-        MatrixCell("fuzz", spec, model, kind=FUZZ_KIND)
+        MatrixCell(implementation, spec, model, kind=kind)
         for spec in specs
         for model in model_names
     ]
+
+
+def cell_engines(cell: MatrixCell) -> tuple[str, ...]:
+    """The engine selection one fuzz/differential cell encodes."""
+    if cell.kind == ENGINES_KIND:
+        return parse_engines(cell.implementation)
+    return DEFAULT_ENGINES
 
 
 def run_fuzz_cell(cell: MatrixCell, options) -> "CellResult":
@@ -71,23 +101,32 @@ def run_fuzz_cell(cell: MatrixCell, options) -> "CellResult":
         name=cell.test,
         dense_order=getattr(options, "dense_order", None),
         simplify=getattr(options, "simplify", None),
+        engines=cell_engines(cell),
     )
     notes = []
     if report.inconclusive:
         notes.append(f"inconclusive: {report.reason}")
+    stats = {
+        "engines": {
+            name: result.as_dict()
+            for name, result in report.engine_results.items()
+        },
+    }
+    if report.oracle is not None:
+        stats.update({
+            "oracle_status": report.oracle.status,
+            "oracle_outcomes": len(report.oracle.outcomes),
+            "sat_outcomes": len(report.sat_outcomes),
+            "oracle_nodes": report.oracle.nodes,
+            "oracle_traces": report.oracle.traces,
+        })
     return CellResult(
         cell=cell,
         passed=report.ok,
         seconds=time.perf_counter() - started,
         counterexample=report.describe() if report.diverged else "",
         notes=notes,
-        stats={
-            "oracle_status": report.oracle.status,
-            "oracle_outcomes": len(report.oracle.outcomes),
-            "sat_outcomes": len(report.sat_outcomes),
-            "oracle_nodes": report.oracle.nodes,
-            "oracle_traces": report.oracle.traces,
-        },
+        stats=stats,
     )
 
 
@@ -101,6 +140,7 @@ def shrink_divergence(
     max_rounds: int = 100,
     dense_order: bool | None = None,
     simplify: bool | None = None,
+    engines=None,
 ) -> tuple[FuzzProgram, DifferentialReport]:
     """Greedily minimize a diverging program, keeping the divergence.
 
@@ -110,7 +150,7 @@ def shrink_divergence(
         return differential_check(
             candidate.compile(), model, backend_spec=backend_spec,
             name=candidate.spec(), dense_order=dense_order,
-            simplify=simplify,
+            simplify=simplify, engines=engines,
         )
 
     current = report_for(program)
@@ -135,7 +175,12 @@ def shrink_divergence(
 
 @dataclass
 class FuzzDivergence:
-    """One confirmed oracle/SAT disagreement, in replayable form."""
+    """One confirmed engine disagreement, in replayable form.
+
+    ``missing_from_sat``/``missing_from_oracle`` keep the historical
+    enumerator-vs-SAT view; ``pairs`` carries every diverging engine pair
+    with direction (see :meth:`DifferentialReport.pair_divergences`).
+    """
 
     spec: str
     model: str
@@ -143,6 +188,7 @@ class FuzzDivergence:
     missing_from_sat: list[tuple[int, ...]]
     missing_from_oracle: list[tuple[int, ...]]
     description: str
+    pairs: list[dict] = field(default_factory=list)
 
     def as_dict(self) -> dict:
         return {
@@ -152,6 +198,15 @@ class FuzzDivergence:
             "missing_from_sat": [list(o) for o in self.missing_from_sat],
             "missing_from_oracle": [list(o) for o in self.missing_from_oracle],
             "description": self.description,
+            "pairs": [
+                {
+                    "first": pair["first"],
+                    "second": pair["second"],
+                    "only_in_first": [list(o) for o in pair["only_in_first"]],
+                    "only_in_second": [list(o) for o in pair["only_in_second"]],
+                }
+                for pair in self.pairs
+            ],
         }
 
 
@@ -167,6 +222,7 @@ class FuzzCampaignResult:
     divergences: list[FuzzDivergence] = field(default_factory=list)
     inconclusive: list[dict] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    engines: tuple[str, ...] = DEFAULT_ENGINES
 
     @property
     def ok(self) -> bool:
@@ -191,6 +247,25 @@ class FuzzCampaignResult:
         return len(self.matrix.results)
 
     @property
+    def cells_inconclusive(self) -> int:
+        """Cells where at least one engine reached no verdict — these
+        compared nothing and are *not* agreements."""
+        return len(self.inconclusive)
+
+    @property
+    def cells_diverged(self) -> int:
+        return len(self.divergences)
+
+    @property
+    def cells_compared(self) -> int:
+        """Cells that produced a real multi-engine verdict (agree or
+        diverge) — the denominator the campaign's confidence rests on."""
+        return sum(
+            1 for result in self.matrix.results
+            if not result.error and not result.notes
+        )
+
+    @property
     def programs_per_second(self) -> float:
         if self.elapsed_seconds <= 0:
             return 0.0
@@ -210,9 +285,11 @@ class FuzzCampaignResult:
         line = (
             f"fuzz: {programs} x "
             f"{len(self.models)} models = {self.cells_checked} cells "
-            f"(seed {self.seed}, jobs={self.matrix.jobs}) in "
+            f"(engines {'/'.join(self.engines)}, "
+            f"seed {self.seed}, jobs={self.matrix.jobs}) in "
             f"{self.elapsed_seconds:.2f}s "
             f"({self.programs_per_second:.1f} programs/s); "
+            f"{self.cells_compared} compared, "
             f"{len(self.divergences)} divergences, "
             f"{len(self.inconclusive)} inconclusive"
         )
@@ -227,9 +304,13 @@ class FuzzCampaignResult:
             "seed": self.seed,
             "budget": self.budget,
             "models": list(self.models),
+            "engines": list(self.engines),
             "programs": len(self.specs),
             "shortfall": self.shortfall,
             "cells": self.cells_checked,
+            "cells_compared": self.cells_compared,
+            "cells_diverged": self.cells_diverged,
+            "cells_inconclusive": self.cells_inconclusive,
             "elapsed_seconds": self.elapsed_seconds,
             "programs_per_second": self.programs_per_second,
             "cells_per_second": self.cells_per_second,
@@ -250,23 +331,27 @@ def run_fuzz(
     options=None,
     progress=None,
     shrink: bool = True,
+    engines=None,
 ) -> FuzzCampaignResult:
     """Run one differential fuzzing campaign.
 
     ``budget`` distinct programs are drawn from ``seed`` and checked under
     every model in ``models``; any divergence is re-confirmed in the parent
     process and (when ``shrink``) minimized.  ``jobs``/``shard_by`` select
-    the matrix pool exactly as for ``checkfence matrix``.
+    the matrix pool exactly as for ``checkfence matrix``; ``engines``
+    selects which consistency engines each cell compares (anything
+    :func:`repro.oracle.differ.parse_engines` accepts).
     """
     from repro.core.checker import CheckOptions
 
     started = time.perf_counter()
     options = options if options is not None else CheckOptions()
     model_names = [get_model(m).name for m in models]
+    engine_names = parse_engines(engines)
     programs = generate_corpus(seed, budget, config)
     specs = [program.spec() for program in programs]
     matrix = run_matrix(
-        fuzz_cells(specs, model_names),
+        fuzz_cells(specs, model_names, engines=engine_names),
         jobs=jobs,
         shard_by=shard_by,
         options=options,
@@ -297,6 +382,7 @@ def run_fuzz(
                 backend_spec=options.solver_backend,
                 dense_order=dense_order,
                 simplify=simplify,
+                engines=engine_names,
             )
         else:
             report = differential_check(
@@ -304,6 +390,7 @@ def run_fuzz(
                 backend_spec=options.solver_backend, name=program.spec(),
                 dense_order=dense_order,
                 simplify=simplify,
+                engines=engine_names,
             )
         if report.diverged:
             description = report.describe()
@@ -323,6 +410,7 @@ def run_fuzz(
             missing_from_sat=sorted(report.missing_from_sat),
             missing_from_oracle=sorted(report.missing_from_oracle),
             description=description,
+            pairs=report.pair_divergences(),
         ))
     return FuzzCampaignResult(
         seed=seed,
@@ -333,4 +421,5 @@ def run_fuzz(
         divergences=divergences,
         inconclusive=inconclusive,
         elapsed_seconds=time.perf_counter() - started,
+        engines=engine_names,
     )

@@ -53,6 +53,11 @@ LITMUS_KIND = "litmus"
 #: (see :mod:`repro.fuzz.generator`) and the verdict is "oracle and SAT
 #: encoding agree on the outcome set".
 FUZZ_KIND = "fuzz"
+#: Engine-parameterized differential cells: like :data:`FUZZ_KIND`, but the
+#: ``implementation`` column carries a comma-separated engine selection
+#: (``enumerator``/``rfcheck``/``sat``) instead of the constant ``"fuzz"``,
+#: so a non-default selection travels to pool workers inside the cell.
+ENGINES_KIND = "engines"
 
 #: Valid ``shard_by`` axes.
 SHARD_AXES = ("test", "model", "impl")
@@ -63,10 +68,23 @@ SHARD_AXES = ("test", "model", "impl")
 #: exercise the worker-crash reporting paths; harmless otherwise.
 CRASH_ENV = "CHECKFENCE_MATRIX_CRASH"
 
+#: Private fault-injection hook for the Ctrl-C paths: a comma-separated
+#: list of cell keys; the *parent* raises :class:`KeyboardInterrupt` the
+#: moment a matching cell's result is recorded, exactly as if the user hit
+#: Ctrl-C then.  Lets the test suite exercise pool teardown and the CLI's
+#: exit-code-130 path deterministically.
+INTERRUPT_ENV = "CHECKFENCE_MATRIX_INTERRUPT"
+
 
 def _crash_keys() -> set[str]:
     return {
         key for key in os.environ.get(CRASH_ENV, "").split(",") if key
+    }
+
+
+def _interrupt_keys() -> set[str]:
+    return {
+        key for key in os.environ.get(INTERRUPT_ENV, "").split(",") if key
     }
 
 
@@ -191,7 +209,7 @@ class CellResult:
             return "ERROR"
         if self.cell.kind == LITMUS_KIND:
             return "allowed" if self.allowed else "forbidden"
-        if self.cell.kind == FUZZ_KIND:
+        if self.cell.kind in (FUZZ_KIND, ENGINES_KIND):
             if self.notes:
                 return "INCONCLUSIVE"
             return "agree" if self.passed else "DIVERGE"
@@ -252,6 +270,16 @@ class MatrixResult:
                 totals[key] = totals.get(key, 0) + value
         return totals
 
+    def verdict_counts(self) -> dict[str, int]:
+        """How many cells landed on each verdict.  INCONCLUSIVE cells are
+        their own bucket — they compared nothing and must never read as
+        silent agreement in aggregate reporting."""
+        counts: dict[str, int] = {}
+        for result in self.results:
+            verdict = result.verdict
+            counts[verdict] = counts.get(verdict, 0) + 1
+        return counts
+
     def as_dict(self) -> dict:
         return {
             "jobs": self.jobs,
@@ -259,6 +287,7 @@ class MatrixResult:
             "shards": self.shard_count,
             "elapsed_seconds": self.elapsed_seconds,
             "ok": self.ok,
+            "verdicts": self.verdict_counts(),
             "cache": self.cache_totals(),
             "cells": [r.as_dict() for r in self.results],
             "shard_stats": list(self.shard_stats),
@@ -350,7 +379,7 @@ def _run_cell(cell: MatrixCell, sessions: dict, options) -> CellResult:
     """
     started = time.perf_counter()
     try:
-        if cell.kind == FUZZ_KIND:
+        if cell.kind in (FUZZ_KIND, ENGINES_KIND):
             from repro.fuzz.harness import run_fuzz_cell
 
             return run_fuzz_cell(cell, options)
@@ -524,10 +553,16 @@ def run_matrix(
     shard_stats: list[dict] = []
     total = len(cells)
 
+    interrupt_keys = _interrupt_keys()
+
     def record(position: int, result: CellResult) -> None:
         results[position] = result
         if progress is not None:
             progress(len(results), total, result)
+        if interrupt_keys and result.cell.key in interrupt_keys:
+            # Fault injection: behave exactly as if Ctrl-C arrived the
+            # moment this cell's result was recorded.
+            raise KeyboardInterrupt
 
     if jobs <= 1 or len(shards) <= 1 or total <= 1:
         sessions: dict = {}
@@ -608,44 +643,59 @@ def run_matrix(
             if position in remaining:
                 record(position, CellResult(cell=cell, error=reason))
 
-    while pending:
-        try:
-            handle(result_queue.get(timeout=0.2))
-            continue
-        except queue_module.Empty:
-            pass
-        # No message: look for workers that died without saying goodbye.
-        drain()
-        for worker_id, worker in enumerate(workers):
-            if (
-                worker.is_alive()
-                or worker_id in finished_workers
-                or worker_id in crashed_workers
-            ):
+    try:
+        while pending:
+            try:
+                handle(result_queue.get(timeout=0.2))
                 continue
-            crashed_workers[worker_id] = worker.exitcode
-            shard_index = in_flight.pop(worker_id, None)
-            if shard_index is not None:
-                fail_shard(
-                    shard_index,
-                    f"worker {worker_id} crashed "
-                    f"(exit code {worker.exitcode})",
-                )
-        if len(finished_workers) + len(crashed_workers) == len(workers):
-            # Every worker is gone; nothing else will ever arrive.
+            except queue_module.Empty:
+                pass
+            # No message: look for workers that died without saying goodbye.
             drain()
-            for shard_index in list(pending):
-                fail_shard(
-                    shard_index,
-                    "no live workers left (pool crashed before this shard)",
-                )
-            task_queue.cancel_join_thread()
+            for worker_id, worker in enumerate(workers):
+                if (
+                    worker.is_alive()
+                    or worker_id in finished_workers
+                    or worker_id in crashed_workers
+                ):
+                    continue
+                crashed_workers[worker_id] = worker.exitcode
+                shard_index = in_flight.pop(worker_id, None)
+                if shard_index is not None:
+                    fail_shard(
+                        shard_index,
+                        f"worker {worker_id} crashed "
+                        f"(exit code {worker.exitcode})",
+                    )
+            if len(finished_workers) + len(crashed_workers) == len(workers):
+                # Every worker is gone; nothing else will ever arrive.
+                drain()
+                for shard_index in list(pending):
+                    fail_shard(
+                        shard_index,
+                        "no live workers left (pool crashed before this "
+                        "shard)",
+                    )
+                task_queue.cancel_join_thread()
 
-    for worker in workers:
-        worker.join(timeout=5)
-        if worker.is_alive():
-            worker.terminate()
-    drain()  # trailing "shard"/"done" messages sent after the last cell
+        for worker in workers:
+            worker.join(timeout=5)
+            if worker.is_alive():
+                worker.terminate()
+        drain()  # trailing "shard"/"done" messages sent after the last cell
+    except KeyboardInterrupt:
+        # Ctrl-C (or the INTERRUPT_ENV injection): tear the pool down
+        # instead of leaving orphaned workers grinding on solver calls,
+        # then re-raise so the caller (the CLI maps it to exit code 130)
+        # still sees the interrupt.
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in workers:
+            worker.join(timeout=5)
+        task_queue.cancel_join_thread()
+        result_queue.cancel_join_thread()
+        raise
 
     return MatrixResult(
         results=[results[i] for i in range(total)],

@@ -20,13 +20,21 @@ from repro.oracle.enumerator import (
     enumerate_outcomes,
 )
 from repro.oracle.differ import (
+    DEFAULT_ENGINES,
+    ENGINES,
     DifferentialReport,
+    EngineResult,
     SatMiningOverflow,
     differential_check,
     mine_sat_outcomes,
+    parse_engines,
 )
 
 __all__ = [
+    "DEFAULT_ENGINES",
+    "ENGINES",
+    "EngineResult",
+    "parse_engines",
     "OracleUnsupported",
     "ProgramTrace",
     "TraceExtractor",

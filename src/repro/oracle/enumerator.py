@@ -88,6 +88,13 @@ class OracleResult:
     model: str
     outcomes: set[tuple[int, ...]] = field(default_factory=set)
     final_memories: set[tuple[tuple[int, int | None], ...]] | None = None
+    #: Per-location value domain of untouched havoc'd cells (``None`` image
+    #: entries): ``None`` means the full ``value_mask`` range.  Only
+    #: populated when final memories are recorded.
+    final_domains: dict[int, frozenset[int] | None] = field(
+        default_factory=dict
+    )
+    value_mask: int = 0
     reason: str = ""
     traces: int = 0
     nodes: int = 0
@@ -105,7 +112,17 @@ class OracleResult:
 
     def allows_final_memory(self, wanted: dict[int, int]) -> bool:
         """Is there an execution whose final memory matches ``wanted``
-        (a location -> value constraint on the interesting cells)?"""
+        (a location -> value constraint on the interesting cells)?
+
+        Default-initial-value semantics, pinned: a location a recorded
+        execution never touched keeps its initial value — a concrete
+        initial or zero policy is stored in the image directly; a havoc'd
+        initial is stored as ``None`` and matches exactly the values of the
+        location's havoc domain (every such value is realized by some
+        execution).  Asking about a location that is not part of the image
+        at all is a caller bug and raises ``KeyError`` instead of silently
+        deciding either way.
+        """
         if self.final_memories is None:
             raise RuntimeError("enumerated without record_final_memory=True")
         if not self.ok:
@@ -114,9 +131,29 @@ class OracleResult:
             )
         for memory in self.final_memories:
             image = dict(memory)
-            if all(image.get(loc) == value for loc, value in wanted.items()):
+            if all(
+                self._final_value_matches(image, loc, value)
+                for loc, value in wanted.items()
+            ):
                 return True
         return False
+
+    def _final_value_matches(
+        self, image: dict[int, int | None], location: int, value: int
+    ) -> bool:
+        if location not in image:
+            raise KeyError(
+                f"location {location} is not part of the final memory image"
+            )
+        current = image[location]
+        if current is not None:
+            return current == value
+        # Untouched havoc'd cell: its final value is its unconstrained
+        # initial value, free over the location's domain.
+        domain = self.final_domains.get(location)
+        if domain is None:
+            return 0 <= value <= self.value_mask
+        return value in domain
 
 
 def enumerate_outcomes(
@@ -151,6 +188,7 @@ def enumerate_outcomes(
         compiled, model, max_nodes=max_nodes, max_domain=max_domain,
         record_final_memory=record_final_memory,
     )
+    result.value_mask = enumerator.mask
     for trace in traces:
         try:
             enumerator.run(trace, result)
@@ -408,6 +446,15 @@ class _Enumerator:
 
     # -------------------------------------------------------------- plumbing
 
+    def _havoc_domain(self, location: int) -> frozenset[int] | None:
+        """The value domain of a havoc'd location's initial value, or
+        ``None`` for the full machine-word range."""
+        domain = self.compiled.ranges.location_domain(location)
+        if domain is not None:
+            valid = frozenset(v for v in domain if v <= self.mask)
+            domain = valid or None
+        return domain
+
     def _domain(self, token: Token) -> range | list[int]:
         if token.domain is not None:
             return sorted(token.domain)
@@ -441,14 +488,9 @@ class _Enumerator:
             return [(bindings, 0)]
         token = self._init_tokens.get(location)
         if token is None:
-            domain = self.compiled.ranges.location_domain(location)
-            if domain is not None:
-                valid = frozenset(
-                    v for v in domain if v <= self.mask
-                )
-                domain = valid or None
             token = Token(
-                -location, "init", name=f"init_loc{location}", domain=domain
+                -location, "init", name=f"init_loc{location}",
+                domain=self._havoc_domain(location),
             )
             self._init_tokens[location] = token
         if token in bindings:
@@ -514,5 +556,11 @@ class _Enumerator:
                 continue
             token = self._init_tokens.get(location)
             value = bindings.get(token) if token is not None else None
+            if value is None:
+                # Record what the unconstrained initial may range over, so
+                # allows_final_memory can match None entries exactly.
+                self._result.final_domains[location] = (
+                    self._havoc_domain(location)
+                )
             image.append((location, value))
         return tuple(image)

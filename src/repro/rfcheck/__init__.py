@@ -1,0 +1,33 @@
+"""Reads-from consistency engine (the third engine).
+
+``repro.rfcheck`` decides, for one extracted trace and one candidate
+reads-from assignment, whether the Section 2.3 axioms admit a memory order
+``<M`` realizing that assignment — by polynomial closure over the axiom
+relations instead of CNF or explicit-state search.  An rf-space miner on
+top enumerates candidate assignments to produce the same outcome sets as
+the SAT encoder and the operational enumerator, giving the differential
+harness a three-way cross-check.
+"""
+
+from repro.rfcheck.closure import ClosureBudgetExceeded, Gas, OrderClosure
+from repro.rfcheck.miner import (
+    RfCheckResult,
+    check_rf_assignment,
+    rfcheck_outcomes,
+)
+from repro.rfcheck.models import forwarding_candidates, static_order_pairs
+from repro.rfcheck.relations import RfCandidate, RfStructure, RfUnsupported
+
+__all__ = [
+    "ClosureBudgetExceeded",
+    "Gas",
+    "OrderClosure",
+    "RfCandidate",
+    "RfCheckResult",
+    "RfStructure",
+    "RfUnsupported",
+    "check_rf_assignment",
+    "forwarding_candidates",
+    "rfcheck_outcomes",
+    "static_order_pairs",
+]

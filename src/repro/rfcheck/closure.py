@@ -1,0 +1,176 @@
+"""Incremental order closure: the polynomial core of the rf engine.
+
+An :class:`OrderClosure` maintains a strict partial order over a small set
+of nodes as reachability bitmasks (one ``succ``/``pred`` integer per node),
+so edge insertion updates the transitive closure in ``O(n)`` word
+operations and cycle detection is a single bit test.  On top of the plain
+edges it tracks *coherence clauses* — binary disjunctions of order literals
+of the shape "either s' precedes s, or the load precedes s'" that the value
+axiom produces for every potentially intervening store.  Clauses are
+unit-propagated: as soon as one disjunct becomes cyclic the other is forced
+as an edge, which may cascade.
+
+Saturation alone is not a decision procedure — checking a reads-from
+assignment against a sequentially consistent order is NP-complete in
+general (Gibbons & Korach 1997), and the hardness lives exactly in the
+residual disjunctions.  :meth:`OrderClosure.consistent` therefore finishes
+with a backtracking split over whatever clauses survive propagation.  On
+the litmus-shaped programs this engine targets the residue is almost always
+empty, so the engine is polynomial in practice; the split keeps it *exact*
+rather than merely sound, which the three-way differential harness
+requires.  All work is metered through a :class:`Gas` budget so a
+pathological program degrades to an INCONCLUSIVE verdict, never a hang.
+"""
+
+from __future__ import annotations
+
+
+class ClosureBudgetExceeded(Exception):
+    """The closure/mining work budget ran out (surfaces as INCONCLUSIVE)."""
+
+
+class Gas:
+    """A shared work meter: candidate applications, clause splits and value
+    completions all draw from one budget."""
+
+    __slots__ = ("limit", "spent")
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.spent = 0
+
+    def spend(self, amount: int = 1) -> None:
+        self.spent += amount
+        if self.spent > self.limit:
+            raise ClosureBudgetExceeded(
+                f"exceeded {self.limit} rf consistency checks"
+            )
+
+
+#: An order literal: ``(u, v)`` asserts ``u <M v`` at the node level.
+Lit = tuple[int, int]
+
+
+class OrderClosure:
+    """A transitively closed strict order plus pending coherence clauses."""
+
+    __slots__ = ("n", "succ", "pred", "clauses")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.succ: list[int] = [0] * n
+        self.pred: list[int] = [0] * n
+        self.clauses: list[tuple[Lit, Lit]] = []
+
+    def clone(self) -> "OrderClosure":
+        copy = OrderClosure.__new__(OrderClosure)
+        copy.n = self.n
+        copy.succ = self.succ[:]
+        copy.pred = self.pred[:]
+        copy.clauses = self.clauses[:]
+        return copy
+
+    def holds(self, u: int, v: int) -> bool:
+        """Is ``u <M v`` already implied?"""
+        return bool((self.succ[u] >> v) & 1)
+
+    # ----------------------------------------------------------- insertion
+
+    def _insert(self, u: int, v: int) -> bool:
+        """Add ``u <M v`` and re-close; False iff it would create a cycle."""
+        if u == v or (self.succ[v] >> u) & 1:
+            return False
+        if (self.succ[u] >> v) & 1:
+            return True
+        sources = self.pred[u] | (1 << u)
+        targets = self.succ[v] | (1 << v)
+        succ = self.succ
+        pred = self.pred
+        mask = sources
+        while mask:
+            low = mask & -mask
+            succ[low.bit_length() - 1] |= targets
+            mask ^= low
+        mask = targets
+        while mask:
+            low = mask & -mask
+            pred[low.bit_length() - 1] |= sources
+            mask ^= low
+        return True
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert an edge and propagate clause consequences."""
+        return self._insert(u, v) and self.propagate()
+
+    def add_clause(self, first: Lit, second: Lit) -> bool:
+        """Add the disjunction ``first OR second`` (each a ``u <M v``)."""
+        for u, v in (first, second):
+            if self.holds(u, v):
+                return True  # already satisfied
+        first_open = first[0] != first[1] and not self.holds(first[1], first[0])
+        second_open = (
+            second[0] != second[1] and not self.holds(second[1], second[0])
+        )
+        if first_open and second_open:
+            self.clauses.append((first, second))
+            return True
+        if first_open:
+            return self._insert(*first) and self.propagate()
+        if second_open:
+            return self._insert(*second) and self.propagate()
+        return False
+
+    # --------------------------------------------------------- propagation
+
+    def propagate(self) -> bool:
+        """Unit-propagate the pending clauses to fixpoint.
+
+        Satisfied clauses are dropped; a clause whose two disjuncts are both
+        cyclic refutes the state; one cyclic disjunct forces the other as an
+        edge (which may cascade).  False iff the state became inconsistent.
+        """
+        changed = True
+        while changed:
+            changed = False
+            remaining: list[tuple[Lit, Lit]] = []
+            for clause in self.clauses:
+                first, second = clause
+                if self.holds(*first) or self.holds(*second):
+                    changed = True  # dropped: cheap, no re-scan needed, but
+                    continue        # an insert below still triggers one
+                first_open = not self.holds(first[1], first[0])
+                second_open = not self.holds(second[1], second[0])
+                if first_open and second_open:
+                    remaining.append(clause)
+                    continue
+                if not first_open and not second_open:
+                    return False
+                forced = first if first_open else second
+                if not self._insert(*forced):
+                    return False
+                changed = True
+            self.clauses = remaining
+        return True
+
+    # ------------------------------------------------------------ decision
+
+    def consistent(self, gas: Gas) -> bool:
+        """Can every pending clause be honoured by one acyclic order?
+
+        Assumes :meth:`propagate` already ran.  Splits on the first pending
+        clause and recurses; each split charges ``gas``.
+        """
+        if not self.clauses:
+            return True
+        first, second = self.clauses[0]
+        for lit in (first, second):
+            gas.spend()
+            trial = self.clone()
+            del trial.clauses[0]
+            if (
+                trial._insert(*lit)
+                and trial.propagate()
+                and trial.consistent(gas)
+            ):
+                return True
+        return False

@@ -1,0 +1,115 @@
+"""Model rules: the static Section 2.3 axiom relations, as event pairs.
+
+This is the third implementation of the paper's axioms (after the SAT
+constraints of :mod:`repro.encoding.memory` and the scheduling rules of
+:mod:`repro.oracle.enumerator`): given one extracted trace and one
+:class:`~repro.memorymodel.base.MemoryModel`, produce the *static* order
+edges every execution must respect —
+
+* preserved program order (``model.preserved_program_order``),
+* the same-address store-order axiom (Relaxed axiom 1),
+* fence order (accesses before a fence whose kinds the fence orders on the
+  before side precede accesses after it on the after side),
+* atomic-block program order,
+* "initialization happens first" (every init-thread access precedes every
+  test access, and init accesses are totally ordered among themselves).
+
+Store-buffer forwarding is *not* a static relation — it selects which store
+a load may read — so this module only computes the per-load forwarding
+candidates; the reads-from modes built from them live in
+:mod:`repro.rfcheck.relations`.
+"""
+
+from __future__ import annotations
+
+from repro.encoding.testprogram import INIT_THREAD
+from repro.memorymodel.base import MemoryModel
+from repro.oracle.trace import AccessEvent, ProgramTrace
+
+
+def static_order_pairs(
+    trace: ProgramTrace, model: MemoryModel
+) -> list[tuple[int, int]]:
+    """Every ``(first_eid, second_eid)`` pair the axioms order statically."""
+    by_thread: dict[int, list[AccessEvent]] = {}
+    for event in trace.events:
+        by_thread.setdefault(event.thread, []).append(event)
+    for members in by_thread.values():
+        members.sort(key=lambda e: e.seq)
+
+    pairs: list[tuple[int, int]] = []
+    for members in by_thread.values():
+        for i, first in enumerate(members):
+            for second in members[i + 1:]:
+                ordered = (
+                    first.thread == INIT_THREAD
+                    or model.preserves(first.kind, second.kind)
+                    or (
+                        model.same_address_store_order
+                        and second.is_store
+                        and first.addr == second.addr
+                    )
+                    or (
+                        first.atomic_group is not None
+                        and first.atomic_group == second.atomic_group
+                    )
+                )
+                if ordered:
+                    pairs.append((first.eid, second.eid))
+    for fence in trace.fences:
+        members = by_thread.get(fence.thread, [])
+        before = [
+            e for e in members
+            if e.seq < fence.seq and e.kind in fence.kind.orders_before
+        ]
+        after = [
+            e for e in members
+            if e.seq > fence.seq and e.kind in fence.kind.orders_after
+        ]
+        for second in after:
+            for first in before:
+                pairs.append((first.eid, second.eid))
+
+    inits = [e for e in trace.events if e.thread == INIT_THREAD]
+    rest = [e for e in trace.events if e.thread != INIT_THREAD]
+    for first in inits:
+        for second in rest:
+            pairs.append((first.eid, second.eid))
+    return pairs
+
+
+def forwarding_candidates(
+    trace: ProgramTrace, model: MemoryModel
+) -> dict[int, list[AccessEvent]]:
+    """Per-load program-order-earlier same-thread same-address stores,
+    newest first — the stores a buffered load may forward from.
+
+    Mirrors the enumerator's candidate construction, including its refusal
+    of the ambiguous forwarding-without-same-address-order configuration
+    (no shipped model has it, but a mutated one might).
+    """
+    from repro.rfcheck.relations import RfUnsupported
+
+    candidates: dict[int, list[AccessEvent]] = {}
+    if not model.store_forwarding:
+        return candidates
+    by_thread: dict[int, list[AccessEvent]] = {}
+    for event in trace.events:
+        by_thread.setdefault(event.thread, []).append(event)
+    for members in by_thread.values():
+        for event in members:
+            if not event.is_load:
+                continue
+            earlier = [
+                s for s in members
+                if s.is_store and s.seq < event.seq and s.addr == event.addr
+            ]
+            if earlier:
+                if not model.same_address_store_order and len(earlier) > 1:
+                    raise RfUnsupported(
+                        "store forwarding without the same-address "
+                        "store-order axiom is ambiguous; not supported"
+                    )
+                earlier.sort(key=lambda s: s.seq, reverse=True)
+                candidates[event.eid] = earlier
+    return candidates

@@ -1,0 +1,206 @@
+"""Reads-from candidate structure for one trace under one model.
+
+:class:`RfStructure` turns a :class:`~repro.oracle.trace.ProgramTrace` into
+the inputs of the closure engine:
+
+* a node space — one node per access, except under Seriality (operation
+  atomicity), where whole invocations must be contiguous in ``<M``; there
+  the closure runs on the *invocation quotient* (one node per invocation,
+  intra-invocation order decided by program order, which Seriality
+  preserves totally — so quotient acyclicity is exact, not approximate);
+* a base closure pre-loaded with the static axiom edges from
+  :mod:`repro.rfcheck.models`;
+* for every load, its *reads-from candidates*, each a mode with the order
+  constraints that make it the ``<M``-maximal visible store of the paper's
+  value axiom:
+
+  - ``store s`` — s performed before the load, and no other same-address
+    store performed strictly between them (one binary clause per potential
+    intervener); with forwarding, the thread's own newest earlier store
+    must also have drained (else the buffer, not memory, is visible);
+  - ``forward s`` — only the program-order-newest own earlier store can be
+    forwarded (the same-address axiom keeps older ones behind it), and it
+    forwards exactly while still pending: a single edge ``load <M s``;
+  - ``init`` — every same-address store performs after the load; under
+    forwarding this is impossible as soon as an own earlier store exists
+    (it would still be pending, and pending wins).
+
+Candidates statically contradicted by the base closure are pruned before
+mining ever starts.  Atomic blocks under a non-serial model would need the
+enumerator's exclusion semantics, which no quotient captures — those traces
+raise :class:`RfUnsupported` and surface as INCONCLUSIVE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memorymodel.base import MemoryModel, get_model
+from repro.oracle.trace import AccessEvent, ProgramTrace
+from repro.rfcheck.closure import Lit, OrderClosure
+from repro.rfcheck.models import forwarding_candidates, static_order_pairs
+
+
+class RfUnsupported(Exception):
+    """The trace lies outside the fragment the rf engine can decide."""
+
+
+@dataclass(frozen=True)
+class RfCandidate:
+    """One way a load may obtain its value."""
+
+    mode: str                       # "store" | "forward" | "init"
+    store: AccessEvent | None       # None iff mode == "init"
+
+    def __repr__(self) -> str:
+        if self.store is None:
+            return "<rf:init>"
+        return f"<rf:{self.mode} e{self.store.eid}>"
+
+
+#: A candidate with its pre-simplified constraints: required node edges and
+#: residual binary clauses.
+Constrained = tuple[RfCandidate, list[Lit], list[tuple[Lit, Lit]]]
+
+
+class RfStructure:
+    """The closure inputs of one (trace, model) pair."""
+
+    def __init__(self, trace: ProgramTrace, model: MemoryModel | str) -> None:
+        self.trace = trace
+        self.model = model = get_model(model)
+        self.events = trace.events
+
+        if not model.operation_atomicity and any(
+            e.atomic_group is not None for e in self.events
+        ):
+            raise RfUnsupported(
+                "atomic blocks outside the serial model need the "
+                "enumerator's exclusion semantics; not supported"
+            )
+
+        # Node space: events, or the invocation quotient under Seriality.
+        if model.operation_atomicity:
+            groups: dict[int, int] = {}
+            self.node_of = [
+                groups.setdefault(e.invocation, len(groups))
+                for e in self.events
+            ]
+            self.node_count = len(groups)
+        else:
+            self.node_of = list(range(len(self.events)))
+            self.node_count = len(self.events)
+
+        self.base = OrderClosure(self.node_count)
+        for first_eid, second_eid in static_order_pairs(trace, model):
+            lit = self._project(first_eid, second_eid)
+            if lit is True:
+                continue
+            if lit is False or not self.base.add_edge(*lit):
+                # Static axioms only follow program order, so a refutation
+                # here means a broken (mutated) model, not a real one.
+                raise RfUnsupported("static axiom order is contradictory")
+
+        self.loads = [e for e in self.events if e.is_load]
+        self.stores_by_addr: dict[int, list[AccessEvent]] = {}
+        for event in self.events:
+            if event.is_store:
+                self.stores_by_addr.setdefault(event.addr, []).append(event)
+        self.forward_candidates = forwarding_candidates(trace, model)
+
+    # ------------------------------------------------------------ literals
+
+    def _project(self, first_eid: int, second_eid: int) -> Lit | bool:
+        """The node-level literal for event order ``first <M second``.
+
+        Within one quotient node (same invocation under Seriality) the
+        order is program order, so the literal folds to a constant.
+        """
+        u = self.node_of[first_eid]
+        v = self.node_of[second_eid]
+        if u == v:
+            first = self.events[first_eid]
+            second = self.events[second_eid]
+            return first.seq < second.seq
+        return (u, v)
+
+    def order_lit(self, first: AccessEvent, second: AccessEvent) -> Lit | bool:
+        return self._project(first.eid, second.eid)
+
+    def _value(self, lit: Lit | bool) -> Lit | bool:
+        """Fold a literal against the static base closure."""
+        if lit is True or lit is False:
+            return lit
+        u, v = lit
+        if self.base.holds(u, v):
+            return True
+        if self.base.holds(v, u):
+            return False
+        return lit
+
+    # ---------------------------------------------------------- candidates
+
+    def candidates(self, load: AccessEvent) -> list[Constrained]:
+        """Every statically feasible reads-from candidate of ``load``."""
+        stores = self.stores_by_addr.get(load.addr, [])
+        forwards = self.forward_candidates.get(load.eid)
+        newest = forwards[0] if forwards else None
+
+        out: list[Constrained] = []
+        for store in stores:
+            edges: list[Lit | bool] = [self.order_lit(store, load)]
+            if newest is not None:
+                edges.append(self.order_lit(newest, load))
+            clauses = [
+                (self.order_lit(other, store), self.order_lit(load, other))
+                for other in stores
+                if other.eid != store.eid
+            ]
+            constrained = self._simplify(edges, clauses)
+            if constrained is not None:
+                out.append((RfCandidate("store", store), *constrained))
+        if newest is not None:
+            constrained = self._simplify([self.order_lit(load, newest)], [])
+            if constrained is not None:
+                out.append((RfCandidate("forward", newest), *constrained))
+        else:
+            # Initial value: no store to the address may perform earlier.
+            constrained = self._simplify(
+                [self.order_lit(load, store) for store in stores], []
+            )
+            if constrained is not None:
+                out.append((RfCandidate("init", None), *constrained))
+        return out
+
+    def _simplify(
+        self,
+        edges: list[Lit | bool],
+        clauses: list[tuple[Lit | bool, Lit | bool]],
+    ) -> tuple[list[Lit], list[tuple[Lit, Lit]]] | None:
+        """Fold constants out of a candidate's constraints.
+
+        ``None`` means statically contradictory (the candidate is pruned);
+        otherwise returns the residual required edges and binary clauses.
+        """
+        required: list[Lit] = []
+        for lit in edges:
+            lit = self._value(lit)
+            if lit is False:
+                return None
+            if lit is not True:
+                required.append(lit)
+        residual: list[tuple[Lit, Lit]] = []
+        for first, second in clauses:
+            first = self._value(first)
+            second = self._value(second)
+            if first is True or second is True:
+                continue
+            if first is False and second is False:
+                return None
+            if first is False:
+                required.append(second)
+            elif second is False:
+                required.append(first)
+            else:
+                residual.append((first, second))
+        return required, residual

@@ -8,6 +8,7 @@ from repro.core.checker import CheckOptions
 from repro.harness.matrix import (
     CATALOG_KIND,
     CRASH_ENV,
+    INTERRUPT_ENV,
     LITMUS_KIND,
     CellResult,
     MatrixCell,
@@ -205,6 +206,52 @@ class TestWorkerCrash:
         assert len(matrix.errors) == len(cells)
         assert all("crashed" in r.error or "no live workers" in r.error
                    for r in matrix.errors)
+
+
+class TestInterrupt:
+    """Ctrl-C during a matrix run must tear the pool down, not orphan it.
+
+    The INTERRUPT_ENV hook raises KeyboardInterrupt in the parent the
+    moment the chosen cell's result is recorded — the deterministic stand-
+    in for a user interrupt mid-run.
+    """
+
+    def test_parallel_interrupt_terminates_workers(self, monkeypatch):
+        import multiprocessing
+
+        cells = litmus_cells(["sc", "relaxed"])
+        monkeypatch.setenv(INTERRUPT_ENV, cells[1].key)
+        before = {id(p) for p in multiprocessing.active_children()}
+        with pytest.raises(KeyboardInterrupt):
+            run_matrix(cells, jobs=2)
+        spawned = [
+            p for p in multiprocessing.active_children()
+            if id(p) not in before
+        ]
+        for process in spawned:
+            process.join(timeout=10)
+        assert not any(p.is_alive() for p in spawned), (
+            "matrix pool left live workers behind after an interrupt"
+        )
+
+    def test_serial_interrupt_propagates(self, monkeypatch):
+        cells = litmus_cells(["sc"])
+        monkeypatch.setenv(INTERRUPT_ENV, cells[0].key)
+        with pytest.raises(KeyboardInterrupt):
+            run_matrix(cells, jobs=1)
+
+    def test_cli_maps_interrupt_to_exit_130(self, monkeypatch, capsys):
+        from repro.cli import main
+        from repro.fuzz.generator import generate_corpus
+
+        spec = generate_corpus(seed=5, budget=1)[0].spec()
+        monkeypatch.setenv(INTERRUPT_ENV, f"fuzz/{spec}@sc")
+        code = main([
+            "fuzz", "--budget", "1", "--seed", "5", "--models", "sc",
+            "--jobs", "1", "--quiet",
+        ])
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().err
 
 
 class TestModelSweepViaMatrix:

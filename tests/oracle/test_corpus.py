@@ -1,10 +1,11 @@
 """Differential regression corpus: frozen fuzz programs vs the encoder.
 
 Thirty fuzzer-shaped programs (fixed at generation time, see
-``corpus.txt``) are checked with the full differential harness: the
-operational enumerator's outcome set must equal the mined SAT outcome set
-under Relaxed, PSO, TSO, SC and Seriality.  Any drift in the encoder (or
-the enumerator) trips one of these cells without running the fuzzer.
+``corpus.txt``) are checked with the full three-way differential harness:
+the operational enumerator, the reads-from closure engine and the mined
+SAT outcome set must all agree under Relaxed, PSO, TSO, SC and Seriality.
+Any drift in any engine trips one of these cells without running the
+fuzzer.
 
 A mutation test makes the safety net itself testable: disabling the
 same-address store-order axiom in the encoder must produce divergences.
@@ -45,12 +46,13 @@ def test_corpus_is_frozen_and_parseable():
 
 
 @pytest.mark.parametrize("model", MODELS)
-def test_corpus_oracle_agrees_with_sat(model):
+def test_corpus_engines_agree_three_way(model):
     failures = []
     for spec in CORPUS:
         report = differential_check(
-            compiled_fuzz_program(spec), model, name=spec
+            compiled_fuzz_program(spec), model, name=spec, engines="all"
         )
+        assert report.engines == ("enumerator", "rfcheck", "sat")
         assert not report.inconclusive, (
             f"corpus program became inconclusive: {report.describe()}"
         )
@@ -77,6 +79,23 @@ class TestEncoderMutationIsCaught:
         # under-constrained direction.
         assert report.missing_from_oracle
         assert (2, 1) in report.missing_from_oracle
+
+    def test_three_way_isolates_the_mutated_engine(
+        self, drop_same_address_axiom
+    ):
+        # With all three engines running, the two unmutated engines agree
+        # with each other and both diverge from the mutated SAT encoder —
+        # the pairwise report points at the culprit.
+        report = differential_check(
+            FuzzProgram.parse(COHERENCE_SPEC).compile(), "relaxed",
+            name=COHERENCE_SPEC, engines="all",
+        )
+        assert report.diverged
+        pairs = {
+            (pair["first"], pair["second"])
+            for pair in report.pair_divergences()
+        }
+        assert pairs == {("enumerator", "sat"), ("rfcheck", "sat")}
 
     def test_corpus_catches_the_mutation(self, drop_same_address_axiom):
         diverged = []

@@ -1,0 +1,115 @@
+"""Regression tests pinning the final-memory default-value semantics.
+
+An execution's final memory image stores ``None`` for a havoc'd cell no
+store touched and no load observed.  Such a cell kept its unconstrained
+initial value, so a final-memory query on it must match exactly the values
+of the location's havoc domain — the old behaviour compared ``None ==
+wanted`` and silently matched *nothing*, which under-reports IRIW-style
+final-memory verdicts.  Asking about a location outside the image must be
+an error, not a silent mismatch.
+"""
+
+import pytest
+
+from repro.analysis.allocation import build_layout, resolve_allocations
+from repro.analysis.ranges import RangeAnalysis
+from repro.datatypes.spec import DataTypeImplementation, OperationSpec
+from repro.encoding.testprogram import CompiledInvocation, CompiledTest
+from repro.lsl.instructions import ConstAssign, Store
+from repro.lsl.program import (
+    GlobalDecl,
+    Invocation,
+    Procedure,
+    Program,
+    SymbolicTest,
+)
+from repro.lsl.values import UNDEF
+from repro.oracle import enumerate_outcomes
+
+#: Thread 0 stores 1 to ``x`` (location 1); the havoc'd global ``h``
+#: (location 2) is never touched by anyone.
+STORE_X = [
+    ConstAssign("addr", 1),
+    ConstAssign("one", 1),
+    Store(addr="addr", src="one"),
+]
+
+
+def compiled_with_untouched_havoc_cell() -> CompiledTest:
+    program = Program(name="final-memory")
+    program.add_global(GlobalDecl(name="x", initial=0))
+    program.add_global(GlobalDecl(name="h", initial=UNDEF))
+    layout = build_layout(program)
+    program.add_procedure(
+        Procedure(name="t0", params=(), returns=(), body=list(STORE_X))
+    )
+    invocations = [CompiledInvocation(
+        thread=0, position=0, global_index=0, label="t0",
+        operation=OperationSpec(name="t0", proc="t0", has_return=False),
+        statements=list(STORE_X),
+        arg_regs=[], out_regs=[], ret_regs=[],
+    )]
+    bodies = [inv.statements for inv in invocations]
+    allocation = resolve_allocations(bodies, layout)
+    return CompiledTest(
+        implementation=DataTypeImplementation(
+            name="raw", description="", source="", operations={},
+            init_operation=None, reference=None,
+        ),
+        test=SymbolicTest(name="final-memory",
+                          threads=[[Invocation("t0")]]),
+        program=program,
+        invocations=invocations,
+        layout=layout,
+        allocation=allocation,
+        ranges=RangeAnalysis(layout, allocation).analyze(bodies),
+        loop_bounds={},
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    res = enumerate_outcomes(
+        compiled_with_untouched_havoc_cell(), "sc",
+        record_final_memory=True,
+    )
+    assert res.ok, res.reason
+    return res
+
+
+class TestUntouchedHavocCell:
+    def test_image_records_none_with_a_domain(self, result):
+        assert result.final_memories
+        for memory in result.final_memories:
+            image = dict(memory)
+            assert image[1] == 1       # the store always lands
+            assert image[2] is None    # untouched havoc'd cell
+        assert 2 in result.final_domains
+
+    def test_none_matches_every_domain_value(self, result):
+        domain = result.final_domains[2]
+        values = (
+            sorted(domain) if domain is not None
+            else range(result.value_mask + 1)
+        )
+        assert values, "havoc domain unexpectedly empty"
+        for value in values:
+            assert result.allows_final_memory({2: value}), value
+
+    def test_none_rejects_out_of_domain_values(self, result):
+        out_of_range = result.value_mask + 1
+        assert not result.allows_final_memory({2: out_of_range})
+
+    def test_stored_cell_still_matches_exactly(self, result):
+        assert result.allows_final_memory({1: 1})
+        assert not result.allows_final_memory({1: 0})
+
+    def test_combined_query_mixes_both_kinds(self, result):
+        domain = result.final_domains[2]
+        value = sorted(domain)[0] if domain is not None else 0
+        assert result.allows_final_memory({1: 1, 2: value})
+        assert not result.allows_final_memory({1: 0, 2: value})
+
+    def test_unknown_location_raises_instead_of_guessing(self, result):
+        with pytest.raises(KeyError):
+            result.allows_final_memory({99: 0})

@@ -1,0 +1,88 @@
+"""Unit tests of the incremental order closure underneath the rf engine."""
+
+import pytest
+
+from repro.rfcheck import ClosureBudgetExceeded, Gas, OrderClosure
+
+
+class TestEdges:
+    def test_transitive_closure_is_maintained(self):
+        closure = OrderClosure(4)
+        assert closure.add_edge(0, 1)
+        assert closure.add_edge(1, 2)
+        assert closure.holds(0, 2)
+        assert closure.add_edge(2, 3)
+        assert closure.holds(0, 3)
+        assert not closure.holds(3, 0)
+
+    def test_cycles_are_rejected(self):
+        closure = OrderClosure(3)
+        assert closure.add_edge(0, 1)
+        assert closure.add_edge(1, 2)
+        assert not closure.add_edge(2, 0)
+        assert not closure.add_edge(0, 0)
+
+    def test_duplicate_edges_are_idempotent(self):
+        closure = OrderClosure(3)
+        assert closure.add_edge(0, 1)
+        assert closure.add_edge(0, 1)
+        assert closure.holds(0, 1)
+
+    def test_clone_is_independent(self):
+        closure = OrderClosure(3)
+        closure.add_edge(0, 1)
+        copy = closure.clone()
+        copy.add_edge(1, 2)
+        assert copy.holds(0, 2)
+        assert not closure.holds(0, 2)
+
+
+class TestClauses:
+    def test_satisfied_clause_is_dropped(self):
+        closure = OrderClosure(3)
+        closure.add_edge(0, 1)
+        assert closure.add_clause((0, 1), (2, 0))
+        assert closure.clauses == []
+
+    def test_unit_propagation_forces_the_open_disjunct(self):
+        closure = OrderClosure(3)
+        closure.add_edge(0, 1)
+        # (1 < 0) is cyclic, so (2 < 0) must be forced as an edge.
+        assert closure.add_clause((1, 0), (2, 0))
+        assert closure.holds(2, 0)
+
+    def test_both_disjuncts_cyclic_refutes(self):
+        closure = OrderClosure(3)
+        closure.add_edge(0, 1)
+        closure.add_edge(0, 2)
+        assert not closure.add_clause((1, 0), (2, 0))
+
+    def test_propagation_cascades(self):
+        closure = OrderClosure(4)
+        assert closure.add_clause((1, 0), (2, 3))
+        # Closing 0 < 1 kills the first disjunct, forcing 2 < 3...
+        assert closure.add_clause((3, 2), (0, 1))  # pending too
+        assert closure.add_edge(0, 1)
+        assert closure.holds(2, 3)
+
+    def test_consistent_splits_residual_clauses(self):
+        closure = OrderClosure(4)
+        assert closure.add_clause((0, 1), (1, 0))
+        assert closure.add_clause((2, 3), (3, 2))
+        assert closure.propagate()
+        assert closure.consistent(Gas(1000))
+
+    def test_consistent_detects_unsatisfiable_residue(self):
+        closure = OrderClosure(2)
+        assert closure.add_clause((0, 1), (0, 1))
+        closure.add_edge(1, 0)
+        # Re-propagating with 1 < 0 in place refutes the clause.
+        assert not closure.propagate() or not closure.consistent(Gas(1000))
+
+    def test_gas_budget_raises(self):
+        closure = OrderClosure(8)
+        for u in range(0, 8, 2):
+            closure.add_clause((u, u + 1), (u + 1, u))
+        closure.propagate()
+        with pytest.raises(ClosureBudgetExceeded):
+            closure.consistent(Gas(1))

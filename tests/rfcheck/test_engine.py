@@ -1,0 +1,122 @@
+"""The rf engine against the other engines and its own decision surface."""
+
+import pytest
+
+from repro.fuzz import FuzzProgram
+from repro.litmus.catalog import available_litmus_tests, compiled_litmus
+from repro.memorymodel.base import available_models
+from repro.oracle import enumerate_outcomes
+from repro.oracle.trace import TraceExtractor
+from repro.rfcheck import (
+    RfStructure,
+    check_rf_assignment,
+    rfcheck_outcomes,
+)
+
+MODELS = ["serial", "sc", "tso", "pso", "relaxed"]
+
+SB_SPEC = "x=1 r0=y | y=1 r1=x"
+
+
+def test_models_under_test_are_the_shipped_models():
+    assert sorted(MODELS) == sorted(model.name for model in available_models())
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_litmus_catalog_agrees_with_enumerator(model):
+    failures = []
+    for name, litmus in available_litmus_tests().items():
+        compiled = compiled_litmus(litmus)
+        oracle = enumerate_outcomes(compiled, model)
+        rf = rfcheck_outcomes(compiled, model)
+        assert oracle.ok, f"{name}: enumerator inconclusive: {oracle.reason}"
+        assert rf.ok, f"{name}: rfcheck inconclusive: {rf.reason}"
+        if rf.outcomes != oracle.outcomes:
+            failures.append(
+                f"{name} @ {model}: rfcheck {sorted(rf.outcomes)} != "
+                f"enumerator {sorted(oracle.outcomes)}"
+            )
+    assert not failures, "\n".join(failures)
+
+
+class TestCheckRfAssignment:
+    """The per-assignment decision procedure on the store-buffering shape."""
+
+    def _structure(self, model):
+        compiled = FuzzProgram.parse(SB_SPEC).compile()
+        (trace,) = TraceExtractor(compiled).traces()
+        return RfStructure(trace, model)
+
+    def _init_assignment(self, structure):
+        # Both loads read the initial value: the (0, 0) outcome.
+        return {load.eid: ("init", None) for load in structure.loads}
+
+    def test_both_reads_from_init_is_forbidden_under_sc(self):
+        structure = self._structure("sc")
+        assert not check_rf_assignment(
+            structure, self._init_assignment(structure)
+        )
+
+    def test_both_reads_from_init_is_allowed_under_tso(self):
+        structure = self._structure("tso")
+        assert check_rf_assignment(
+            structure, self._init_assignment(structure)
+        )
+
+    def test_reading_the_other_threads_store_cross_ways(self):
+        # Both loads seeing the other thread's store is the (1, 1)
+        # outcome: fine whenever operations interleave, but impossible
+        # under Seriality, where one whole thread runs first and its own
+        # load can only see the initial value.
+        for model in MODELS:
+            structure = self._structure(model)
+            assignment = {}
+            for load in structure.loads:
+                (store,) = structure.stores_by_addr[load.addr]
+                assignment[load.eid] = ("store", store.eid)
+            expected = model != "serial"
+            assert check_rf_assignment(structure, assignment) == expected, model
+
+    def test_non_candidate_assignment_is_rejected(self):
+        structure = self._structure("relaxed")
+        assignment = self._init_assignment(structure)
+        first = structure.loads[0]
+        # A "forward" source does not exist for these loads (no own
+        # earlier same-address store), so it is not a candidate.
+        assignment[first.eid] = ("forward", 0)
+        assert not check_rf_assignment(structure, assignment)
+
+
+class TestBudgets:
+    def test_check_budget_degrades_to_inconclusive(self):
+        compiled = FuzzProgram.parse(SB_SPEC).compile()
+        result = rfcheck_outcomes(compiled, "relaxed", max_checks=1)
+        assert not result.ok
+        assert "rf consistency checks" in result.reason
+        with pytest.raises(RuntimeError):
+            result.allows((0, 0))
+
+    def test_step_budget_degrades_to_inconclusive(self):
+        compiled = FuzzProgram.parse(SB_SPEC).compile()
+        result = rfcheck_outcomes(compiled, "relaxed", max_steps=1)
+        assert not result.ok
+
+    def test_result_counts_work(self):
+        compiled = FuzzProgram.parse(SB_SPEC).compile()
+        result = rfcheck_outcomes(compiled, "sc")
+        assert result.ok
+        assert result.traces == 1
+        assert result.assignments > 0
+        assert result.checks > 0
+        assert result.outcomes == {(0, 1), (1, 0), (1, 1)}
+
+
+class TestSerialQuotient:
+    def test_serial_forbids_interleaving_sb(self):
+        compiled = FuzzProgram.parse(SB_SPEC).compile()
+        result = rfcheck_outcomes(compiled, "serial")
+        assert result.ok
+        # Whole-invocation atomicity: one thread's (store; load) pair runs
+        # entirely before the other's, so exactly one load sees a store
+        # and the other sees the initial value.
+        assert result.outcomes == {(0, 1), (1, 0)}

@@ -1,0 +1,83 @@
+"""Property tests of the rf engine over generated litmus programs.
+
+Three properties, all over the PR-3 fuzz generator's program space:
+
+* the rf engine's outcome set equals the operational enumerator's on every
+  model (the in-process half of the three-way differential harness);
+* memory-model monotonicity (Section 2.3.3): a stronger model's outcomes
+  are a subset of a weaker model's;
+* fences only ever forbid outcomes, never allow new ones.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz import FuzzProgram, generate_program
+from repro.oracle import enumerate_outcomes
+from repro.rfcheck import rfcheck_outcomes
+
+#: Weakest to strongest.
+CHAIN = ["relaxed", "pso", "tso", "sc", "serial"]
+
+
+def random_program(seed: int) -> FuzzProgram:
+    return generate_program(random.Random(seed))
+
+
+def rf_outcomes(program: FuzzProgram, model: str):
+    result = rfcheck_outcomes(program.compile(), model)
+    assert result.ok, result.reason
+    return result.outcomes
+
+
+def strip_fences(program: FuzzProgram) -> FuzzProgram | None:
+    threads = tuple(
+        stripped
+        for thread in program.threads
+        if (stripped := tuple(op for op in thread if op.kind != "fence"))
+    )
+    if not threads:
+        return None
+    return FuzzProgram(threads=threads)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_rfcheck_matches_the_enumerator(seed):
+    program = random_program(seed)
+    compiled = program.compile()
+    for model in CHAIN:
+        oracle = enumerate_outcomes(compiled, model)
+        rf = rfcheck_outcomes(compiled, model)
+        assert oracle.ok, oracle.reason
+        assert rf.ok, rf.reason
+        assert rf.outcomes == oracle.outcomes, (
+            f"{program.spec()} @ {model}: rfcheck and enumerator disagree"
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_stronger_models_allow_subsets(seed):
+    program = random_program(seed)
+    sets = [rf_outcomes(program, model) for model in CHAIN]
+    for weaker, stronger in zip(sets, sets[1:]):
+        assert stronger <= weaker, (
+            f"{program.spec()}: monotonicity violated between models"
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_fences_only_forbid_outcomes(seed):
+    program = random_program(seed)
+    stripped = strip_fences(program)
+    if stripped is None or stripped.spec() == program.spec():
+        return
+    for model in CHAIN:
+        fenced = rf_outcomes(program, model)
+        unfenced = rf_outcomes(stripped, model)
+        assert fenced <= unfenced, (
+            f"{program.spec()}: fences allowed a new outcome under {model}"
+        )

@@ -54,6 +54,7 @@ DEFAULT_SET = [
     "encoding_size",
     "fuzz_throughput",
     "simplify",
+    "rfcheck",
 ]
 
 #: --compare regression gate: fail when a benchmark got more than 25%
