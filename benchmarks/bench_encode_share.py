@@ -1,0 +1,127 @@
+"""Encode-time comparison: shared skeleton vs from-scratch encoding.
+
+For every small-tier catalog test this benchmark encodes the full
+five-model sweep twice — once rebuilding the formula from scratch for
+every model (``share_encode=False``, the ``--no-share-encode`` baseline)
+and once on forks of the memoized model-independent skeleton (the
+default) — and gates the headline claim of the optimization:
+
+* summed over the sweep, scratch encoding must take at least **2x** the
+  wall-clock of shared encoding.
+
+Methodology: the two sides are measured in interleaved rounds (scratch,
+shared, scratch, shared, ...) so machine-load swings hit both equally,
+and each side keeps its per-test **minimum** across rounds — the
+standard noise-robust estimator for CPU-bound work.  Each round compiles
+the test afresh on both sides, so the shared side honestly pays its
+skeleton build inside the measured window (the skeleton is memoized on
+the compiled test, and a fresh compile starts with none).
+"""
+
+import time
+
+import pytest
+
+from repro.datatypes.registry import category_of, get_implementation
+from repro.encoding import compile_test, encode_test
+from repro.harness.catalog import get_test, test_names as catalog_test_names
+from repro.memorymodel.base import get_model
+
+MODELS = [get_model(name) for name in ("serial", "sc", "tso", "pso", "relaxed")]
+
+ROUNDS = 3
+
+#: The acceptance threshold: scratch / shared encode seconds.
+MIN_SPEEDUP = 2.0
+
+
+def _cases():
+    cases = []
+    for implementation in ("msn", "ms2", "harris", "lazylist", "snark"):
+        category = category_of(implementation)
+        for name in catalog_test_names(category, "small"):
+            cases.append((implementation, name))
+    return cases
+
+
+def _sweep_seconds(implementation, test, share: bool) -> float:
+    """Seconds to encode one fresh-compiled test under every model."""
+    compiled = compile_test(implementation, test)
+    start = time.perf_counter()
+    for model in MODELS:
+        encode_test(compiled, model, share_encode=share)
+    return time.perf_counter() - start
+
+
+def _measure():
+    """Interleaved measurement; per-test minimum across rounds per side."""
+    cases = [
+        (name, test_name,
+         get_implementation(name),
+         get_test(category_of(name), test_name))
+        for name, test_name in _cases()
+    ]
+    scratch = {(n, t): float("inf") for n, t, _, _ in cases}
+    shared = {(n, t): float("inf") for n, t, _, _ in cases}
+    for _ in range(ROUNDS):
+        for name, test_name, implementation, test in cases:
+            key = (name, test_name)
+            scratch[key] = min(
+                scratch[key], _sweep_seconds(implementation, test, False)
+            )
+            shared[key] = min(
+                shared[key], _sweep_seconds(implementation, test, True)
+            )
+    return scratch, shared
+
+
+def test_shared_encoding_at_least_2x_faster(benchmark):
+    """Acceptance gate: >=2x less encode wall-clock on the small-tier
+    catalog five-model sweep when the skeleton is shared."""
+    scratch, shared = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    scratch_total = sum(scratch.values())
+    shared_total = sum(shared.values())
+    speedup = scratch_total / max(1e-9, shared_total)
+    benchmark.extra_info["encode_share"] = {
+        "models": [model.name for model in MODELS],
+        "rounds": ROUNDS,
+        "scratch_seconds": scratch_total,
+        "shared_seconds": shared_total,
+        "speedup": speedup,
+        "per_test": {
+            f"{name}/{test_name}": {
+                "scratch": scratch[(name, test_name)],
+                "shared": shared[(name, test_name)],
+                "speedup": (
+                    scratch[(name, test_name)]
+                    / max(1e-9, shared[(name, test_name)])
+                ),
+            }
+            for name, test_name in scratch
+        },
+    }
+    assert speedup >= MIN_SPEEDUP, (
+        f"shared-skeleton encode speedup dropped to {speedup:.2f}x "
+        f"(scratch {scratch_total:.3f}s, shared {shared_total:.3f}s) — "
+        f"the >= {MIN_SPEEDUP:.1f}x acceptance gate failed"
+    )
+
+
+def test_shared_sweep_reuses_one_skeleton(benchmark):
+    """Sanity companion to the timing gate: across a five-model sweep the
+    skeleton is built exactly once and every later model reuses it."""
+    implementation = get_implementation("msn")
+    test = get_test("queue", "T0")
+
+    def encode_sweep():
+        compiled = compile_test(implementation, test)
+        return [
+            encode_test(compiled, model, share_encode=True).stats
+            for model in MODELS
+        ]
+
+    stats = benchmark.pedantic(encode_sweep, rounds=1, iterations=1)
+    assert stats[0].skeleton_shared is False
+    assert all(s.skeleton_shared for s in stats[1:])
+    assert stats[0].skeleton_seconds > 0.0
+    assert all(s.skeleton_seconds == 0.0 for s in stats[1:])

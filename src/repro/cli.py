@@ -57,6 +57,22 @@ def _simplify(args) -> bool | None:
     return False if args.no_simplify else None
 
 
+def _share_encode(args) -> bool | None:
+    """The --no-share-encode flag as a CheckOptions value: False when
+    given, None otherwise so CHECKFENCE_SHARE_ENCODE stays reachable."""
+    return False if getattr(args, "no_share_encode", False) else None
+
+
+def _store(args) -> bool | None:
+    """The --store / --no-store flags as a CheckOptions value; None leaves
+    the CHECKFENCE_STORE fallback (default: off) reachable."""
+    if getattr(args, "no_store", False):
+        return False
+    if getattr(args, "store", False):
+        return True
+    return None
+
+
 def _cmd_list(_args) -> int:
     print("Implementations (Table 1 plus variants):")
     rows = []
@@ -95,6 +111,8 @@ def _cmd_check(args) -> int:
         solver_backend=args.solver,
         dense_order=_dense_order(args),
         simplify=_simplify(args),
+        share_encode=_share_encode(args),
+        store=_store(args),
     )
     checker = CheckFence(implementation, options)
     result = checker.check(test, get_model(args.model))
@@ -124,6 +142,8 @@ def _cmd_sweep(args) -> int:
         solver_backend=args.solver,
         dense_order=_dense_order(args),
         simplify=_simplify(args),
+        share_encode=_share_encode(args),
+        store=_store(args),
     )
     session = CheckSession(implementation, options)
     models = [get_model(name.strip()) for name in args.models.split(",")]
@@ -219,6 +239,8 @@ def _cmd_matrix(args) -> int:
         solver_backend=args.solver,
         dense_order=_dense_order(args),
         simplify=_simplify(args),
+        share_encode=_share_encode(args),
+        store=_store(args),
     )
     if args.litmus:
         cells = litmus_cells(models)
@@ -387,6 +409,8 @@ def _cmd_synthesize(args) -> int:
             solver_backend=args.solver,
             dense_order=_dense_order(args),
             simplify=_simplify(args),
+            share_encode=_share_encode(args),
+            store=_store(args),
             synthesis_exact=not args.no_exact,
             synthesis_budget=args.budget,
         )
@@ -462,6 +486,8 @@ def _cmd_fuzz(args) -> int:
             solver_backend=args.solver,
             dense_order=_dense_order(args),
             simplify=_simplify(args),
+            share_encode=_share_encode(args),
+            store=_store(args),
         ),
         progress=None if args.quiet else _matrix_progress,
         shrink=not args.no_shrink,
@@ -484,6 +510,26 @@ def _cmd_fuzz(args) -> int:
     if result.matrix.errors:
         return 2
     return 0 if result.ok else 1
+
+
+def _cmd_cache(args) -> int:
+    from repro.core.store import VerdictStore
+
+    store = VerdictStore()
+    if args.clear:
+        removed = store.clear()
+        print(f"removed {removed} cell(s) from {store.path}")
+        return 0
+    stats = store.stats()
+    print(f"store:  {stats['path']}")
+    if not stats["exists"]:
+        print("cells:  0 (store not created yet)")
+        return 0
+    print(f"size:   {stats['size_bytes']} bytes")
+    print(f"cells:  {stats['cells']}")
+    for kind, count in sorted(stats["kinds"].items()):
+        print(f"  {kind}: {count}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -523,11 +569,33 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: CHECKFENCE_SIMPLIFY or on)"
     )
 
+    share_help = (
+        "rebuild the full encoding from scratch for every memory model "
+        "instead of reusing the memoized model-independent skeleton; same "
+        "formulas, slower sweeps — the differential baseline "
+        "(default: CHECKFENCE_SHARE_ENCODE or shared)"
+    )
+    store_help = (
+        "consult and populate the persistent on-disk result store "
+        "(verdicts + mined observation sets under ~/.cache/checkfence or "
+        "CHECKFENCE_CACHE_DIR, keyed by content hash of source, test, "
+        "model, options, and checker code version; see 'checkfence cache')"
+    )
+    no_store_help = (
+        "never touch the persistent store, overriding CHECKFENCE_STORE=1"
+    )
+
     def add_dense_flag(sub_parser):
         sub_parser.add_argument("--dense-order", action="store_true",
                                 help=dense_help)
         sub_parser.add_argument("--no-simplify", action="store_true",
                                 help=simplify_help)
+        sub_parser.add_argument("--no-share-encode", action="store_true",
+                                help=share_help)
+        sub_parser.add_argument("--store", action="store_true",
+                                help=store_help)
+        sub_parser.add_argument("--no-store", action="store_true",
+                                help=no_store_help)
 
     check_parser = sub.add_parser(
         "check",
@@ -778,6 +846,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress the per-cell progress stream on stderr",
     )
 
+    cache_parser = sub.add_parser(
+        "cache",
+        help="inspect (default) or clear the persistent on-disk result "
+        "store populated by --store / CHECKFENCE_STORE=1",
+    )
+    cache_parser.add_argument("--clear", action="store_true",
+                              help="delete every stored cell")
+
     return parser
 
 
@@ -795,6 +871,7 @@ def main(argv: list[str] | None = None) -> int:
         "oracle": _cmd_oracle,
         "synthesize": _cmd_synthesize,
         "fuzz": _cmd_fuzz,
+        "cache": _cmd_cache,
     }
     try:
         return handlers[args.command](args)

@@ -67,6 +67,21 @@ class CheckOptions:
     #: disables).  Both settings produce identical verdicts and outcome
     #: sets; off exists as a differential baseline and escape hatch.
     simplify: bool | None = None
+    #: Reuse the memoized model-independent encoding skeleton of a compiled
+    #: test and run only the per-model layer on a fork of it (see
+    #: :func:`repro.encoding.formula.encode_test`).  None defers to
+    #: CHECKFENCE_SHARE_ENCODE (default: on; ``0`` / ``--no-share-encode``
+    #: disables).  Shared and scratch encoding run the identical
+    #: construction sequence and produce the same formula; scratch exists
+    #: as a differential baseline and escape hatch.
+    share_encode: bool | None = None
+    #: Consult (and populate) the persistent on-disk result store
+    #: (:mod:`repro.core.store`): verdicts and mined observation sets keyed
+    #: by a content hash of implementation source, test, model, options,
+    #: and checker code version.  None defers to CHECKFENCE_STORE
+    #: (default: off; enable with ``--store`` / ``CHECKFENCE_STORE=1``,
+    #: disable an inherited environment setting with ``--no-store``).
+    store: bool | None = None
     #: Fence kinds offered at every candidate slot during synthesis
     #: (``checkfence synthesize``).  None: the four partial kinds.
     synthesis_kinds: tuple | None = None

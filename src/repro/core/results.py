@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.core.counterexample import CounterexampleTrace
@@ -28,10 +29,24 @@ class CheckStatistics:
     transitivity_clauses: int = 0
     dense_order: bool = False
     observation_set_size: int = 0
+    #: Per-phase wall-clock breakdown of one check.  ``compile_seconds``
+    #: and ``mining_seconds`` are near-zero on session-cache hits;
+    #: ``encode_seconds`` splits into the model-independent skeleton build
+    #: (zero when a memoized skeleton was reused — ``skeleton_shared``)
+    #: and the per-model layer; CNF preprocessing time is the separate
+    #: ``solver_preprocess_seconds`` counter below.
+    compile_seconds: float = 0.0
     mining_seconds: float = 0.0
     encode_seconds: float = 0.0
+    skeleton_seconds: float = 0.0
+    layer_seconds: float = 0.0
+    skeleton_shared: bool = False
     solve_seconds: float = 0.0
     total_seconds: float = 0.0
+    #: True when this result was served from the persistent on-disk store
+    #: (:mod:`repro.core.store`) — the other phase timings then describe
+    #: the original run that populated the cell, not this one.
+    store_hit: bool = False
     solver_conflicts: int = 0
     solver_decisions: int = 0
     solver_propagations: int = 0
@@ -102,11 +117,57 @@ class CheckStatistics:
         self.transitivity_clauses = stats.transitivity_clauses
         self.dense_order = stats.dense_order
         self.encode_seconds = stats.encode_seconds
+        self.skeleton_seconds = stats.skeleton_seconds
+        self.layer_seconds = stats.layer_seconds
+        self.skeleton_shared = stats.skeleton_shared
 
     def order_dict(self) -> dict:
         """The memory-order encoding counters, for benchmark JSON output
         (the shared :data:`~repro.encoding.formula.ORDER_COUNTER_FIELDS`)."""
         return order_counter_dict(self)
+
+    def phase_dict(self) -> dict:
+        """The per-phase timing breakdown, for ``matrix --json`` cells."""
+        return {
+            "compile_seconds": self.compile_seconds,
+            "mining_seconds": self.mining_seconds,
+            "encode_seconds": self.encode_seconds,
+            "skeleton_seconds": self.skeleton_seconds,
+            "layer_seconds": self.layer_seconds,
+            "skeleton_shared": self.skeleton_shared,
+            "simplify_seconds": self.solver_preprocess_seconds,
+            "solve_seconds": self.solve_seconds,
+            "total_seconds": self.total_seconds,
+            "store_hit": self.store_hit,
+        }
+
+    def profile_line(self) -> str:
+        """One-line per-cell phase report (the ``CHECKFENCE_PROFILE=1``
+        output)."""
+        label = f"{self.implementation}/{self.test}@{self.memory_model}"
+        if self.store_hit:
+            return f"[profile] {label} store-hit total={self.total_seconds:.3f}s"
+        skeleton = (
+            "shared"
+            if self.skeleton_shared
+            else f"{self.skeleton_seconds:.3f}s"
+        )
+        return (
+            f"[profile] {label} "
+            f"compile={self.compile_seconds:.3f}s "
+            f"mine={self.mining_seconds:.3f}s "
+            f"encode={self.encode_seconds:.3f}s"
+            f"(skeleton {skeleton} + layer {self.layer_seconds:.3f}s) "
+            f"simplify={self.solver_preprocess_seconds:.3f}s "
+            f"solve={self.solve_seconds:.3f}s "
+            f"total={self.total_seconds:.3f}s"
+        )
+
+
+def profile_enabled() -> bool:
+    """The ``CHECKFENCE_PROFILE`` knob (default off): when on, every check
+    prints its :meth:`CheckStatistics.profile_line` to stderr."""
+    return os.environ.get("CHECKFENCE_PROFILE", "0") not in ("", "0")
 
 
 @dataclass

@@ -25,14 +25,16 @@ implementation and batches cells so the compile/mine caches hit.
 
 from __future__ import annotations
 
+import sys
 import time
 
+from repro.core import store as result_store
 from repro.core.inclusion import run_assertion_check, run_inclusion_check
 from repro.core.loop_bounds import refine_loop_bounds
-from repro.core.results import CheckResult, CheckStatistics
+from repro.core.results import CheckResult, CheckStatistics, profile_enabled
 from repro.core.specification import ObservationSet, mine_specification
 from repro.datatypes.spec import DataTypeImplementation
-from repro.encoding.formula import EncodedTest, encode_test
+from repro.encoding.formula import EncodedTest, encode_test, share_encode_enabled
 from repro.encoding.memory import dense_order_enabled
 from repro.sat.simplify import simplify_enabled
 from repro.encoding.testprogram import CompiledTest, compile_test
@@ -67,15 +69,22 @@ class CheckSession:
         #: CNF preprocessing, resolved once (option wins, then the
         #: CHECKFENCE_SIMPLIFY environment variable) for the same reason.
         self.simplify = simplify_enabled(self.options.simplify)
+        #: Encoding-skeleton reuse, resolved once like the knobs above.
+        self.share_encode = share_encode_enabled(self.options.share_encode)
+        #: Persistent on-disk store (None when disabled — the default).
+        self.store = result_store.open_store(self.options.store)
         self._compiled: dict[tuple, CompiledTest] = {}
         self._specifications: dict[tuple, ObservationSet] = {}
         self._encoded: dict[tuple, EncodedTest] = {}
         #: How often each cacheable stage actually ran (observability for
-        #: sweeps and tests of the reuse behavior).
+        #: sweeps and tests of the reuse behavior).  ``store_hits`` /
+        #: ``store_misses`` count persistent-store lookups (verdict and
+        #: specification cells) and stay zero while the store is off.
         self.cache_stats = {
             "compile": 0, "compile_hits": 0,
             "mine": 0, "mine_hits": 0,
             "encode": 0, "encode_hits": 0,
+            "store_hits": 0, "store_misses": 0,
         }
 
     # ------------------------------------------------------------- pipeline
@@ -86,6 +95,37 @@ class CheckSession:
         to share a name are never conflated by the caches (Invocation and
         its fields have deterministic dataclass reprs)."""
         return (test.name, repr(test.init), repr(test.threads))
+
+    # ------------------------------------------------------ persistent store
+
+    def _options_fingerprint(self) -> list:
+        """The option values a verdict (or mined specification) depends on.
+
+        The solver backend and the encode-sharing knob are deliberately
+        excluded: both are verdict-preserving by construction and gated so
+        differentially in CI, and keying on them would make a store
+        populated under one backend useless under another.
+        """
+        options = self.options
+        return [
+            options.specification_method,
+            options.default_loop_bound,
+            sorted((options.loop_bounds or {}).items()),
+            options.lazy_loop_bounds,
+            options.use_range_analysis,
+            options.check_assertions,
+            self.dense_order,
+            self.simplify,
+        ]
+
+    def _store_key(self, kind: str, test: SymbolicTest, model_name) -> str:
+        return result_store.content_key(kind, [
+            self.implementation.name,
+            self.implementation.source,
+            list(self._test_key(test)),
+            model_name,
+            self._options_fingerprint(),
+        ])
 
     def compile(self, test: SymbolicTest, model: MemoryModel | str) -> CompiledTest:
         """Compile (inline + unroll + analyze) a test, honoring the options.
@@ -158,6 +198,19 @@ class CheckSession:
         if cached is not None:
             self.cache_stats["mine_hits"] += 1
             return cached
+        store_key = None
+        if self.store is not None:
+            # The spec cell is model-independent (mined under the serial
+            # model whatever the check's model is), so it saves the mining
+            # even when the verdict cell of a new model misses.
+            store_key = self._store_key(result_store.SPEC_KIND, test, None)
+            payload = self.store.get(store_key)
+            if payload is not None:
+                self.cache_stats["store_hits"] += 1
+                spec = result_store.restore_spec(payload)
+                self._specifications[key] = spec
+                return spec
+            self.cache_stats["store_misses"] += 1
         self.cache_stats["mine"] += 1
         if compiled is None:
             compiled = self.compile(test, "serial")
@@ -169,6 +222,11 @@ class CheckSession:
             simplify=self.simplify,
         )
         self._specifications[key] = spec
+        if store_key is not None:
+            self.store.put(
+                store_key, result_store.SPEC_KIND,
+                result_store.spec_payload(spec),
+            )
         return spec
 
     def encoded(self, test: SymbolicTest, model: MemoryModel | str) -> EncodedTest:
@@ -187,26 +245,50 @@ class CheckSession:
             backend_factory=self.backend_factory,
             dense_order=self.dense_order,
             simplify=self.simplify,
+            share_encode=self.share_encode,
         )
         self._encoded[key] = encoded
         return encoded
 
     def _encoded_key(self, test: SymbolicTest, model: MemoryModel) -> tuple:
-        """Cache key of an encoded formula: the order construction and the
-        simplification knob are part of the key, so encodings built under
-        different settings never alias even if the environment flips
-        mid-session."""
+        """Cache key of an encoded formula: the order construction, the
+        simplification knob, and the encode-sharing knob are part of the
+        key, so encodings built under different settings never alias even
+        if the environment flips mid-session."""
         return (
             self._test_key(test), model.name, self.dense_order, self.simplify,
+            self.share_encode,
         )
 
     # ---------------------------------------------------------------- check
 
     def check(self, test: SymbolicTest, memory_model: MemoryModel | str) -> CheckResult:
-        """Run the full check of Fig. 1 for one test and memory model."""
+        """Run the full check of Fig. 1 for one test and memory model.
+
+        With the persistent store enabled, a verdict cell whose content
+        key matches (implementation source, test, model, options, checker
+        code version) short-circuits the whole pipeline — no compile, no
+        mining, no solving; the restored result carries the original
+        run's statistics plus ``stats.store_hit``.
+        """
         model = get_model(memory_model)
         total_start = time.perf_counter()
+        store_key = None
+        if self.store is not None:
+            store_key = self._store_key(
+                result_store.VERDICT_KIND, test, model.name
+            )
+            payload = self.store.get(store_key)
+            if payload is not None:
+                self.cache_stats["store_hits"] += 1
+                result = result_store.restore_result(payload)
+                result.stats.total_seconds = time.perf_counter() - total_start
+                if profile_enabled():
+                    print(result.stats.profile_line(), file=sys.stderr)
+                return result
+            self.cache_stats["store_misses"] += 1
         compiled = self.compile(test, model)
+        compile_seconds = time.perf_counter() - total_start
         specification = self.specification(test, compiled=compiled)
         encoded = self.encoded(test, model)
 
@@ -215,6 +297,7 @@ class CheckSession:
             test=test.name,
             memory_model=model.name,
         )
+        stats.compile_seconds = compile_seconds
         stats.merge_encoding(encoded.stats)
         stats.simplify = self.simplify
         stats.observation_set_size = len(specification)
@@ -267,7 +350,7 @@ class CheckSession:
         )
         stats.total_seconds = time.perf_counter() - total_start
 
-        return CheckResult(
+        result = CheckResult(
             passed=passed,
             implementation=self.implementation.name,
             test=test.name,
@@ -278,6 +361,14 @@ class CheckSession:
             loop_bounds=dict(compiled.loop_bounds),
             notes=notes,
         )
+        if store_key is not None:
+            self.store.put(
+                store_key, result_store.VERDICT_KIND,
+                result_store.result_payload(result),
+            )
+        if profile_enabled():
+            print(stats.profile_line(), file=sys.stderr)
+        return result
 
     def sweep(
         self,

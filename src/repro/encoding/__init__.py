@@ -17,9 +17,13 @@ from repro.encoding.memory import MemoryModelEncoder, MemoryOrderEncoding
 from repro.encoding.formula import (
     EncodedTest,
     EncodingContext,
+    EncodingSkeleton,
     EncodingStatistics,
     ObservationSlot,
+    build_skeleton,
     encode_test,
+    share_encode_enabled,
+    skeleton_for,
 )
 
 __all__ = [
@@ -36,7 +40,11 @@ __all__ = [
     "MemoryOrderEncoding",
     "EncodedTest",
     "EncodingContext",
+    "EncodingSkeleton",
     "EncodingStatistics",
     "ObservationSlot",
+    "build_skeleton",
     "encode_test",
+    "share_encode_enabled",
+    "skeleton_for",
 ]

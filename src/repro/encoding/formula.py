@@ -7,11 +7,25 @@ slots (argument/return values), supports adding blocking clauses
 incrementally (specification mining) and "not in the observation set"
 constraints (inclusion check), and decodes SAT models back into execution
 traces.
+
+The build is split along the paper's own formula structure.  The
+``/\\_k Delta_k`` half — symbolic execution of every thread, observation
+slots, assertions, overflow handles, and their Tseitin lowering — depends
+only on the compiled test, never on the memory model, so it is built once
+per :class:`CompiledTest` as an :class:`EncodingSkeleton` and memoized on
+the compiled test itself.  Each per-model encode then *forks* the skeleton
+(an array-level CNF snapshot plus shallow circuit/dict copies) and runs
+only ``Theta`` — the :class:`repro.encoding.memory.MemoryModelEncoder`
+layer — on top.  A five-model sweep therefore executes symbolic execution
+and base lowering once instead of five times.  ``CHECKFENCE_SHARE_ENCODE=0``
+(or ``share_encode=False``) restores scratch encoding; both paths run the
+identical construction sequence, so they produce identical formulas.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -61,6 +75,49 @@ class EncodingContext:
         #: carries it (inlining/unrolling duplicates the statement but not
         #: the label).
         self.fence_selectors: dict[str, int] = {}
+        # Model-independent equality terms, shared across per-model layers:
+        # address/value equality by unordered access-index pair and the
+        # initial-value term of each load.  Prewarmed by the skeleton build
+        # so no memory model pays to reconstruct them.
+        self._addr_eq: dict[tuple[int, int], int] = {}
+        self._value_eq: dict[tuple[int, int], int] = {}
+        self._init_terms: dict[int, int] = {}
+        #: Memoized model-independent enumerations (sorted access lists,
+        #: same-thread pairs, fence pairs, atomic-exclusion triples, value
+        #: candidates).  Forks share the dict *by reference*: whichever
+        #: per-model layer runs first fills it and the other four models of
+        #: a sweep reuse it, while scratch encoding (a fresh context per
+        #: model) recomputes it five times.
+        self.shared_streams: dict = {}
+
+    # -------------------------------------------------------------- snapshot
+
+    def fork(self) -> "EncodingContext":
+        """An independent continuation of this context.
+
+        Circuit handles minted before the fork stay valid in the copy, and
+        the CNF snapshot is an array-level memcpy, so a per-model encoding
+        layer can grow on the fork without disturbing the shared skeleton.
+        """
+        out = EncodingContext.__new__(EncodingContext)
+        out.compiled = self.compiled
+        out.circuit = self.circuit.copy()
+        out.bvb = BitVecBuilder(out.circuit)
+        out.lowering = self.lowering.fork(out.circuit)
+        out.layout = self.layout
+        out.ranges = self.ranges
+        out.allocation = self.allocation
+        out.width = self.width
+        out._access_counter = self._access_counter
+        out._atomic_counter = self._atomic_counter
+        out._initial_values = dict(self._initial_values)
+        out._heap_policies = dict(self._heap_policies)
+        out.fence_selectors = dict(self.fence_selectors)
+        out._addr_eq = dict(self._addr_eq)
+        out._value_eq = dict(self._value_eq)
+        out._init_terms = dict(self._init_terms)
+        out.shared_streams = self.shared_streams
+        return out
 
     # ------------------------------------------------------------- plumbing
 
@@ -130,6 +187,57 @@ class EncodingContext:
         self._initial_values[location] = value
         return value
 
+    # ----------------------------------------------- shared equality terms
+
+    def addr_eq(self, first, second) -> int:
+        """Address-equality handle of an access pair (model-independent;
+        ``eq`` is structurally symmetric, so the pair is keyed unordered)."""
+        if first.index < second.index:
+            key = (first.index, second.index)
+        else:
+            key = (second.index, first.index)
+        cached = self._addr_eq.get(key)
+        if cached is None:
+            cached = self.bvb.eq(first.addr, second.addr)
+            self._addr_eq[key] = cached
+        return cached
+
+    def value_eq(self, load, store) -> int:
+        """Value-equality handle between a load and a candidate store."""
+        if load.index < store.index:
+            key = (load.index, store.index)
+        else:
+            key = (store.index, load.index)
+        cached = self._value_eq.get(key)
+        if cached is None:
+            cached = self.bvb.eq(load.value, store.value)
+            self._value_eq[key] = cached
+        return cached
+
+    def initial_value_term(self, load) -> int:
+        """The "load reads the initial value of its address" disjunct of the
+        value axiom — model-independent, so built once per load."""
+        cached = self._init_terms.get(load.index)
+        if cached is not None:
+            return cached
+        circuit = self.circuit
+        bvb = self.bvb
+        if load.addr_candidates is None:
+            locations = sorted(self.layout.valid_indices())
+        else:
+            locations = sorted(l for l in load.addr_candidates if l != 0)
+        terms = []
+        for location in locations:
+            terms.append(
+                circuit.and_(
+                    bvb.eq_const(load.addr, location),
+                    bvb.eq(load.value, self.initial_value(location)),
+                )
+            )
+        term = circuit.or_many(terms)
+        self._init_terms[load.index] = term
+        return term
+
 
 @dataclass
 class ObservationSlot:
@@ -178,7 +286,15 @@ class EncodingStatistics:
     accesses: int = 0
     cnf_variables: int = 0
     cnf_clauses: int = 0
+    #: Total encode wall-clock paid by *this* call: skeleton + layer.
     encode_seconds: float = 0.0
+    #: Time spent building the model-independent skeleton in this call
+    #: (0.0 when a memoized skeleton was reused).
+    skeleton_seconds: float = 0.0
+    #: Time spent forking the skeleton and running the per-model layer.
+    layer_seconds: float = 0.0
+    #: True when a previously built skeleton was reused.
+    skeleton_shared: bool = False
     order_pairs: int = 0
     order_vars: int = 0
     order_pairs_static: int = 0
@@ -574,25 +690,60 @@ class EncodedTest:
         ]
 
 
-def encode_test(
-    compiled: CompiledTest,
-    model: MemoryModel,
-    backend_factory: BackendFactory | None = None,
-    dense_order: bool | None = None,
-    simplify: bool | None = None,
-) -> EncodedTest:
-    """Build the formula ``Phi`` for a compiled test under a memory model.
+def share_encode_enabled(flag: bool | None = None) -> bool:
+    """Resolve the encode-sharing knob: an explicit flag wins, otherwise the
+    ``CHECKFENCE_SHARE_ENCODE`` environment variable (default: enabled;
+    like every repo env flag, only the literal ``"0"`` disables it)."""
+    if flag is not None:
+        return bool(flag)
+    return os.environ.get("CHECKFENCE_SHARE_ENCODE", "1") != "0"
 
-    ``dense_order`` selects the memory-order construction: ``False`` (the
-    default) uses the conflict-aware pruned encoding, ``True`` the original
-    dense one; ``None`` defers to ``CHECKFENCE_DENSE_ORDER``.
 
-    ``simplify`` runs the in-process CNF preprocessor between lowering and
-    solving (``True`` by default); ``None`` defers to
-    ``CHECKFENCE_SIMPLIFY`` (``0`` disables).
+@dataclass
+class EncodingSkeleton:
+    """The model-independent half of ``Phi`` for one compiled test.
+
+    Holds the pristine :class:`EncodingContext` after symbolic execution of
+    every thread, the observation slots / assertions / overflow handles,
+    and the base CNF with every thread formula already Tseitin-lowered.
+    Per-model layers must never mutate it: they run on
+    :meth:`EncodingContext.fork` snapshots (see :func:`encode_test`).
     """
-    dense = dense_order_enabled(dense_order)
-    simplify_flag = simplify_enabled(simplify)
+
+    compiled: CompiledTest
+    context: EncodingContext
+    threads: list[ThreadEncoding]
+    executors: dict[int, ThreadSymbolicExecutor]
+    observation_slots: list[ObservationSlot]
+    assertions: list[tuple[int, str]]
+    overflow_handles: dict[str, int]
+    build_seconds: float = 0.0
+
+
+#: Attribute under which a compiled test memoizes its skeleton.  Storing it
+#: on the object (rather than a module-level map) ties the skeleton's
+#: lifetime to the compiled test: session caches keep it warm, fuzz
+#: campaigns drop it with the program.  ``CompiledTest.__getstate__``
+#: excludes it from pickling.
+_SKELETON_ATTR = "_encoding_skeleton"
+
+
+def skeleton_for(compiled: CompiledTest) -> tuple[EncodingSkeleton, bool]:
+    """The memoized skeleton of a compiled test, building it on first use.
+
+    Returns ``(skeleton, reused)`` where ``reused`` is True when a
+    previously built skeleton was found.
+    """
+    skeleton = getattr(compiled, _SKELETON_ATTR, None)
+    if skeleton is not None:
+        return skeleton, True
+    skeleton = build_skeleton(compiled)
+    setattr(compiled, _SKELETON_ATTR, skeleton)
+    return skeleton, False
+
+
+def build_skeleton(compiled: CompiledTest) -> EncodingSkeleton:
+    """Symbolically execute every thread and lower the base CNF."""
     start = time.perf_counter()
     context = EncodingContext(compiled)
     threads_by_index = compiled.threads()
@@ -624,21 +775,286 @@ def encode_test(
             handle = -context.bvb.is_zero(executor.register_value(flag_reg))
             overflow_handles[f"{invocation.label}:{tag}"] = handle
 
-    encoder = MemoryModelEncoder(context, model, thread_encodings, dense=dense)
-    order = encoder.encode()
+    prelower = _prewarm_shared_terms(context, thread_encodings)
+    _lower_base_cnf(
+        context, thread_encodings, observation_slots, assertions,
+        overflow_handles, prelower,
+    )
+    return EncodingSkeleton(
+        compiled=compiled,
+        context=context,
+        threads=thread_encodings,
+        executors=executors,
+        observation_slots=observation_slots,
+        assertions=assertions,
+        overflow_handles=overflow_handles,
+        build_seconds=time.perf_counter() - start,
+    )
 
-    # Make sure every observable bit and assertion condition has a SAT
-    # variable, so models can always be decoded.
+
+def _core_static_reach(
+    context: EncodingContext,
+    threads: list[ThreadEncoding],
+    accesses,
+    position: dict[int, int],
+    extra_edges,
+) -> list[int]:
+    """Reachability bitmasks of the *model-independent core* of the static
+    order: edges every memory model resolves identically — init-thread
+    accesses before every other thread, init-thread and atomic-block
+    program order, always-executed fences, and the caller-supplied
+    ``extra_edges`` (constant same-address store order, which every
+    registered model enforces).  The per-model static resolver
+    (:meth:`MemoryModelEncoder._resolve_static_orders`) produces a superset
+    of this relation, so a (load, store) pair the core orders load-first is
+    invisible under every model and its equality terms need never exist.
+    (Were a model ever to drop one of these axioms, its layer would simply
+    build the skipped terms lazily on its fork — prewarm narrowing can
+    cost per-model time, never correctness.)
+    """
+    n = len(accesses)
+    successors = [0] * n
+    for first, second in extra_edges:
+        successors[position[first.index]] |= 1 << position[second.index]
+    circuit_true = context.circuit.TRUE
+    by_thread: dict[int, list] = {}
+    for access in accesses:
+        by_thread.setdefault(access.thread, []).append(access)
+    for thread_accesses in by_thread.values():
+        thread_accesses.sort(key=lambda a: a.seq)
+        for i, first in enumerate(thread_accesses):
+            for second in thread_accesses[i + 1:]:
+                if first.thread == INIT_THREAD or (
+                    first.atomic_group is not None
+                    and first.atomic_group == second.atomic_group
+                ):
+                    successors[position[first.index]] |= (
+                        1 << position[second.index]
+                    )
+    for thread in threads:
+        fences = [f for f in thread.fences if f.guard == circuit_true]
+        if not fences:
+            continue
+        thread_accesses = by_thread.get(thread.thread, [])
+        for fence in fences:
+            before = [
+                a for a in thread_accesses
+                if a.seq < fence.seq and a.kind in fence.kind.orders_before
+            ]
+            after = [
+                a for a in thread_accesses
+                if a.seq > fence.seq and a.kind in fence.kind.orders_after
+            ]
+            for first in before:
+                for second in after:
+                    successors[position[first.index]] |= (
+                        1 << position[second.index]
+                    )
+    for access in accesses:
+        if access.thread == INIT_THREAD:
+            bit = 0
+            for other in accesses:
+                if other.thread != INIT_THREAD:
+                    bit |= 1 << position[other.index]
+            successors[position[access.index]] |= bit
+    # Closure: core edges go init -> non-init or follow seq within one
+    # thread, so (non-init, thread, seq) sorts topologically (the same
+    # argument as the per-model resolver's sweep).
+    topo = sorted(
+        range(n),
+        key=lambda p: (
+            accesses[p].thread != INIT_THREAD,
+            accesses[p].thread,
+            accesses[p].seq,
+            p,
+        ),
+    )
+    reach = [0] * n
+    for p in reversed(topo):
+        result = successors[p]
+        pending = successors[p]
+        while pending:
+            low = pending & -pending
+            result |= reach[low.bit_length() - 1]
+            pending ^= low
+        reach[p] = result
+    return reach
+
+
+def _prewarm_shared_terms(
+    context: EncodingContext, threads: list[ThreadEncoding]
+) -> list[int]:
+    """Build the model-independent equality terms into the skeleton.
+
+    Address/value equalities and initial-value terms are what the value and
+    same-address axioms consume; constructing them here (into the context
+    caches every fork inherits) means no per-model layer re-walks the
+    bit-vector builders for them.  Only terms some model can actually
+    reference are built: pairs the model-independent core order proves
+    invisible (store after load under every model), init-thread pairs and
+    atomic-block-internal pairs (statically ordered everywhere, so never
+    compared symbolically) are skipped — prewarming is an optimization,
+    and any term a future model does need is still built lazily on its
+    fork.  Cross-thread store pairs never compare addresses at all: the
+    <M-maximality terms reuse the load's own visibility conjuncts.
+    """
+    accesses = sorted(
+        (a for t in threads for a in t.accesses), key=lambda a: a.index
+    )
+    position = {a.index: i for i, a in enumerate(accesses)}
+    alias = {
+        a.index: (
+            frozenset(a.addr_candidates)
+            if a.addr_candidates is not None
+            else None
+        )
+        for a in accesses
+    }
+
+    def may_alias(x, y) -> bool:
+        sx, sy = alias[x.index], alias[y.index]
+        return sx is None or sy is None or not sx.isdisjoint(sy)
+
+    # The same-thread (earlier, store) pairs of the same-address axiom
+    # compare addresses symbolically — except on the init thread and inside
+    # one atomic block, where every model orders them statically.  Pairs
+    # whose comparison folds to a constant TRUE are static order edges
+    # under every registered model and feed the core relation below.
+    # Pairs already ordered by the fence/atomic/init core are built (so
+    # every fork shares the construction) but not marked for pre-lowering:
+    # the same-address axiom folds their order handle to TRUE and never
+    # references the comparison.
+    prelower: list[int] = []
+    const_edges: list[tuple] = []
+    circuit_true = context.circuit.TRUE
+    base_reach = _core_static_reach(context, threads, accesses, position, ())
+    for thread in threads:
+        if thread.thread == INIT_THREAD:
+            continue
+        ordered = sorted(thread.accesses, key=lambda a: a.seq)
+        for i, first in enumerate(ordered):
+            for second in ordered[i + 1:]:
+                if not second.is_store:
+                    continue
+                if (
+                    first.atomic_group is not None
+                    and first.atomic_group == second.atomic_group
+                ):
+                    continue
+                if may_alias(first, second):
+                    term = context.addr_eq(first, second)
+                    if term == circuit_true:
+                        const_edges.append((first, second))
+                    elif not (
+                        (base_reach[position[first.index]]
+                         >> position[second.index]) & 1
+                    ):
+                        prelower.append(term)
+
+    reach = _core_static_reach(
+        context, threads, accesses, position, const_edges
+    )
+    stores = [a for a in accesses if a.is_store]
+    for load in accesses:
+        if not load.is_load:
+            continue
+        prelower.append(context.initial_value_term(load))
+        load_reach = reach[position[load.index]]
+        for store in stores:
+            if (load_reach >> position[store.index]) & 1:
+                continue  # store after load in every model: invisible
+            if may_alias(load, store):
+                prelower.append(context.addr_eq(load, store))
+                prelower.append(context.value_eq(load, store))
+    return prelower
+
+
+def _lower_base_cnf(
+    context: EncodingContext,
+    threads: list[ThreadEncoding],
+    observation_slots: list[ObservationSlot],
+    assertions: list[tuple[int, str]],
+    overflow_handles: dict[str, int],
+    prelower: list[int],
+) -> None:
+    """Tseitin-lower the model-independent formula into the base CNF.
+
+    Every observable bit, assertion condition and overflow handle needs a
+    SAT variable so models can always be decoded; every access guard,
+    address and value bit is referenced by the value axioms of *every*
+    memory model, so lowering their cones here emits the thread-formula
+    clauses once instead of once per model.  Candidate-fence selectors are
+    assumed (and appear in cores) after the first solve, so they too need
+    CNF variables — and protection from the preprocessor — up front.
+    """
+    literal = context.lowering.literal
     for slot in observation_slots:
         for bit in slot.value.bits:
-            context.lowering.literal(bit)
+            literal(bit)
     for handle, _ in assertions:
-        context.lowering.literal(handle)
-    # Candidate-fence selectors are assumed (and appear in cores) after the
-    # first solve, so they need CNF variables — and protection from the
-    # preprocessor — up front.
+        literal(handle)
+    for handle in overflow_handles.values():
+        literal(handle)
     for handle in context.fence_selectors.values():
-        context.lowering.literal(handle)
+        literal(handle)
+    for thread in threads:
+        for access in thread.accesses:
+            literal(access.guard)
+            for bit in access.addr.bits:
+                literal(bit)
+            for bit in access.value.bits:
+                literal(bit)
+        for fence in thread.fences:
+            literal(fence.guard)
+    # The prewarmed equality/initial-value cones marked for pre-lowering
+    # are consumed by every model's axioms — the gates themselves appear
+    # as children of each layer's conjunctions — so lowering them (cone
+    # and top gate) here emits exactly the Tseitin definitions every
+    # per-model layer would otherwise re-derive.
+    for handle in prelower:
+        if abs(handle) != Circuit.TRUE:
+            literal(handle)
+
+
+def encode_test(
+    compiled: CompiledTest,
+    model: MemoryModel,
+    backend_factory: BackendFactory | None = None,
+    dense_order: bool | None = None,
+    simplify: bool | None = None,
+    share_encode: bool | None = None,
+) -> EncodedTest:
+    """Build the formula ``Phi`` for a compiled test under a memory model.
+
+    ``dense_order`` selects the memory-order construction: ``False`` (the
+    default) uses the conflict-aware pruned encoding, ``True`` the original
+    dense one; ``None`` defers to ``CHECKFENCE_DENSE_ORDER``.
+
+    ``simplify`` runs the in-process CNF preprocessor between lowering and
+    solving (``True`` by default); ``None`` defers to
+    ``CHECKFENCE_SIMPLIFY`` (``0`` disables).
+
+    ``share_encode`` reuses the memoized model-independent skeleton of the
+    compiled test and runs only the per-model layer on a fork of it
+    (``True`` by default); ``None`` defers to ``CHECKFENCE_SHARE_ENCODE``
+    (``0`` disables).  Both paths run the identical construction sequence,
+    so shared and scratch encodes produce the same formula.
+    """
+    dense = dense_order_enabled(dense_order)
+    simplify_flag = simplify_enabled(simplify)
+    if share_encode_enabled(share_encode):
+        skeleton, reused = skeleton_for(compiled)
+        layer_start = time.perf_counter()
+        # Fork even a freshly built skeleton: it must stay pristine for the
+        # next model (and the next check after an inclusion query).
+        context = skeleton.context.fork()
+    else:
+        skeleton, reused = build_skeleton(compiled), False
+        layer_start = time.perf_counter()
+        context = skeleton.context  # consumed in place; never reused
+
+    encoder = MemoryModelEncoder(context, model, skeleton.threads, dense=dense)
+    order = encoder.encode()
 
     stats = EncodingStatistics()
     size = compiled.size_statistics()
@@ -653,17 +1069,20 @@ def encode_test(
     stats.order_pairs_static = encoder.static_pair_count
     stats.transitivity_clauses = encoder.transitivity_clause_count
     stats.dense_order = dense
-    stats.encode_seconds = time.perf_counter() - start
+    stats.skeleton_shared = reused
+    stats.skeleton_seconds = 0.0 if reused else skeleton.build_seconds
+    stats.layer_seconds = time.perf_counter() - layer_start
+    stats.encode_seconds = stats.skeleton_seconds + stats.layer_seconds
 
     return EncodedTest(
         context=context,
         model=model,
-        threads=thread_encodings,
-        executors=executors,
+        threads=skeleton.threads,
+        executors=skeleton.executors,
         order=order,
-        observation_slots=observation_slots,
-        assertions=assertions,
-        overflow_handles=overflow_handles,
+        observation_slots=skeleton.observation_slots,
+        assertions=skeleton.assertions,
+        overflow_handles=skeleton.overflow_handles,
         stats=stats,
         backend_factory=backend_factory,
         simplify=simplify_flag,

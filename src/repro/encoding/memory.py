@@ -43,6 +43,7 @@ can prove the pruned construction produces identical outcome sets.
 
 from __future__ import annotations
 
+import heapq
 import os
 from dataclasses import dataclass, field
 from itertools import combinations
@@ -124,35 +125,54 @@ class MemoryModelEncoder:
         self.model = model
         self.threads = threads
         self.dense = dense
-        self.accesses: list[MemoryAccess] = sorted(
-            (a for t in threads for a in t.accesses), key=lambda a: a.index
-        )
-        # Re-index accesses densely (their global indices may have gaps if
-        # other structures were encoded in between).
-        self._position = {a.index: i for i, a in enumerate(self.accesses)}
-        self.encoding = MemoryOrderEncoding(accesses=self.accesses)
-        self._addr_eq_cache: dict[tuple[int, int], int] = {}
-        # Frozen alias sets and per-thread seq-sorted access lists are
-        # computed once and reused by every axiom (the dense construction
-        # re-derived both repeatedly).
-        self._alias_sets: dict[int, frozenset | None] = {
-            a.index: (
-                frozenset(a.addr_candidates)
-                if a.addr_candidates is not None
-                else None
+        # Model-independent enumerations are memoized on the context's
+        # shared-streams dict: in a shared-skeleton sweep the first model
+        # computes them and the rest reuse them, while scratch encoding
+        # recomputes them per model.
+        self._streams: dict = getattr(context, "shared_streams", None) or {}
+        base = self._streams.get("base")
+        if base is None:
+            accesses = sorted(
+                (a for t in threads for a in t.accesses), key=lambda a: a.index
             )
-            for a in self.accesses
-        }
-        self._by_thread: dict[int, list[MemoryAccess]] = {
-            t.thread: sorted(t.accesses, key=lambda a: a.seq)
-            for t in self.threads
-        }
+            # Re-index accesses densely (their global indices may have gaps
+            # if other structures were encoded in between).
+            position = {a.index: i for i, a in enumerate(accesses)}
+            alias_sets: dict[int, frozenset | None] = {
+                a.index: (
+                    frozenset(a.addr_candidates)
+                    if a.addr_candidates is not None
+                    else None
+                )
+                for a in accesses
+            }
+            by_thread = {
+                t.thread: sorted(t.accesses, key=lambda a: a.seq)
+                for t in threads
+            }
+            same_thread_pairs = [
+                (first, second)
+                for thread_accesses in by_thread.values()
+                for i, first in enumerate(thread_accesses)
+                for second in thread_accesses[i + 1:]
+            ]
+            base = (accesses, position, alias_sets, by_thread, same_thread_pairs)
+            self._streams["base"] = base
+        (
+            self.accesses,
+            self._position,
+            self._alias_sets,
+            self._by_thread,
+            self._same_thread_pair_list,
+        ) = base
+        self.encoding = MemoryOrderEncoding(accesses=self.accesses)
         #: Candidate stores per load (visibility-pruned under the pruned
         #: construction), filled by :meth:`_compute_value_candidates`.
         self._value_candidates: list[tuple[MemoryAccess, list[MemoryAccess]]] = []
-        self._fence_pair_list: (
-            list[tuple[MemoryAccess, MemoryAccess, int]] | None
-        ) = None
+        #: Handle of every resolvable pair, doubly keyed by global access
+        #: index; built by :meth:`_build_order_handle_map` after variable
+        #: creation.
+        self._order_handles: dict[tuple[int, int], int] = {}
         # Size counters surfaced through EncodingStatistics.
         self.transitivity_clause_count = 0
 
@@ -167,6 +187,7 @@ class MemoryModelEncoder:
             self._resolve_static_orders()
             self._prune_value_candidates()
             self._create_live_order_variables()
+        self._build_order_handle_map()
         self._assert_program_order()
         self._assert_same_address_order()
         self._assert_fences()
@@ -228,34 +249,56 @@ class MemoryModelEncoder:
         """
         n = len(self.accesses)
         position = self._position
-        successors = [0] * n
+        # The edge set splits into a model-independent *core* — init-thread
+        # order, atomic-block-internal order, always-executed fences, and
+        # constant same-address store pairs (conditional only on the
+        # model's same-address axiom being on, which is part of the cache
+        # key) — plus the model's preserved program-order pairs.  The core
+        # masks are memoized on the shared streams, so a sweep computes
+        # them once; edges are idempotent under ``|=``, so unioning the
+        # core with the preserves pass yields exactly the edge set the
+        # single combined walk used to produce.
+        core_key = ("core_successors", self.model.same_address_store_order)
+        core = self._streams.get(core_key)
+        if core is None:
+            core = [0] * n
 
-        def add_edge(first: MemoryAccess, second: MemoryAccess) -> None:
-            successors[position[first.index]] |= 1 << position[second.index]
+            def add_edge(first: MemoryAccess, second: MemoryAccess) -> None:
+                core[position[first.index]] |= 1 << position[second.index]
 
-        circuit_true = self.ctx.circuit.TRUE
+            circuit_true = self.ctx.circuit.TRUE
+            for first, second in self._same_thread_pairs():
+                if first.thread == INIT_THREAD:
+                    add_edge(first, second)
+                elif (
+                    first.atomic_group is not None
+                    and first.atomic_group == second.atomic_group
+                ):
+                    add_edge(first, second)
+                elif self._same_address_static_edge(first, second):
+                    # Axiom 1 with a constant address comparison: the guard
+                    # of the implication is always true, so the order is
+                    # forced.
+                    add_edge(first, second)
+            for first, second, guard in self._fence_pairs():
+                if guard == circuit_true:
+                    add_edge(first, second)
+            init_accesses = [a for a in self.accesses if a.thread == INIT_THREAD]
+            others = [a for a in self.accesses if a.thread != INIT_THREAD]
+            for first in init_accesses:
+                for second in others:
+                    add_edge(first, second)
+            self._streams[core_key] = core
+
+        successors = list(core)
+        preserves = self.model.preserves
         for first, second in self._same_thread_pairs():
-            if first.thread == INIT_THREAD or self.model.preserves(
+            if first.thread != INIT_THREAD and preserves(
                 first.kind, second.kind
             ):
-                add_edge(first, second)
-            elif (
-                first.atomic_group is not None
-                and first.atomic_group == second.atomic_group
-            ):
-                add_edge(first, second)
-            elif self._same_address_static_edge(first, second):
-                # Axiom 1 with a constant address comparison: the guard of
-                # the implication is always true, so the order is forced.
-                add_edge(first, second)
-        for first, second, guard in self._fence_pairs():
-            if guard == circuit_true:
-                add_edge(first, second)
-        init_accesses = [a for a in self.accesses if a.thread == INIT_THREAD]
-        others = [a for a in self.accesses if a.thread != INIT_THREAD]
-        for first in init_accesses:
-            for second in others:
-                add_edge(first, second)
+                successors[position[first.index]] |= (
+                    1 << position[second.index]
+                )
 
         topo = sorted(
             range(n),
@@ -300,9 +343,14 @@ class MemoryModelEncoder:
             if a.thread == INIT_THREAD
         }
         triangles = self._triangulate(seeds, init_positions)
-        circuit = self.ctx.circuit
+        # Order variables are minted unnamed: no decoder reads them back by
+        # name, and the f-string plus two name-table inserts per variable
+        # were a measurable slice of the per-model layer.  The dense
+        # (debugging) construction keeps its names.
+        var = self.ctx.circuit.var
+        order_vars = self.encoding.order_vars
         for key in sorted(seeds):
-            self.encoding.order_vars[key] = circuit.var(f"M[{key[0]},{key[1]}]")
+            order_vars[key] = var()
         self._assert_transitivity_pruned(triangles)
 
     def _seed_pairs(self) -> set[tuple[int, int]]:
@@ -369,35 +417,64 @@ class MemoryModelEncoder:
         """
         n = len(self.accesses)
         vertices = [p for p in range(n) if p not in excluded]
-        adjacency: dict[int, set[int]] = {p: set() for p in vertices}
-
-        def connect(i: int, j: int) -> None:
-            if i in adjacency and j in adjacency:
-                adjacency[i].add(j)
-                adjacency[j].add(i)
-
-        for i, j in seeds:
-            connect(i, j)
-        for i, j in self.encoding.static_pairs:
-            connect(i, j)
+        # Adjacency as one bitmask per vertex: membership tests, edge
+        # updates and degree counts (popcount) all beat set operations in
+        # this loop, and iterating set bits in ascending order gives the
+        # sorted neighbor walk the fill computation needs for determinism.
+        adjacency = [0] * n
+        allowed = 0
+        for p in vertices:
+            allowed |= 1 << p
+        for pairs in (seeds, self.encoding.static_pairs):
+            for i, j in pairs:
+                if (allowed >> i) & 1 and (allowed >> j) & 1:
+                    adjacency[i] |= 1 << j
+                    adjacency[j] |= 1 << i
 
         triangles: list[tuple[int, int, int]] = []
+        static_pairs = self.encoding.static_pairs
+        append = triangles.append
         alive = set(vertices)
+        # Lazy min-degree heap: entries go stale when a neighbor's degree
+        # changes, so each pop re-checks the recorded degree, and touched
+        # neighbors are re-entered with their settled degree — the pop
+        # order matches an eager min-scan exactly.  Scanning `alive` for
+        # the minimum on every round was quadratic in the vertex count and
+        # showed up in layer profiles.
+        heap = [(adjacency[p].bit_count(), p) for p in vertices]
+        heapq.heapify(heap)
+        push = heapq.heappush
         while alive:
-            vertex = min(alive, key=lambda p: (len(adjacency[p]), p))
+            degree, vertex = heapq.heappop(heap)
+            if vertex not in alive:
+                continue
+            mask = adjacency[vertex]
+            current = mask.bit_count()
+            if current != degree:
+                push(heap, (current, vertex))
+                continue
             alive.discard(vertex)
-            neighbors = sorted(adjacency[vertex])
+            neighbors = []
+            while mask:
+                low = mask & -mask
+                neighbors.append(low.bit_length() - 1)
+                mask ^= low
+            vertex_bit = 1 << vertex
             for index, a in enumerate(neighbors):
-                adjacency[a].discard(vertex)
+                adjacency[a] &= ~vertex_bit
+                a_bit = 1 << a
                 for b in neighbors[index + 1:]:
-                    triangles.append((vertex, a, b))
-                    if b not in adjacency[a]:
-                        adjacency[a].add(b)
-                        adjacency[b].add(a)
-                        key = (a, b) if a < b else (b, a)
-                        if key not in self.encoding.static_pairs:
-                            seeds.add(key)
-            adjacency[vertex].clear()
+                    append((vertex, a, b))
+                    b_bit = 1 << b
+                    if not adjacency[a] & b_bit:
+                        adjacency[a] |= b_bit
+                        adjacency[b] |= a_bit
+                        # a < b by construction (ascending bit order).
+                        if (a, b) not in static_pairs:
+                            seeds.add((a, b))
+            adjacency[vertex] = 0
+            for a in neighbors:
+                push(heap, (adjacency[a].bit_count(), a))
         return triangles
 
     def _assert_transitivity_pruned(
@@ -408,41 +485,105 @@ class MemoryModelEncoder:
         Statically resolved edges fold away: a triangle with a known edge
         degenerates to one binary implication, and a triangle whose cycle is
         already statically impossible emits nothing.
-        """
-        order = self.encoding.order
-        for v, a, b in triangles:
-            o_va = order(v, a)
-            o_ab = order(a, b)
-            o_vb = order(v, b)
-            # cycle v -> a -> b -> v: not(o_va and o_ab and not o_vb)
-            self._assert_folded_clause((-o_va, -o_ab, o_vb))
-            # cycle v -> b -> a -> v: not(o_vb and not o_ab and not o_va)
-            self._assert_folded_clause((-o_vb, o_ab, o_va))
 
-    def _assert_folded_clause(self, handles) -> None:
-        """Assert a clause, dropping false literals and skipping clauses
-        made true by a constant (statically resolved) literal."""
-        circuit = self.ctx.circuit
-        out = []
-        for handle in handles:
-            if handle == circuit.TRUE:
-                return
-            if handle != circuit.FALSE:
-                out.append(handle)
-        self.ctx.assert_clause(out)
-        self.transitivity_clause_count += 1
+        This is the hottest loop of the per-model layer (hundreds of
+        thousands of triangles on the larger tests), so every support-graph
+        edge is resolved to its SAT literal (or static truth value) exactly
+        once up front and the clauses go through the trusted CNF path — the
+        three literals of a triangle clause are distinct order variables by
+        construction, so no per-clause normalization is needed.
+        """
+        # ``i*n + j`` in *both* orientations -> True/False when statically
+        # resolved, else the SAT literal of "i <M j".  A flat list indexed
+        # arithmetically beats a tuple-keyed dict in the triangle loop;
+        # booleans and literals share the slots: literals always have
+        # |lit| >= 2 (variable 1 is the lowering's constant), so identity
+        # checks against True/False are unambiguous.
+        n_acc = len(self.accesses)
+        edges: list = [None] * (n_acc * n_acc)
+        for (i, j), forced in self.encoding.static_pairs.items():
+            edges[i * n_acc + j] = forced
+            edges[j * n_acc + i] = not forced
+        order_vars = self.encoding.order_vars
+        lits = self.ctx.lowering.var_literals(order_vars.values())
+        for (i, j), lit in zip(order_vars, lits):
+            edges[i * n_acc + j] = lit
+            edges[j * n_acc + i] = -lit
+        # Clauses are batched into flat buffers and installed in one go;
+        # `append` is bound once — this loop dominates layer time on the
+        # larger tests.
+        buf: list[int] = []
+        lengths: list[int] = []
+        push = buf.append
+        push_len = lengths.append
+        count = 0
+        for v, a, b in triangles:
+            row = v * n_acc
+            e1 = edges[row + a]  # v <M a
+            e2 = edges[a * n_acc + b]  # a <M b
+            e3 = edges[row + b]  # v <M b
+            # cycle v -> a -> b -> v: not(e1 and e2 and not e3)
+            if not (e1 is False or e2 is False or e3 is True):
+                n = 0
+                if e1 is not True:
+                    push(-e1)
+                    n += 1
+                if e2 is not True:
+                    push(-e2)
+                    n += 1
+                if e3 is not False:
+                    push(e3)
+                    n += 1
+                push_len(n)
+                count += 1
+            # cycle v -> b -> a -> v: not(e3 and not e2 and not e1)
+            if not (e3 is False or e2 is True or e1 is True):
+                n = 0
+                if e3 is not True:
+                    push(-e3)
+                    n += 1
+                if e2 is not False:
+                    push(e2)
+                    n += 1
+                if e1 is not False:
+                    push(e1)
+                    n += 1
+                push_len(n)
+                count += 1
+        self.ctx.lowering.cnf.add_clauses_trusted_flat(buf, lengths)
+        self.transitivity_clause_count += count
 
     # ---------------------------------------------------------- pair streams
 
     def _order(self, i: int, j: int) -> int:
         return self.encoding.order(i, j)
 
+    def _build_order_handle_map(self) -> None:
+        """Resolve every live/static pair to its handle once, keyed by
+        global access index in both orientations, so the axiom emitters
+        (the value axioms in particular call :meth:`_order_of` once per
+        candidate-store pair) skip the position lookup and the per-call
+        key normalization of :meth:`MemoryOrderEncoding.resolved`."""
+        accesses = self.accesses
+        handles: dict[tuple[int, int], int] = {}
+        for (i, j), forced in self.encoding.static_pairs.items():
+            xi, xj = accesses[i].index, accesses[j].index
+            if forced:
+                handles[(xi, xj)] = Circuit.TRUE
+                handles[(xj, xi)] = Circuit.FALSE
+            else:
+                handles[(xi, xj)] = Circuit.FALSE
+                handles[(xj, xi)] = Circuit.TRUE
+        for (i, j), var in self.encoding.order_vars.items():
+            xi, xj = accesses[i].index, accesses[j].index
+            handles[(xi, xj)] = var
+            handles[(xj, xi)] = -var
+        self._order_handles = handles
+
     def _same_thread_pairs(self):
-        """Yield (earlier, later) pairs of accesses of the same thread."""
-        for accesses in self._by_thread.values():
-            for i, first in enumerate(accesses):
-                for second in accesses[i + 1:]:
-                    yield first, second
+        """(earlier, later) pairs of accesses of the same thread, memoized
+        (several axioms walk the list per model)."""
+        return self._same_thread_pair_list
 
     def _same_address_static_edge(
         self, first: MemoryAccess, second: MemoryAccess
@@ -482,11 +623,13 @@ class MemoryModelEncoder:
 
     def _fence_pairs(self) -> list[tuple[MemoryAccess, MemoryAccess, int]]:
         """(before, after, guard) for every fence-ordered pair, materialized
-        once (the pruned construction walks the list three times: static
-        resolution, seeding, assertion)."""
-        if self._fence_pair_list is None:
-            self._fence_pair_list = list(self._enumerate_fence_pairs())
-        return self._fence_pair_list
+        once per test (the pruned construction walks the list three times
+        per model: static resolution, seeding, assertion)."""
+        pairs = self._streams.get("fence_pairs")
+        if pairs is None:
+            pairs = list(self._enumerate_fence_pairs())
+            self._streams["fence_pairs"] = pairs
+        return pairs
 
     def _enumerate_fence_pairs(self):
         circuit = self.ctx.circuit
@@ -510,36 +653,54 @@ class MemoryModelEncoder:
                         yield first, second, fence.guard
 
     def _atomic_groups(self) -> list[list[MemoryAccess]]:
-        groups: dict[int, list[MemoryAccess]] = {}
-        # Iterating threads in seq order keeps every group seq-sorted
-        # without re-sorting (atomic blocks never span threads).
-        for accesses in self._by_thread.values():
-            for access in accesses:
-                if access.atomic_group is not None:
-                    groups.setdefault(access.atomic_group, []).append(access)
-        return list(groups.values())
+        groups_list = self._streams.get("atomic_groups")
+        if groups_list is None:
+            groups: dict[int, list[MemoryAccess]] = {}
+            # Iterating threads in seq order keeps every group seq-sorted
+            # without re-sorting (atomic blocks never span threads).
+            for accesses in self._by_thread.values():
+                for access in accesses:
+                    if access.atomic_group is not None:
+                        groups.setdefault(access.atomic_group, []).append(access)
+            groups_list = list(groups.values())
+            self._streams["atomic_groups"] = groups_list
+        return groups_list
 
     def _atomic_exclusion_triples(self):
-        """Yield (first, second, other) for atomic non-interleaving: no
-        ``other`` of a different thread lands between two block members."""
-        for members in self._atomic_groups():
-            thread = members[0].thread
-            outside = [a for a in self.accesses if a.thread != thread]
-            for i, first in enumerate(members):
-                for second in members[i + 1:]:
-                    for other in outside:
-                        yield first, second, other
+        """(first, second, other) triples for atomic non-interleaving: no
+        ``other`` of a different thread lands between two block members.
+        Materialized once per test — the triple count is quadratic in block
+        size times the outside accesses, and both the seeder and the
+        assertion pass walk it for every model."""
+        triples = self._streams.get("exclusion_triples")
+        if triples is None:
+            triples = []
+            for members in self._atomic_groups():
+                thread = members[0].thread
+                outside = [a for a in self.accesses if a.thread != thread]
+                for i, first in enumerate(members):
+                    for second in members[i + 1:]:
+                        for other in outside:
+                            triples.append((first, second, other))
+            self._streams["exclusion_triples"] = triples
+        return triples
 
     def _invocation_group_pairs(self):
-        """Yield (accesses of invocation A, accesses of invocation B) for
-        every unordered pair of invocations (Seriality)."""
-        by_invocation: dict[int, list[MemoryAccess]] = {}
-        for access in self.accesses:
-            by_invocation.setdefault(access.invocation, []).append(access)
-        invocations = sorted(by_invocation)
-        for index, first_inv in enumerate(invocations):
-            for second_inv in invocations[index + 1:]:
-                yield by_invocation[first_inv], by_invocation[second_inv]
+        """(accesses of invocation A, accesses of invocation B) for every
+        unordered pair of invocations (Seriality)."""
+        pairs = self._streams.get("invocation_group_pairs")
+        if pairs is None:
+            by_invocation: dict[int, list[MemoryAccess]] = {}
+            for access in self.accesses:
+                by_invocation.setdefault(access.invocation, []).append(access)
+            invocations = sorted(by_invocation)
+            pairs = [
+                (by_invocation[first_inv], by_invocation[second_inv])
+                for index, first_inv in enumerate(invocations)
+                for second_inv in invocations[index + 1:]
+            ]
+            self._streams["invocation_group_pairs"] = pairs
+        return pairs
 
     # ------------------------------------------------------------ the axioms
 
@@ -556,13 +717,16 @@ class MemoryModelEncoder:
                     self.ctx.assert_true(handle)
 
     def _assert_same_address_order(self) -> None:
+        # addr_eq -> ordered, asserted as one clause directly (routing it
+        # through an implies() node would Tseitin-lower an OR gate per pair
+        # just to assert its output true).
         circuit = self.ctx.circuit
         for first, second in self._same_address_pairs():
             handle = self._order_of(first, second)
             if handle == circuit.TRUE:
                 continue
-            self.ctx.assert_true(
-                circuit.implies(self._addr_eq(first, second), handle)
+            self.ctx.assert_clause(
+                [-self._addr_eq(first, second), handle]
             )
 
     def _assert_fences(self) -> None:
@@ -573,7 +737,7 @@ class MemoryModelEncoder:
             handle = self._order_of(first, second)
             if handle == circuit.TRUE:
                 continue  # statically resolved (always-executed fence)
-            self.ctx.assert_true(circuit.implies(guard, handle))
+            self.ctx.assert_clause([-guard, handle])
 
     def _assert_atomic_blocks(self) -> None:
         circuit_true = self.ctx.circuit.TRUE
@@ -584,29 +748,49 @@ class MemoryModelEncoder:
                     handle = self._order_of(first, second)
                     if handle != circuit_true:
                         self.ctx.assert_true(handle)
-        # (b) no access of another thread interleaves with the block
+        # (b) no access of another thread interleaves with the block.  The
+        # triple count is the layer's largest clause source after
+        # transitivity, so handles come straight from the prebuilt map (a
+        # pair whose order is statically impossible was never seeded, so a
+        # missing entry means the clause is vacuous), literals are memoized
+        # locally (the same order variables recur across triples), and the
+        # clauses go out through the trusted bulk path — at most two
+        # distinct order literals each, so no normalization is needed.
+        handles = self._order_handles
+        literal = self.ctx.lowering.literal
+        true_handle = Circuit.TRUE
+        false_handle = Circuit.FALSE
+        lit_of: dict[int, int] = {}
+        buf: list[int] = []
+        lengths: list[int] = []
+        push = buf.append
+        push_len = lengths.append
         for first, second, other in self._atomic_exclusion_triples():
-            self._assert_exclusion_clause(first, second, other)
-
-    def _assert_exclusion_clause(
-        self, first: MemoryAccess, second: MemoryAccess, other: MemoryAccess
-    ) -> None:
-        circuit = self.ctx.circuit
-        position = self._position
-        first_other = self.encoding.resolved(
-            position[first.index], position[other.index]
-        )
-        other_second = self.encoding.resolved(
-            position[other.index], position[second.index]
-        )
-        if first_other == circuit.FALSE or other_second == circuit.FALSE:
-            return  # one of the two orders is statically impossible
-        out = []
-        if first_other != circuit.TRUE:
-            out.append(-self._order_of(first, other))
-        if other_second != circuit.TRUE:
-            out.append(-self._order_of(other, second))
-        self.ctx.assert_clause(out)
+            first_other = handles.get((first.index, other.index))
+            other_second = handles.get((other.index, second.index))
+            if first_other == false_handle or other_second == false_handle:
+                continue  # one of the two orders is statically impossible
+            count = 0
+            if first_other != true_handle:
+                lit = lit_of.get(first_other)
+                if lit is None:
+                    lit = literal(first_other)
+                    lit_of[first_other] = lit
+                push(-lit)
+                count += 1
+            if other_second != true_handle:
+                lit = lit_of.get(other_second)
+                if lit is None:
+                    lit = literal(other_second)
+                    lit_of[other_second] = lit
+                push(-lit)
+                count += 1
+            # count == 0 (both orders statically forced) appends the empty
+            # clause, marking the formula unsatisfiable exactly as the
+            # generic path did.
+            push_len(count)
+        if lengths:
+            self.ctx.lowering.cnf.add_clauses_trusted_flat(buf, lengths)
 
     def _assert_init_first(self) -> None:
         circuit_true = self.ctx.circuit.TRUE
@@ -619,19 +803,51 @@ class MemoryModelEncoder:
                     self.ctx.assert_true(handle)
 
     def _assert_operation_atomicity(self) -> None:
-        """Seriality: accesses of different invocations never interleave."""
+        """Seriality: accesses of different invocations never interleave.
+
+        ``order <-> OP`` goes out as two clauses directly; a static pair
+        degenerates to a unit constraint on the OP variable (an ``iff()``
+        node would Tseitin-lower an XOR cone per access pair just to assert
+        its output).  Clauses are batched through the trusted path — every
+        clause pairs the OP literal with a distinct order literal.
+        """
         circuit = self.ctx.circuit
+        literal = self.ctx.lowering.literal
+        handles = self._order_handles
+        true_handle = Circuit.TRUE
+        false_handle = Circuit.FALSE
+        lit_of: dict[int, int] = {}
+        buf: list[int] = []
+        lengths: list[int] = []
+        push = buf.append
+        push_len = lengths.append
         for group_a, group_b in self._invocation_group_pairs():
             first_inv = group_a[0].invocation
             second_inv = group_b[0].invocation
-            op_order = circuit.var(f"OP[{first_inv},{second_inv}]")
+            op_lit = literal(circuit.var(f"OP[{first_inv},{second_inv}]"))
             for x in group_a:
+                x_index = x.index
                 for y in group_b:
-                    # iff constant-folds when the pair is static, turning
-                    # into a unit constraint on the OP variable.
-                    self.ctx.assert_true(
-                        circuit.iff(self._order_of(x, y), op_order)
-                    )
+                    handle = handles[(x_index, y.index)]
+                    if handle == true_handle:
+                        push(op_lit)
+                        push_len(1)
+                    elif handle == false_handle:
+                        push(-op_lit)
+                        push_len(1)
+                    else:
+                        lit = lit_of.get(handle)
+                        if lit is None:
+                            lit = literal(handle)
+                            lit_of[handle] = lit
+                        push(-lit)
+                        push(op_lit)
+                        push_len(2)
+                        push(lit)
+                        push(-op_lit)
+                        push_len(2)
+        if lengths:
+            self.ctx.lowering.cnf.add_clauses_trusted_flat(buf, lengths)
 
     # ---------------------------------------------------------- value axioms
 
@@ -644,6 +860,10 @@ class MemoryModelEncoder:
         whose visibility is statically impossible (ordered after the load
         with no forwarding) are dropped here, before any term is built.
         """
+        cached = self._streams.get("value_candidates")
+        if cached is not None:
+            self._value_candidates = cached
+            return
         stores = [a for a in self.accesses if a.is_store]
         by_location: dict[int, list[MemoryAccess]] = {}
         wildcard: list[MemoryAccess] = []
@@ -669,6 +889,7 @@ class MemoryModelEncoder:
                         merged[store.index] = store
                 candidates = [merged[index] for index in sorted(merged)]
             self._value_candidates.append((load, candidates))
+        self._streams["value_candidates"] = self._value_candidates
 
     def _prune_value_candidates(self) -> None:
         """Drop statically invisible stores from every candidate list (the
@@ -692,41 +913,53 @@ class MemoryModelEncoder:
         return handle != self.ctx.circuit.FALSE
 
     def _assert_value_axioms(self) -> None:
+        # The hottest axiom of the per-model layer: quadratic in the
+        # candidate stores of every load.  Bind the circuit constructors
+        # once and read order handles straight from the prebuilt map
+        # (:meth:`_order_of` and :meth:`_visibility_order` per pair were
+        # measured to cost as much as the term construction itself).
         circuit = self.ctx.circuit
-        bvb = self.ctx.bvb
+        and_ = circuit.and_
+        and_many = circuit.and_many
+        addr_eq = self.ctx.addr_eq
+        value_eq = self.ctx.value_eq
+        handles = self._order_handles
+        true_handle = Circuit.TRUE
+        forwarding = self.model.store_forwarding
         for load, candidates in self._value_candidates:
-            visibility: dict[int, int] = {}
+            load_index = load.index
+            visibility: list[int] = []
             for store in candidates:
-                visibility[store.index] = circuit.and_(
-                    store.guard,
-                    self._addr_eq(load, store),
-                    self._visibility_order(store, load),
+                if (
+                    forwarding
+                    and store.thread == load.thread
+                    and store.seq < load.seq
+                ):
+                    order = true_handle
+                else:
+                    order = handles[(store.index, load_index)]
+                visibility.append(
+                    and_(store.guard, addr_eq(load, store), order)
                 )
             # Case 1: no visible store -> the load reads the initial value.
-            no_store = circuit.and_many(-v for v in visibility.values())
-            init_term = circuit.and_(no_store, self._initial_value_term(load))
-            terms = [init_term]
+            no_store = and_many([-v for v in visibility])
+            terms = [and_(no_store, self._initial_value_term(load))]
             # Case 2: the load reads the <M-maximal visible store.
-            for store in candidates:
-                newer_exists = [
-                    circuit.and_(
-                        visibility[other.index],
-                        self._order_of(store, other),
-                    )
-                    for other in candidates
-                    if other.index != store.index
-                ]
-                is_maximal = circuit.and_many(-h for h in newer_exists)
-                terms.append(
-                    circuit.and_(
-                        visibility[store.index],
-                        is_maximal,
-                        bvb.eq(load.value, store.value),
-                    )
+            count = len(candidates)
+            for i in range(count):
+                store = candidates[i]
+                store_index = store.index
+                is_maximal = and_many(
+                    [
+                        -and_(visibility[j], handles[(store_index, candidates[j].index)])
+                        for j in range(count)
+                        if j != i
+                    ]
                 )
-            self.ctx.assert_true(
-                circuit.implies(load.guard, circuit.or_many(terms))
-            )
+                terms.append(
+                    and_(visibility[i], is_maximal, value_eq(load, store))
+                )
+            self.ctx.assert_clause([-load.guard, circuit.or_many(terms)])
 
     def _forwarded(self, store: MemoryAccess, load: MemoryAccess) -> bool:
         """Store-queue forwarding: a program-order-earlier store of the
@@ -744,28 +977,13 @@ class MemoryModelEncoder:
         return self._order_of(store, load)
 
     def _initial_value_term(self, load: MemoryAccess) -> int:
-        circuit = self.ctx.circuit
-        bvb = self.ctx.bvb
-        if load.addr_candidates is None:
-            locations = list(self.ctx.layout.valid_indices())
-        else:
-            locations = [l for l in load.addr_candidates if l != 0]
-        terms = []
-        for location in locations:
-            terms.append(
-                circuit.and_(
-                    bvb.eq_const(load.addr, location),
-                    bvb.eq(load.value, self.ctx.initial_value(location)),
-                )
-            )
-        return circuit.or_many(terms)
+        # Model-independent, so built (and cached) on the shared context.
+        return self.ctx.initial_value_term(load)
 
     # ------------------------------------------------------------ utilities
 
     def _order_of(self, first: MemoryAccess, second: MemoryAccess) -> int:
-        return self._order(
-            self._position[first.index], self._position[second.index]
-        )
+        return self._order_handles[(first.index, second.index)]
 
     def _may_alias(self, first: MemoryAccess, second: MemoryAccess) -> bool:
         first_set = self._alias_sets[first.index]
@@ -775,9 +993,6 @@ class MemoryModelEncoder:
         return not first_set.isdisjoint(second_set)
 
     def _addr_eq(self, first: MemoryAccess, second: MemoryAccess) -> int:
-        key = (min(first.index, second.index), max(first.index, second.index))
-        cached = self._addr_eq_cache.get(key)
-        if cached is None:
-            cached = self.ctx.bvb.eq(first.addr, second.addr)
-            self._addr_eq_cache[key] = cached
-        return cached
+        # The context cache is prewarmed by the skeleton build, so every
+        # memory model shares one set of address-equality terms.
+        return self.ctx.addr_eq(first, second)

@@ -68,6 +68,17 @@ class CompiledTest:
     ranges: RangeInfo
     loop_bounds: dict[str, int]
 
+    # The encoder memoizes its model-independent skeleton on this object
+    # (see repro.encoding.formula.skeleton_for); the skeleton holds live
+    # circuit/CNF state and must never travel across process boundaries.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_encoding_skeleton", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     # ------------------------------------------------------------ structure
 
     def threads(self) -> dict[int, list[CompiledInvocation]]:
@@ -100,6 +111,11 @@ class CompiledTest:
     # ------------------------------------------------------------ statistics
 
     def size_statistics(self) -> dict[str, int]:
+        # Memoized: every per-model encode reads these counts, and the
+        # statement walk is pure.
+        cached = getattr(self, "_size_statistics", None)
+        if cached is not None:
+            return cached
         instrs = loads = stores = 0
         for invocation in self.invocations:
             instrs += count_statements(invocation.statements)
@@ -108,13 +124,15 @@ class CompiledTest:
             )
             loads += invocation_loads
             stores += invocation_stores
-        return {
+        stats = {
             "instructions": instrs,
             "loads": loads,
             "stores": stores,
             "locations": self.layout.num_locations - 1,
             "invocations": len(self.invocations),
         }
+        self._size_statistics = stats
+        return stats
 
 
 def compile_test(

@@ -426,6 +426,10 @@ def _run_cell(cell: MatrixCell, sessions: dict, options) -> CellResult:
                 "observation_set_size": result.stats.observation_set_size,
                 "solver_decisions": result.stats.solver_decisions,
                 "solver_conflicts": result.stats.solver_conflicts,
+                # Per-phase wall-clock breakdown (compile / mine / encode
+                # split into skeleton+layer / simplify / solve), plus the
+                # persistent-store hit marker.
+                **result.stats.phase_dict(),
             },
             result=result,
         )

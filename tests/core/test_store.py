@@ -1,0 +1,244 @@
+"""Tests for the persistent on-disk result store (:mod:`repro.core.store`)."""
+
+import sqlite3
+
+import pytest
+
+from repro.cli import main
+from repro.core import store as store_module
+from repro.core.checker import CheckFence, CheckOptions
+from repro.core.store import (
+    SPEC_KIND,
+    VERDICT_KIND,
+    VerdictStore,
+    content_key,
+    open_store,
+    store_enabled,
+)
+from repro.datatypes.registry import get_implementation
+from repro.harness.catalog import get_test
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Point the store at a throwaway directory for the test."""
+    path = tmp_path / "cf-cache"
+    monkeypatch.setenv("CHECKFENCE_CACHE_DIR", str(path))
+    return path
+
+
+def _check(impl_name, test_name, model, **options):
+    implementation = get_implementation(impl_name)
+    test = get_test("queue", test_name)
+    checker = CheckFence(implementation, CheckOptions(**options))
+    result = checker.check(test, model)
+    return checker, result
+
+
+class TestKnobResolution:
+    def test_explicit_flag_wins(self, monkeypatch):
+        monkeypatch.setenv("CHECKFENCE_STORE", "1")
+        assert store_enabled(False) is False
+        monkeypatch.setenv("CHECKFENCE_STORE", "0")
+        assert store_enabled(True) is True
+
+    def test_env_fallback_defaults_off(self, monkeypatch):
+        monkeypatch.delenv("CHECKFENCE_STORE", raising=False)
+        assert store_enabled() is False
+        monkeypatch.setenv("CHECKFENCE_STORE", "1")
+        assert store_enabled() is True
+        monkeypatch.setenv("CHECKFENCE_STORE", "0")
+        assert store_enabled() is False
+
+    def test_open_store(self, cache_dir):
+        assert open_store(False) is None
+        store = open_store(True)
+        assert isinstance(store, VerdictStore)
+        assert store.path.parent == cache_dir
+
+    def test_session_default_off(self, cache_dir, monkeypatch):
+        monkeypatch.delenv("CHECKFENCE_STORE", raising=False)
+        checker, result = _check("msn", "T0", "sc")
+        assert checker.session.store is None
+        assert result.stats.store_hit is False
+        assert not (cache_dir / "store.sqlite").exists()
+
+
+class TestVerdictRoundtrip:
+    def test_second_session_serves_from_store(self, cache_dir):
+        checker1, cold = _check("msn", "T0", "sc", store=True)
+        assert cold.stats.store_hit is False
+        assert checker1.session.cache_stats["store_hits"] == 0
+        assert checker1.session.cache_stats["store_misses"] == 2
+
+        checker2, warm = _check("msn", "T0", "sc", store=True)
+        assert warm.stats.store_hit is True
+        assert checker2.session.cache_stats["store_hits"] == 1
+        assert checker2.session.cache_stats["store_misses"] == 0
+        # The warm check skipped the whole pipeline.
+        assert checker2.session.cache_stats["compile"] == 0
+        assert checker2.session.cache_stats["encode"] == 0
+
+        assert warm.passed == cold.passed
+        assert warm.notes == cold.notes
+        assert warm.loop_bounds == cold.loop_bounds
+        assert warm.stats.cnf_clauses == cold.stats.cnf_clauses
+        assert warm.stats.cnf_variables == cold.stats.cnf_variables
+        assert warm.stats.observation_set_size == cold.stats.observation_set_size
+
+    def test_fail_verdict_restores_counterexample_text(self, cache_dir):
+        _, cold = _check("msn-unfenced", "T0", "relaxed", store=True)
+        _, warm = _check("msn-unfenced", "T0", "relaxed", store=True)
+        assert cold.passed is False and warm.passed is False
+        assert warm.stats.store_hit is True
+        assert warm.counterexample is not None
+        assert warm.counterexample.format() == cold.counterexample.format()
+        # summary() renders through the restored shim.
+        assert "FAIL" in warm.summary()
+
+    def test_spec_cell_hits_even_when_verdict_misses(self, cache_dir):
+        _check("msn", "T0", "sc", store=True)
+        # Different model: verdict cell misses, spec cell (model-independent)
+        # hits, so the serial-model mining is skipped.
+        checker, result = _check("msn", "T0", "tso", store=True)
+        assert result.stats.store_hit is False
+        assert checker.session.cache_stats["store_hits"] == 1  # spec
+        assert checker.session.cache_stats["mine"] == 0
+        # The restored spec equals a freshly mined one.
+        fresh_checker, fresh = _check("msn", "T0", "tso", store=False)
+        assert (
+            result.specification.observations
+            == fresh.specification.observations
+        )
+
+
+class TestKeySensitivity:
+    def test_model_changes_key(self, cache_dir):
+        _check("msn", "T0", "sc", store=True)
+        checker, result = _check("msn", "T0", "pso", store=True)
+        assert result.stats.store_hit is False
+
+    def test_option_changes_key(self, cache_dir):
+        _check("msn", "T0", "sc", store=True)
+        checker, result = _check(
+            "msn", "T0", "sc", store=True, use_range_analysis=False
+        )
+        assert result.stats.store_hit is False
+        assert checker.session.cache_stats["store_hits"] == 0
+
+    def test_implementation_changes_key(self, cache_dir):
+        _check("msn", "T0", "sc", store=True)
+        checker, result = _check("ms2", "T0", "sc", store=True)
+        assert result.stats.store_hit is False
+
+    def test_backend_and_share_do_not_change_key(self, cache_dir):
+        """solver_backend and share_encode are verdict-preserving by
+        construction (differentially gated in CI), so cells are shared
+        across them — the point of a content-addressed cache."""
+        _check("msn", "T0", "sc", store=True, share_encode=True)
+        _, warm = _check("msn", "T0", "sc", store=True, share_encode=False)
+        assert warm.stats.store_hit is True
+
+    def test_content_key_is_deterministic(self):
+        parts = ["impl", "source", ["T0", "init", "threads"], "sc", [2, True]]
+        assert content_key(VERDICT_KIND, parts) == content_key(
+            VERDICT_KIND, parts
+        )
+        assert content_key(VERDICT_KIND, parts) != content_key(
+            SPEC_KIND, parts
+        )
+
+
+class TestRobustness:
+    def test_corrupted_database_degrades_to_misses(self, cache_dir):
+        _check("msn", "T0", "sc", store=True)
+        db = cache_dir / "store.sqlite"
+        db.write_bytes(b"this is not a sqlite database, sorry")
+        for side in ("-wal", "-shm"):
+            extra = cache_dir / ("store.sqlite" + side)
+            if extra.exists():
+                extra.unlink()
+        checker, result = _check("msn", "T0", "sc", store=True)
+        assert result.passed is True
+        assert result.stats.store_hit is False
+
+    def test_clear_resets_broken_flag(self, cache_dir):
+        store = VerdictStore()
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_bytes(b"garbage")
+        assert store.get("missing") is None  # marks broken
+        store.clear()
+        store.put("k", VERDICT_KIND, {"passed": True})
+        assert store.get("k") == {"passed": True}
+
+    def test_stats_and_clear(self, cache_dir):
+        store = VerdictStore()
+        stats = store.stats()
+        assert stats["exists"] is False and stats["cells"] == 0
+        store.put("k1", VERDICT_KIND, {"passed": True})
+        store.put("k2", SPEC_KIND, {"labels": []})
+        stats = store.stats()
+        assert stats["cells"] == 2
+        assert stats["kinds"] == {VERDICT_KIND: 1, SPEC_KIND: 1}
+        assert stats["size_bytes"] > 0
+        assert store.clear() == 2
+        assert store.stats()["cells"] == 0
+        assert not store.path.exists()
+
+    def test_database_is_sqlite(self, cache_dir):
+        store = VerdictStore()
+        store.put("k", VERDICT_KIND, {"passed": True})
+        store.close()
+        conn = sqlite3.connect(str(store.path))
+        rows = conn.execute("SELECT key, kind FROM cells").fetchall()
+        conn.close()
+        assert rows == [("k", VERDICT_KIND)]
+
+
+class TestCacheCli:
+    def test_cache_stats_and_clear(self, cache_dir, capsys):
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "store not created yet" in out
+
+        assert main([
+            "check", "--impl", "msn", "--test", "T0",
+            "--model", "sc", "--store",
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cells:  2" in out
+        assert "verdict: 1" in out and "spec: 1" in out
+
+        assert main(["cache", "--clear"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 2 cell(s)" in out
+        assert main(["cache"]) == 0
+        assert "store not created yet" in capsys.readouterr().out
+
+    def test_no_store_overrides_env(self, cache_dir, monkeypatch):
+        monkeypatch.setenv("CHECKFENCE_STORE", "1")
+        assert main([
+            "check", "--impl", "msn", "--test", "T0",
+            "--model", "sc", "--no-store",
+        ]) == 0
+        assert not (cache_dir / "store.sqlite").exists()
+
+
+class TestProfileOutput:
+    def test_profile_line_on_stderr(self, cache_dir, monkeypatch, capsys):
+        monkeypatch.setenv("CHECKFENCE_PROFILE", "1")
+        _check("msn", "T0", "sc", store=True)
+        err = capsys.readouterr().err
+        assert "[profile] msn/T0@sc" in err
+        assert "skeleton" in err and "solve=" in err
+        _check("msn", "T0", "sc", store=True)
+        err = capsys.readouterr().err
+        assert "store-hit" in err
+
+    def test_profile_off_by_default(self, cache_dir, monkeypatch, capsys):
+        monkeypatch.delenv("CHECKFENCE_PROFILE", raising=False)
+        _check("msn", "T0", "sc")
+        assert "[profile]" not in capsys.readouterr().err

@@ -1,0 +1,167 @@
+"""Hash-consing and constant-folding guarantees of the circuit layer.
+
+The encoder leans on these structural identities for the shared-skeleton
+optimization: because equal subformulas get equal handles, the per-model
+encoding layer re-deriving a constraint the skeleton already built costs
+zero new nodes.  These tests pin the folding rules down and — the point
+of the exercise — assert that *node counts* stay flat when redundant
+structure is rebuilt.
+"""
+
+from repro.sat import Circuit
+
+
+class TestConstantFolding:
+    def test_and_constants(self):
+        c = Circuit()
+        a = c.var("a")
+        assert c.and_(a, c.TRUE) == a
+        assert c.and_(c.TRUE, a) == a
+        assert c.and_(a, c.FALSE) == c.FALSE
+        assert c.and_(c.FALSE, a) == c.FALSE
+        assert c.and_(c.TRUE, c.TRUE) == c.TRUE
+
+    def test_or_constants(self):
+        c = Circuit()
+        a = c.var("a")
+        assert c.or_(a, c.FALSE) == a
+        assert c.or_(c.FALSE, a) == a
+        assert c.or_(a, c.TRUE) == c.TRUE
+        assert c.or_(c.FALSE, c.FALSE) == c.FALSE
+
+    def test_complement_and_idempotence(self):
+        c = Circuit()
+        a = c.var("a")
+        assert c.and_(a, a) == a
+        assert c.and_(a, -a) == c.FALSE
+        assert c.or_(a, a) == a
+        assert c.or_(a, -a) == c.TRUE
+
+    def test_nary_folds(self):
+        c = Circuit()
+        a, b = c.var("a"), c.var("b")
+        assert c.and_many([]) == c.TRUE
+        assert c.or_many([]) == c.FALSE
+        assert c.and_many([a]) == a
+        assert c.and_(a, b, -a) == c.FALSE
+        assert c.and_(c.TRUE, a, c.TRUE, b, c.TRUE) == c.and_(a, b)
+
+    def test_derived_gate_folds(self):
+        c = Circuit()
+        a = c.var("a")
+        assert c.implies(c.FALSE, a) == c.TRUE
+        assert c.implies(a, c.TRUE) == c.TRUE
+        assert c.implies(a, a) == c.TRUE
+        assert c.xor(a, a) == c.FALSE
+        assert c.xor(a, -a) == c.TRUE
+        assert c.iff(a, a) == c.TRUE
+        assert c.ite(c.TRUE, a, -a) == a
+        assert c.ite(c.FALSE, a, -a) == -a
+        assert c.ite(c.var("cond"), a, a) == a
+
+
+class TestCanonicalization:
+    def test_commutativity(self):
+        c = Circuit()
+        a, b = c.var("a"), c.var("b")
+        assert c.and_(a, b) == c.and_(b, a)
+        assert c.or_(a, b) == c.or_(b, a)
+        assert c.and_(a, b, c.var("x")) != c.and_(a, b)
+
+    def test_duplicate_children_collapse(self):
+        c = Circuit()
+        a, b = c.var("a"), c.var("b")
+        assert c.and_(a, b, a, b) == c.and_(a, b)
+        assert c.or_(a, b, b, a) == c.or_(a, b)
+
+    def test_nested_ands_stay_narrow_but_share(self):
+        # Nested conjunctions are deliberately NOT flattened into wide
+        # n-ary nodes (wide gates lower to wide Tseitin clauses that
+        # defeat bounded variable elimination); instead the nested form
+        # is consed, so rebuilding it in any association order is free.
+        c = Circuit()
+        a, b, x = c.var("a"), c.var("b"), c.var("x")
+        nested = c.and_(c.and_(a, b), x)
+        assert c.and_(x, c.and_(a, b)) == nested
+        assert nested != c.and_(a, b, x)
+        # De Morgan makes or_ the dual, so nested ORs cons the same way.
+        assert c.or_(x, c.or_(a, b)) == c.or_(c.or_(a, b), x)
+
+    def test_de_morgan_duality(self):
+        c = Circuit()
+        a, b = c.var("a"), c.var("b")
+        assert c.or_(a, b) == -c.and_(-a, -b)
+        assert c.and_(a, b) == -c.or_(-a, -b)
+
+
+class TestNodeCounts:
+    """Folding must show up as *fewer nodes*, not just equal handles."""
+
+    def test_rebuilding_same_expression_adds_no_nodes(self):
+        c = Circuit()
+        a, b, x = c.var("a"), c.var("b"), c.var("x")
+        first = c.ite(x, c.and_(a, b), c.or_(a, b))
+        before = c.num_nodes
+        second = c.ite(x, c.and_(a, b), c.or_(a, b))
+        assert second == first
+        assert c.num_nodes == before
+
+    def test_commuted_rebuild_adds_no_nodes(self):
+        c = Circuit()
+        a, b = c.var("a"), c.var("b")
+        first = c.and_(a, b)
+        before = c.num_nodes
+        assert c.and_(b, a) == first
+        assert c.or_(-b, -a) == -first
+        assert c.num_nodes == before
+
+    def test_constant_folds_add_no_nodes(self):
+        c = Circuit()
+        a, b = c.var("a"), c.var("b")
+        c.and_(a, b)
+        before = c.num_nodes
+        c.and_(a, c.TRUE)
+        c.and_(a, -a)
+        c.or_(a, c.TRUE)
+        c.ite(c.TRUE, a, b)
+        c.and_(c.and_(a, b), c.TRUE)
+        assert c.num_nodes == before
+
+    def test_redundant_input_shares_structure(self):
+        # Re-conjoining duplicate operands reuses the consed canonical
+        # node instead of growing a new one.
+        c = Circuit()
+        a, b, x = c.var("a"), c.var("b"), c.var("x")
+        abx = c.and_(a, b, x)
+        before = c.num_nodes
+        assert c.and_(abx, abx) == abx
+        assert c.and_(x, b, a) == abx
+        assert c.and_(a, b, x, a, b) == abx
+        assert c.num_nodes == before
+
+    def test_accumulation_loop_is_linear(self):
+        # g = and_(g, step_i) over n steps must create O(n) nodes, not the
+        # O(n^2) a naive re-expansion of ever-wider children would.
+        c = Circuit()
+        steps = c.vars(64, "s")
+        base = c.num_nodes
+        g = c.TRUE
+        for s in steps:
+            g = c.and_(g, s)
+        grown = c.num_nodes - base
+        assert grown <= 4 * len(steps)
+
+    def test_copy_preserves_consing(self):
+        # The skeleton/layer split copies the circuit; handles minted before
+        # the copy must keep folding against nodes built after it.
+        c = Circuit()
+        a, b = c.var("a"), c.var("b")
+        ab = c.and_(a, b)
+        layer = c.copy()
+        before = layer.num_nodes
+        assert layer.and_(a, b) == ab
+        assert layer.and_(b, a) == ab
+        assert layer.num_nodes == before
+        # ...and growing the copy never disturbs the original.
+        layer.and_(ab, layer.var("m"))
+        assert c.num_nodes == before

@@ -52,6 +52,7 @@ DEFAULT_SET = [
     "fig2_litmus",
     "fig10_inclusion",
     "encoding_size",
+    "encode_share",
     "fuzz_throughput",
     "simplify",
     "rfcheck",
@@ -351,6 +352,7 @@ def main(argv: list[str] | None = None) -> int:
             for key in ("CHECKFENCE_SOLVER", "CHECKFENCE_DENSE_ORDER",
                         "CHECKFENCE_SIMPLIFY",
                         "CHECKFENCE_SIMPLIFY_MIN_CLAUSES",
+                        "CHECKFENCE_SHARE_ENCODE", "CHECKFENCE_STORE",
                         "CHECKFENCE_JOBS", "CHECKFENCE_LARGE")
         },
         "benchmarks": records,

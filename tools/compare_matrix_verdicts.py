@@ -1,25 +1,37 @@
 #!/usr/bin/env python3
 """Assert two ``checkfence matrix --json`` outputs are verdict-identical.
 
-CI runs the small-catalog matrix once per solver backend and feeds both
-JSON files here; any per-cell verdict difference (or a cell present in
-one run only) fails with a readable diff.  Timing and counters are
-ignored — only (implementation, test, model) -> verdict matters.
+CI runs the small-catalog matrix once per solver backend (and once cold /
+once warm against the persistent store) and feeds both JSON files here;
+any per-cell verdict difference (or a cell present in one run only)
+fails with a readable diff.  Timing and counters are ignored — only
+(implementation, test, model) -> verdict matters.
+
+With ``--min-store-hit-rate`` the candidate run must additionally have
+served at least that fraction of its store lookups from the persistent
+cache (``store_hits / (store_hits + store_misses)`` over the matrix
+``cache`` totals) — the warm-rerun acceptance gate.
 
 Usage::
 
     python tools/compare_matrix_verdicts.py baseline.json candidate.json
+    python tools/compare_matrix_verdicts.py cold.json warm.json \\
+        --min-store-hit-rate 0.9
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 
 
-def _verdicts(path: str) -> dict[tuple[str, str, str], str]:
+def _load(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as handle:
-        payload = json.load(handle)
+        return json.load(handle)
+
+
+def _verdicts(payload: dict) -> dict[tuple[str, str, str], str]:
     out: dict[tuple[str, str, str], str] = {}
     for cell in payload.get("cells", []):
         key = (cell["implementation"], cell["test"], cell["model"])
@@ -27,19 +39,33 @@ def _verdicts(path: str) -> dict[tuple[str, str, str], str]:
     return out
 
 
+def _store_hit_rate(payload: dict) -> tuple[float, int, int]:
+    cache = payload.get("cache", {})
+    hits = int(cache.get("store_hits", 0))
+    misses = int(cache.get("store_misses", 0))
+    lookups = hits + misses
+    return (hits / lookups if lookups else 0.0), hits, misses
+
+
 def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    if len(argv) != 2:
-        print(
-            "usage: python tools/compare_matrix_verdicts.py "
-            "BASELINE.json CANDIDATE.json",
-            file=sys.stderr,
-        )
-        return 2
-    baseline = _verdicts(argv[0])
-    candidate = _verdicts(argv[1])
+    parser = argparse.ArgumentParser(
+        description="assert two matrix --json outputs are verdict-identical",
+    )
+    parser.add_argument("baseline", help="baseline matrix JSON")
+    parser.add_argument("candidate", help="candidate matrix JSON")
+    parser.add_argument(
+        "--min-store-hit-rate", type=float, default=None, metavar="RATE",
+        help="additionally require the candidate's persistent-store hit "
+        "rate (store_hits / lookups) to be at least RATE (e.g. 0.9)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_payload = _load(args.baseline)
+    candidate_payload = _load(args.candidate)
+    baseline = _verdicts(baseline_payload)
+    candidate = _verdicts(candidate_payload)
     if not baseline:
-        print(f"no cells in {argv[0]}", file=sys.stderr)
+        print(f"no cells in {args.baseline}", file=sys.stderr)
         return 1
     problems = []
     for key in sorted(set(baseline) | set(candidate)):
@@ -47,17 +73,32 @@ def main(argv: list[str] | None = None) -> int:
         right = candidate.get(key)
         if left != right:
             name = "/".join(key)
-            problems.append(f"  {name}: {left or 'missing'} vs {right or 'missing'}")
+            problems.append(
+                f"  {name}: {left or 'missing'} vs {right or 'missing'}"
+            )
     if problems:
         print(
-            f"verdict mismatch between {argv[0]} and {argv[1]}:\n"
+            f"verdict mismatch between {args.baseline} and {args.candidate}:\n"
             + "\n".join(problems)
         )
         return 1
     print(
         f"{len(baseline)} cells verdict-identical "
-        f"({argv[0]} vs {argv[1]})"
+        f"({args.baseline} vs {args.candidate})"
     )
+    if args.min_store_hit_rate is not None:
+        rate, hits, misses = _store_hit_rate(candidate_payload)
+        print(
+            f"candidate store hit rate: {rate:.1%} "
+            f"({hits} hits, {misses} misses)"
+        )
+        if rate < args.min_store_hit_rate:
+            print(
+                f"store hit rate {rate:.1%} below the required "
+                f"{args.min_store_hit_rate:.1%}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
