@@ -36,6 +36,7 @@ from repro.datatypes.registry import (
 from repro.harness.catalog import get_test, test_names
 from repro.harness.matrix import (
     SHARD_AXES,
+    JournalError,
     catalog_cells,
     litmus_cells,
     run_matrix,
@@ -71,6 +72,23 @@ def _store(args) -> bool | None:
     if getattr(args, "store", False):
         return True
     return None
+
+
+def _budget(args) -> dict:
+    """The --timeout / --memory-limit flags as CheckOptions kwargs; None
+    leaves the CHECKFENCE_TIMEOUT / CHECKFENCE_MEMORY_LIMIT env fallbacks
+    reachable."""
+    return {
+        "timeout": getattr(args, "timeout", None),
+        "memory_limit_mb": getattr(args, "memory_limit", None),
+    }
+
+
+def _degraded_exit(results) -> int:
+    """Exit code for a cell-result list with no hard failures: 3 when any
+    cell degraded (TIMEOUT/OOM/CRASHED — the run is incomplete, which is
+    neither a clean pass nor a FAIL), else 0."""
+    return 3 if any(r.degraded for r in results) else 0
 
 
 def _cmd_list(_args) -> int:
@@ -113,6 +131,7 @@ def _cmd_check(args) -> int:
         simplify=_simplify(args),
         share_encode=_share_encode(args),
         store=_store(args),
+        **_budget(args),
     )
     checker = CheckFence(implementation, options)
     result = checker.check(test, get_model(args.model))
@@ -130,7 +149,9 @@ def _cmd_check(args) -> int:
                 f"solver: {result.stats.solver_backend} "
                 "(external backend; counters unavailable)"
             )
-    return 0 if result.passed else 1
+    if result.passed:
+        return 0
+    return 3 if result.degraded else 1
 
 
 def _cmd_sweep(args) -> int:
@@ -144,6 +165,7 @@ def _cmd_sweep(args) -> int:
         simplify=_simplify(args),
         share_encode=_share_encode(args),
         store=_store(args),
+        **_budget(args),
     )
     session = CheckSession(implementation, options)
     models = [get_model(name.strip()) for name in args.models.split(",")]
@@ -199,6 +221,7 @@ def _cmd_litmus(args) -> int:
             solver_backend=args.solver,
             dense_order=_dense_order(args),
             simplify=_simplify(args),
+            **_budget(args),
         ),
     )
     catalog = available_litmus_tests()
@@ -241,6 +264,7 @@ def _cmd_matrix(args) -> int:
         simplify=_simplify(args),
         share_encode=_share_encode(args),
         store=_store(args),
+        **_budget(args),
     )
     if args.litmus:
         cells = litmus_cells(models)
@@ -262,13 +286,22 @@ def _cmd_matrix(args) -> int:
     if not cells:
         print("matrix: no cells selected", file=sys.stderr)
         return 2
-    matrix = run_matrix(
-        cells,
-        jobs=args.jobs,
-        shard_by=args.shard_by,
-        options=options,
-        progress=None if args.quiet else _matrix_progress,
-    )
+    if args.resume and not args.journal:
+        print("matrix: --resume requires --journal", file=sys.stderr)
+        return 2
+    try:
+        matrix = run_matrix(
+            cells,
+            jobs=args.jobs,
+            shard_by=args.shard_by,
+            options=options,
+            progress=None if args.quiet else _matrix_progress,
+            journal=args.journal,
+            resume=args.resume,
+        )
+    except JournalError as exc:
+        print(f"matrix: {exc}", file=sys.stderr)
+        return 2
     if args.json is not None:
         report = _emit_json(matrix.as_dict(), args.json, "matrix")
         print(matrix.summary(), file=report)
@@ -277,7 +310,19 @@ def _cmd_matrix(args) -> int:
         print(matrix.summary())
     for failed in matrix.errors:
         print(f"error in {failed.cell.key}: {failed.error}", file=sys.stderr)
-    return 0 if matrix.ok else 1
+    for cell in matrix.degraded:
+        print(f"{cell.degraded} in {cell.cell.key}: "
+              f"{'; '.join(cell.notes) or cell.error}", file=sys.stderr)
+    if matrix.ok:
+        return 0
+    # FAIL / DIVERGE / ERROR keep the historical exit code 1; a run whose
+    # only blemish is degraded cells (TIMEOUT/OOM/CRASHED) exits 3 so
+    # callers can tell "bug found" from "budget ran out".
+    if matrix.errors or any(
+        not r.ok and not r.degraded for r in matrix.results
+    ):
+        return 1
+    return _degraded_exit(matrix.results)
 
 
 def _cmd_oracle(args) -> int:
@@ -411,6 +456,7 @@ def _cmd_synthesize(args) -> int:
             simplify=_simplify(args),
             share_encode=_share_encode(args),
             store=_store(args),
+            **_budget(args),
             synthesis_exact=not args.no_exact,
             synthesis_budget=args.budget,
         )
@@ -475,24 +521,34 @@ def _cmd_fuzz(args) -> int:
         max_ops=args.max_ops,
         num_addresses=args.addrs,
     )
-    result = run_fuzz(
-        budget=args.budget,
-        seed=args.seed,
-        models=models,
-        config=config,
-        jobs=args.jobs,
-        shard_by=args.shard_by,
-        options=CheckOptions(
-            solver_backend=args.solver,
-            dense_order=_dense_order(args),
-            simplify=_simplify(args),
-            share_encode=_share_encode(args),
-            store=_store(args),
-        ),
-        progress=None if args.quiet else _matrix_progress,
-        shrink=not args.no_shrink,
-        engines=engines,
-    )
+    if args.resume and not args.journal:
+        print("fuzz: --resume requires --journal", file=sys.stderr)
+        return 2
+    try:
+        result = run_fuzz(
+            budget=args.budget,
+            seed=args.seed,
+            models=models,
+            config=config,
+            jobs=args.jobs,
+            shard_by=args.shard_by,
+            options=CheckOptions(
+                solver_backend=args.solver,
+                dense_order=_dense_order(args),
+                simplify=_simplify(args),
+                share_encode=_share_encode(args),
+                store=_store(args),
+                **_budget(args),
+            ),
+            progress=None if args.quiet else _matrix_progress,
+            shrink=not args.no_shrink,
+            engines=engines,
+            journal=args.journal,
+            resume=args.resume,
+        )
+    except JournalError as exc:
+        print(f"fuzz: {exc}", file=sys.stderr)
+        return 2
     report = sys.stdout
     if args.json is not None:
         report = _emit_json(result.as_dict(), args.json, "fuzz")
@@ -505,11 +561,17 @@ def _cmd_fuzz(args) -> int:
     for entry in result.inconclusive:
         print(f"inconclusive: {entry['spec']!r} @ {entry['model']}: "
               f"{'; '.join(entry['notes'])}", file=sys.stderr)
+    for entry in result.degraded:
+        print(f"{entry['verdict']}: {entry['spec']!r} @ {entry['model']}: "
+              f"{'; '.join(entry['notes'])}", file=sys.stderr)
     for failed in result.matrix.errors:
         print(f"error in {failed.cell.key}: {failed.error}", file=sys.stderr)
     if result.matrix.errors:
         return 2
-    return 0 if result.ok else 1
+    if not result.ok:
+        return 1
+    # Divergence-free but incomplete: degraded cells exit 3, never 0.
+    return _degraded_exit(result.matrix.results)
 
 
 def _cmd_cache(args) -> int:
@@ -596,6 +658,18 @@ def build_parser() -> argparse.ArgumentParser:
                                 help=store_help)
         sub_parser.add_argument("--no-store", action="store_true",
                                 help=no_store_help)
+        sub_parser.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-check wall-clock budget; an expired check reports "
+            "the first-class TIMEOUT verdict (exit code 3) instead of "
+            "hanging (env fallback: CHECKFENCE_TIMEOUT)",
+        )
+        sub_parser.add_argument(
+            "--memory-limit", type=float, default=None, metavar="MB",
+            help="per-check resident-memory budget in megabytes; a "
+            "breach reports the OOM verdict "
+            "(env fallback: CHECKFENCE_MEMORY_LIMIT)",
+        )
 
     check_parser = sub.add_parser(
         "check",
@@ -658,6 +732,14 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_help = (
         "worker processes (default: CHECKFENCE_JOBS or 1; "
         "1 = deterministic serial path)"
+    )
+    journal_help = (
+        "append one JSON line per completed cell to FILE as the run "
+        "progresses, so a killed run can be picked up with --resume"
+    )
+    resume_help = (
+        "read the --journal file first and re-run only cells it does not "
+        "already record a verdict for (ERROR/CRASHED cells are retried)"
     )
 
     litmus_parser = sub.add_parser(
@@ -724,6 +806,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress the per-cell progress stream on stderr",
     )
+    matrix_parser.add_argument("--journal", default=None, metavar="FILE",
+                               help=journal_help)
+    matrix_parser.add_argument("--resume", action="store_true",
+                               help=resume_help)
 
     engines_help = (
         "comma-separated consistency engines to compare — any of "
@@ -845,6 +931,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress the per-cell progress stream on stderr",
     )
+    fuzz_parser.add_argument("--journal", default=None, metavar="FILE",
+                             help=journal_help)
+    fuzz_parser.add_argument("--resume", action="store_true",
+                             help=resume_help)
 
     cache_parser = sub.add_parser(
         "cache",

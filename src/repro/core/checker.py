@@ -82,6 +82,17 @@ class CheckOptions:
     #: (default: off; enable with ``--store`` / ``CHECKFENCE_STORE=1``,
     #: disable an inherited environment setting with ``--no-store``).
     store: bool | None = None
+    #: Wall-clock budget in seconds for one check (compile + mine + encode
+    #: + solve).  On expiry the check degrades to a first-class ``TIMEOUT``
+    #: verdict instead of running forever (the consistency problem is
+    #: NP-hard; some cells will blow up).  None defers to
+    #: CHECKFENCE_TIMEOUT (default: unlimited).  Never part of the store
+    #: fingerprint — degraded results are never cached.
+    timeout: float | None = None
+    #: Resident-memory cap in MB for one check, enforced at the same poll
+    #: sites as ``timeout`` and degrading to an ``OOM`` verdict.  None
+    #: defers to CHECKFENCE_MEMORY_LIMIT (default: unlimited).
+    memory_limit_mb: float | None = None
     #: Fence kinds offered at every candidate slot during synthesis
     #: (``checkfence synthesize``).  None: the four partial kinds.
     synthesis_kinds: tuple | None = None

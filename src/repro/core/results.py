@@ -67,6 +67,10 @@ class CheckStatistics:
     #: False when the backend cannot report counters (external DIMACS
     #: solvers), so zeros are not mistaken for a trivially easy instance.
     solver_counters_available: bool = True
+    #: "" for a completed check; "TIMEOUT" / "OOM" when a resource budget
+    #: (:mod:`repro.core.limits`) expired mid-check.  Degraded checks keep
+    #: whatever phase counters were accumulated before the breach.
+    degraded: str = ""
 
     def merge_solver(self, stats, backend_name: str | None = None) -> None:
         """Record the solver counters of one check (a SolverStats delta);
@@ -139,6 +143,7 @@ class CheckStatistics:
             "solve_seconds": self.solve_seconds,
             "total_seconds": self.total_seconds,
             "store_hit": self.store_hit,
+            "degraded": self.degraded,
         }
 
     def profile_line(self) -> str:
@@ -183,13 +188,24 @@ class CheckResult:
     stats: CheckStatistics = field(default_factory=CheckStatistics)
     loop_bounds: dict[str, int] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    #: "" for a completed check; "TIMEOUT" / "OOM" when a resource budget
+    #: expired.  ``passed`` is False then, but a degraded result is *not*
+    #: evidence of a bug — it must never be conflated with FAIL, and it is
+    #: never written to the persistent store.
+    degraded: str = ""
 
     @property
     def failed(self) -> bool:
-        return not self.passed
+        return not self.passed and not self.degraded
+
+    @property
+    def verdict(self) -> str:
+        if self.degraded:
+            return self.degraded
+        return "PASS" if self.passed else "FAIL"
 
     def summary(self) -> str:
-        verdict = "PASS" if self.passed else "FAIL"
+        verdict = self.verdict
         line = (
             f"[{verdict}] {self.implementation} / {self.test} "
             f"on {self.memory_model}: "

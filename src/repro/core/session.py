@@ -28,6 +28,7 @@ from __future__ import annotations
 import sys
 import time
 
+from repro.core import limits
 from repro.core import store as result_store
 from repro.core.inclusion import run_assertion_check, run_inclusion_check
 from repro.core.loop_bounds import refine_loop_bounds
@@ -104,7 +105,10 @@ class CheckSession:
         The solver backend and the encode-sharing knob are deliberately
         excluded: both are verdict-preserving by construction and gated so
         differentially in CI, and keying on them would make a store
-        populated under one backend useless under another.
+        populated under one backend useless under another.  The resource
+        budgets (``timeout`` / ``memory_limit_mb``) are excluded too: a
+        completed verdict does not depend on the budget it ran under, and
+        degraded results are never stored in the first place.
         """
         options = self.options
         return [
@@ -270,6 +274,13 @@ class CheckSession:
         code version) short-circuits the whole pipeline — no compile, no
         mining, no solving; the restored result carries the original
         run's statistics plus ``stats.store_hit``.
+
+        A wall-clock or memory budget (``options.timeout`` /
+        ``options.memory_limit_mb``, or an ambient matrix per-cell
+        deadline) turns a blown-up check into a degraded ``TIMEOUT`` /
+        ``OOM`` result instead of an unbounded run.  Degraded results are
+        never written to the store — a budget breach describes this run,
+        not the (implementation, test, model) triple.
         """
         model = get_model(memory_model)
         total_start = time.perf_counter()
@@ -287,10 +298,58 @@ class CheckSession:
                     print(result.stats.profile_line(), file=sys.stderr)
                 return result
             self.cache_stats["store_misses"] += 1
+        with limits.ensure_scope(self.options):
+            try:
+                result = self._check_pipeline(test, model, total_start)
+            except limits.LimitExceeded as exc:
+                # The encoding (and its backend, possibly a killed external
+                # process) is contaminated mid-query; evict so a retry
+                # rebuilds from scratch.
+                self._encoded.pop(self._encoded_key(test, model), None)
+                result = self._degraded_result(test, model, exc, total_start)
+        if store_key is not None and not result.degraded:
+            self.store.put(
+                store_key, result_store.VERDICT_KIND,
+                result_store.result_payload(result),
+            )
+        if profile_enabled():
+            print(result.stats.profile_line(), file=sys.stderr)
+        return result
+
+    def _degraded_result(
+        self, test: SymbolicTest, model: MemoryModel, exc, total_start: float
+    ) -> CheckResult:
+        stats = CheckStatistics(
+            implementation=self.implementation.name,
+            test=test.name,
+            memory_model=model.name,
+        )
+        stats.degraded = exc.kind
+        stats.total_seconds = time.perf_counter() - total_start
+        return CheckResult(
+            passed=False,
+            implementation=self.implementation.name,
+            test=test.name,
+            memory_model=model.name,
+            stats=stats,
+            notes=[str(exc)],
+            degraded=exc.kind,
+        )
+
+    def _check_pipeline(
+        self, test: SymbolicTest, model: MemoryModel, total_start: float
+    ) -> CheckResult:
+        # Phase-boundary polls: the loops inside each phase poll on their
+        # own gas counters, but a budget that expires between phases (or
+        # during an unpolled stretch like C compilation) must still stop
+        # the check at the next seam.
         compiled = self.compile(test, model)
         compile_seconds = time.perf_counter() - total_start
+        limits.check_deadline()
         specification = self.specification(test, compiled=compiled)
+        limits.check_deadline()
         encoded = self.encoded(test, model)
+        limits.check_deadline()
 
         stats = CheckStatistics(
             implementation=self.implementation.name,
@@ -350,7 +409,7 @@ class CheckSession:
         )
         stats.total_seconds = time.perf_counter() - total_start
 
-        result = CheckResult(
+        return CheckResult(
             passed=passed,
             implementation=self.implementation.name,
             test=test.name,
@@ -361,14 +420,6 @@ class CheckSession:
             loop_bounds=dict(compiled.loop_bounds),
             notes=notes,
         )
-        if store_key is not None:
-            self.store.put(
-                store_key, result_store.VERDICT_KIND,
-                result_store.result_payload(result),
-            )
-        if profile_enabled():
-            print(stats.profile_line(), file=sys.stderr)
-        return result
 
     def sweep(
         self,

@@ -20,6 +20,7 @@ import itertools
 import time
 from dataclasses import dataclass, field
 
+from repro.core import limits
 from repro.encoding.formula import EncodedTest, encode_test
 from repro.encoding.testprogram import CompiledTest, INIT_THREAD
 from repro.lsl.program import Invocation, SymbolicTest
@@ -88,6 +89,10 @@ class SatSpecificationMiner:
         encoded.expect_enumeration()
         iterations = 0
         while iterations < self.max_observations:
+            # The solve itself polls inside the backend; this covers the
+            # decode/block bookkeeping between iterations of a long
+            # enumeration.
+            limits.check_deadline()
             result = encoded.solve()
             iterations += 1
             if not result:
@@ -133,6 +138,8 @@ class ReferenceSpecificationMiner:
         ]
         count = 0
         for interleaving in interleavings(thread_sequences):
+            if count & 63 == 0:
+                limits.check_deadline()
             for observation in self._run_choices(interleaving, init_slots,
                                                  thread_slots):
                 spec.add(observation)

@@ -41,6 +41,8 @@ import sqlite3
 import time
 from pathlib import Path
 
+from repro.core import faults
+
 #: Bumping this invalidates every existing cell (schema or semantics
 #: changes that the code fingerprint cannot see, e.g. payload layout).
 CACHE_VERSION = 1
@@ -150,6 +152,11 @@ class VerdictStore:
             conn = sqlite3.connect(str(self.path), timeout=30.0)
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
+            # The connect timeout only covers Python-level lock waits;
+            # busy_timeout makes sqlite itself retry a locked database
+            # instead of raising "database is locked" when several matrix
+            # workers share one --store.
+            conn.execute("PRAGMA busy_timeout=30000")
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS cells ("
                 "key TEXT PRIMARY KEY, "
@@ -181,6 +188,8 @@ class VerdictStore:
         if conn is None:
             return None
         try:
+            if faults.store_io_active():
+                raise sqlite3.OperationalError("injected store I/O fault")
             row = conn.execute(
                 "SELECT payload FROM cells WHERE key = ?", (key,)
             ).fetchone()
@@ -199,6 +208,8 @@ class VerdictStore:
         if conn is None:
             return
         try:
+            if faults.store_io_active():
+                raise sqlite3.OperationalError("injected store I/O fault")
             conn.execute(
                 "INSERT OR REPLACE INTO cells (key, kind, payload, created) "
                 "VALUES (?, ?, ?, ?)",

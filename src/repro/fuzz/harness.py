@@ -221,6 +221,7 @@ class FuzzCampaignResult:
     matrix: MatrixResult
     divergences: list[FuzzDivergence] = field(default_factory=list)
     inconclusive: list[dict] = field(default_factory=list)
+    degraded: list[dict] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     engines: tuple[str, ...] = DEFAULT_ENGINES
 
@@ -255,6 +256,13 @@ class FuzzCampaignResult:
     @property
     def cells_diverged(self) -> int:
         return len(self.divergences)
+
+    @property
+    def cells_degraded(self) -> int:
+        """Cells that hit a resource budget or crashed out of their
+        retries (TIMEOUT/OOM/CRASHED) — no comparison happened, and unlike
+        inconclusive cells the engines never even ran to completion."""
+        return len(self.degraded)
 
     @property
     def cells_compared(self) -> int:
@@ -293,10 +301,20 @@ class FuzzCampaignResult:
             f"{len(self.divergences)} divergences, "
             f"{len(self.inconclusive)} inconclusive"
         )
+        if self.degraded:
+            counts: dict[str, int] = {}
+            for entry in self.degraded:
+                verdict = entry.get("verdict", "DEGRADED")
+                counts[verdict] = counts.get(verdict, 0) + 1
+            line += ", " + ", ".join(
+                f"{count} {verdict}" for verdict, count in sorted(counts.items())
+            )
         if self.cells_checked and len(self.inconclusive) == self.cells_checked:
             line += " — EVERY cell inconclusive: nothing was compared"
         if self.matrix.errors:
             line += f", {len(self.matrix.errors)} ERRORS"
+        if self.matrix.resumed:
+            line += f"; {len(self.matrix.resumed)} resumed from journal"
         return line
 
     def as_dict(self) -> dict:
@@ -311,6 +329,8 @@ class FuzzCampaignResult:
             "cells_compared": self.cells_compared,
             "cells_diverged": self.cells_diverged,
             "cells_inconclusive": self.cells_inconclusive,
+            "cells_degraded": self.cells_degraded,
+            "degraded": list(self.degraded),
             "elapsed_seconds": self.elapsed_seconds,
             "programs_per_second": self.programs_per_second,
             "cells_per_second": self.cells_per_second,
@@ -332,6 +352,8 @@ def run_fuzz(
     progress=None,
     shrink: bool = True,
     engines=None,
+    journal: str | None = None,
+    resume: bool = False,
 ) -> FuzzCampaignResult:
     """Run one differential fuzzing campaign.
 
@@ -341,6 +363,10 @@ def run_fuzz(
     the matrix pool exactly as for ``checkfence matrix``; ``engines``
     selects which consistency engines each cell compares (anything
     :func:`repro.oracle.differ.parse_engines` accepts).
+    ``journal``/``resume`` thread straight through to
+    :func:`repro.harness.matrix.run_matrix`: the corpus is regenerated
+    deterministically from ``seed``, so a resumed campaign re-creates the
+    identical cell set and skips every journaled cell.
     """
     from repro.core.checker import CheckOptions
 
@@ -356,10 +382,23 @@ def run_fuzz(
         shard_by=shard_by,
         options=options,
         progress=progress,
+        journal=journal,
+        resume=resume,
     )
     divergences: list[FuzzDivergence] = []
     inconclusive: list[dict] = []
+    degraded: list[dict] = []
     for cell_result in matrix.results:
+        if cell_result.degraded:
+            # No verdict was produced (TIMEOUT/OOM/CRASHED); neither an
+            # agreement, a divergence, nor an inconclusive comparison.
+            degraded.append({
+                "spec": cell_result.cell.test,
+                "model": cell_result.cell.model,
+                "verdict": cell_result.degraded,
+                "notes": list(cell_result.notes),
+            })
+            continue
         if cell_result.error:
             continue
         if cell_result.notes:
@@ -420,6 +459,7 @@ def run_fuzz(
         matrix=matrix,
         divergences=divergences,
         inconclusive=inconclusive,
+        degraded=degraded,
         elapsed_seconds=time.perf_counter() - started,
         engines=engine_names,
     )

@@ -20,26 +20,51 @@ into *shards*, and runs the shards either serially or across a
   ``jobs>1`` it starts worker processes that pull shards from a task
   queue — each worker keeps warm ``CheckSession`` objects per
   implementation — and streams :class:`CellResult` messages back through a
-  result queue, so progress is reported as cells finish and a crashed
-  worker is detected (its in-flight cells are reported as errors instead
-  of hanging the run).  Results are merged back into the original cell
-  order, so serial and parallel runs produce the same sequence of
-  verdicts.
+  result queue, so progress is reported as cells finish.  Results are
+  merged back into the original cell order, so serial and parallel runs
+  produce the same sequence of verdicts.
+
+Fault tolerance (the robustness layer):
+
+* cells run under the per-cell resource budget of
+  :mod:`repro.core.limits` (``options.timeout`` /
+  ``options.memory_limit_mb``), degrading to first-class ``TIMEOUT`` /
+  ``OOM`` verdicts instead of hanging a worker;
+* a crashed (or hung) worker's unfinished cells are *re-queued* to a
+  replacement worker with capped retries
+  (``CHECKFENCE_MATRIX_RETRIES``, default 2) and a small backoff; cells
+  still unfinished after the attempt cap are quarantined as explicit
+  ``CRASHED`` verdicts;
+* ``journal=`` writes one JSON line per completed cell as it finishes,
+  and ``resume=True`` reads the journal back, records the finished
+  cells verdict-identically, and reruns only the rest;
+* pool teardown escalates terminate → kill, so a worker stuck in a
+  SIGTERM-ignoring state (hung solver, masked signals) is never leaked.
+
+Fault *injection* for all of the above lives in
+:mod:`repro.core.faults` (``CHECKFENCE_FAULT=worker-crash:<key>,...``);
+the legacy ``CHECKFENCE_MATRIX_CRASH`` / ``CHECKFENCE_MATRIX_INTERRUPT``
+hooks keep working through it.
 
 The CLI surface is ``checkfence matrix`` (``--jobs``, ``--shard-by``,
-``--solver``, ``--json``); ``checkfence litmus`` and
-:func:`repro.harness.runner.model_sweep` are built on top of this module.
+``--solver``, ``--json``, ``--timeout``, ``--journal``/``--resume``);
+``checkfence litmus`` and :func:`repro.harness.runner.model_sweep` are
+built on top of this module.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import multiprocessing
 import os
 import queue as queue_module
+import signal
 import time
 import traceback
 from dataclasses import dataclass, field, replace
 
+from repro.core import faults, limits
 from repro.core.results import CheckResult
 from repro.core.session import CheckSession
 from repro.datatypes.registry import category_of, get_implementation
@@ -62,30 +87,62 @@ ENGINES_KIND = "engines"
 #: Valid ``shard_by`` axes.
 SHARD_AXES = ("test", "model", "impl")
 
-#: Private fault-injection hook: a comma-separated list of cell keys
-#: (:attr:`MatrixCell.key`); a worker handed a shard containing one of
-#: them hard-exits instead of checking it.  Used by the test suite to
-#: exercise the worker-crash reporting paths; harmless otherwise.
-CRASH_ENV = "CHECKFENCE_MATRIX_CRASH"
+#: Legacy fault-injection hooks, now folded into the unified
+#: ``CHECKFENCE_FAULT`` framework (:mod:`repro.core.faults`): a
+#: comma-separated list of cell keys that makes a worker holding one of
+#: them hard-exit (CRASH_ENV) or the parent raise KeyboardInterrupt the
+#: moment the cell's result is recorded (INTERRUPT_ENV).
+CRASH_ENV = faults.LEGACY_CRASH_ENV
+INTERRUPT_ENV = faults.LEGACY_INTERRUPT_ENV
 
-#: Private fault-injection hook for the Ctrl-C paths: a comma-separated
-#: list of cell keys; the *parent* raises :class:`KeyboardInterrupt` the
-#: moment a matching cell's result is recorded, exactly as if the user hit
-#: Ctrl-C then.  Lets the test suite exercise pool teardown and the CLI's
-#: exit-code-130 path deterministically.
-INTERRUPT_ENV = "CHECKFENCE_MATRIX_INTERRUPT"
+#: Extra attempts granted to the unfinished cells of a crashed or hung
+#: worker before they are quarantined as ``CRASHED`` (so the total
+#: attempt cap is retries + 1).
+RETRIES_ENV = "CHECKFENCE_MATRIX_RETRIES"
+#: Seconds slept (scaled by the attempt number) before re-queuing a
+#: crashed worker's shard.
+BACKOFF_ENV = "CHECKFENCE_MATRIX_BACKOFF"
+#: Parent-side hung-worker watchdog: a worker with an in-flight shard
+#: that has produced no message for this many seconds is killed and its
+#: shard re-queued like a crash.  Unset/empty disables the watchdog.
+WORKER_TIMEOUT_ENV = "CHECKFENCE_MATRIX_WORKER_TIMEOUT"
 
 
-def _crash_keys() -> set[str]:
-    return {
-        key for key in os.environ.get(CRASH_ENV, "").split(",") if key
-    }
+def matrix_retries() -> int:
+    value = os.environ.get(RETRIES_ENV, "").strip()
+    if not value:
+        return 2
+    try:
+        return max(0, int(value))
+    except ValueError as exc:
+        raise ValueError(
+            f"{RETRIES_ENV} must be an integer, got {value!r}"
+        ) from exc
 
 
-def _interrupt_keys() -> set[str]:
-    return {
-        key for key in os.environ.get(INTERRUPT_ENV, "").split(",") if key
-    }
+def matrix_backoff() -> float:
+    value = os.environ.get(BACKOFF_ENV, "").strip()
+    if not value:
+        return 0.05
+    try:
+        return max(0.0, float(value))
+    except ValueError as exc:
+        raise ValueError(
+            f"{BACKOFF_ENV} must be a number, got {value!r}"
+        ) from exc
+
+
+def matrix_worker_timeout() -> float | None:
+    value = os.environ.get(WORKER_TIMEOUT_ENV, "").strip()
+    if not value:
+        return None
+    try:
+        parsed = float(value)
+    except ValueError as exc:
+        raise ValueError(
+            f"{WORKER_TIMEOUT_ENV} must be a number, got {value!r}"
+        ) from exc
+    return parsed if parsed > 0 else None
 
 
 def default_jobs() -> int:
@@ -129,7 +186,7 @@ class MatrixCell:
 
     @property
     def key(self) -> str:
-        """Human-readable (and crash-hook) identity of the cell."""
+        """Human-readable (and fault-injection) identity of the cell."""
         return f"{self.implementation}/{self.test}@{self.model}"
 
 
@@ -184,12 +241,16 @@ class CellResult:
 
     Exactly one of the verdict fields is meaningful: ``passed`` for catalog
     cells, ``allowed`` for litmus cells; both are ``None`` when ``error``
-    is set.  ``result`` carries the full :class:`CheckResult` for catalog
-    cells; workers blank its ``specification`` before queue transport (the
-    mined observation set is the heavy part and would be pickled once per
-    model otherwise — on the serial path it survives intact, which
-    ``model_sweep`` relies on).  ``stats`` is a JSON-safe subset for
-    reporting.
+    or ``degraded`` is set.  ``degraded`` carries a first-class
+    resource/fault verdict (``TIMEOUT``, ``OOM``, ``CRASHED``) — distinct
+    from both FAIL (the check completed and found a bug) and ERROR (the
+    harness mis-ran): a degraded cell produced *no* verdict and must never
+    be conflated with either.  ``result`` carries the full
+    :class:`CheckResult` for catalog cells; workers blank its
+    ``specification`` before queue transport (the mined observation set is
+    the heavy part and would be pickled once per model otherwise — on the
+    serial path it survives intact, which ``model_sweep`` relies on).
+    ``stats`` is a JSON-safe subset for reporting.
     """
 
     cell: MatrixCell
@@ -198,6 +259,7 @@ class CellResult:
     seconds: float = 0.0
     worker: int = -1
     error: str = ""
+    degraded: str = ""
     counterexample: str = ""
     notes: list[str] = field(default_factory=list)
     stats: dict = field(default_factory=dict)
@@ -205,6 +267,8 @@ class CellResult:
 
     @property
     def verdict(self) -> str:
+        if self.degraded:
+            return self.degraded
         if self.error:
             return "ERROR"
         if self.cell.kind == LITMUS_KIND:
@@ -217,9 +281,10 @@ class CellResult:
 
     @property
     def ok(self) -> bool:
-        """True unless the cell errored, a catalog check failed, or a fuzz
-        cell found an oracle/SAT divergence."""
-        if self.error:
+        """True unless the cell errored, degraded (TIMEOUT/OOM/CRASHED),
+        a catalog check failed, or a fuzz cell found an oracle/SAT
+        divergence."""
+        if self.error or self.degraded:
             return False
         if self.cell.kind == LITMUS_KIND:
             return True
@@ -236,6 +301,7 @@ class CellResult:
             "seconds": self.seconds,
             "worker": self.worker,
             "error": self.error,
+            "degraded": self.degraded,
             "counterexample": self.counterexample,
             "notes": list(self.notes),
             "stats": dict(self.stats),
@@ -259,7 +325,18 @@ class MatrixResult:
 
     @property
     def errors(self) -> list[CellResult]:
-        return [r for r in self.results if r.error]
+        return [r for r in self.results if r.error and not r.degraded]
+
+    @property
+    def degraded(self) -> list[CellResult]:
+        """Cells that hit a resource budget or exhausted their crash
+        retries (verdicts TIMEOUT / OOM / CRASHED)."""
+        return [r for r in self.results if r.degraded]
+
+    @property
+    def resumed(self) -> list[CellResult]:
+        """Cells restored from a journal instead of re-run."""
+        return [r for r in self.results if r.stats.get("resumed")]
 
     def cache_totals(self) -> dict:
         """Aggregate CheckSession cache counters over all shards (how often
@@ -273,7 +350,8 @@ class MatrixResult:
     def verdict_counts(self) -> dict[str, int]:
         """How many cells landed on each verdict.  INCONCLUSIVE cells are
         their own bucket — they compared nothing and must never read as
-        silent agreement in aggregate reporting."""
+        silent agreement in aggregate reporting; likewise the degraded
+        verdicts (TIMEOUT/OOM/CRASHED) never fold into PASS or FAIL."""
         counts: dict[str, int] = {}
         for result in self.results:
             verdict = result.verdict
@@ -322,6 +400,17 @@ class MatrixResult:
             f"spec mined {cache.get('mine', 0)}x, "
             f"{reused} cache hits"
         )
+        resumed = len(self.resumed)
+        if resumed:
+            line += f"; {resumed} resumed from journal"
+        degraded = self.degraded
+        if degraded:
+            counts = {}
+            for result in degraded:
+                counts[result.degraded] = counts.get(result.degraded, 0) + 1
+            line += "; " + ", ".join(
+                f"{count} {verdict}" for verdict, count in sorted(counts.items())
+            )
         if self.errors:
             line += f"; {len(self.errors)} ERRORS"
         return line
@@ -333,11 +422,15 @@ class MatrixResult:
 @dataclass
 class _Shard:
     """A batch of cells that share cacheable work, plus their original
-    positions (so merged results keep the caller's cell order)."""
+    positions (so merged results keep the caller's cell order).
+    ``attempt`` counts executions of this shard (1 = first run); the
+    crash-retry path re-queues a replacement shard with ``attempt + 1``
+    holding only the unfinished cells."""
 
     index: int
     key: tuple
     cells: list[tuple[int, MatrixCell]]
+    attempt: int = 1
 
 
 def _shard_key(cell: MatrixCell, shard_by: str) -> tuple:
@@ -375,63 +468,31 @@ def _run_cell(cell: MatrixCell, sessions: dict, options) -> CellResult:
     """Check one cell, reusing a warm session when one exists.
 
     Never raises: failures (unknown names, backend errors, ...) become
-    ``error`` results so one bad cell cannot take down a shard.
+    ``error`` results and resource-budget breaches become ``degraded``
+    results, so one bad cell cannot take down a shard.  The cell runs
+    under its own deadline scope built from the options (plus the
+    ``cell-timeout`` fault injection), which nested layers — the session,
+    the solver backends, the oracle loops — poll.
     """
     started = time.perf_counter()
+    deadline = limits.deadline_from_options(options)
+    if cell.key in faults.timeout_cells():
+        # Injected expiry: the cell sees an already-expired deadline, so
+        # the TIMEOUT path runs without waiting for real wall-clock.
+        deadline = limits.Deadline(timeout_seconds=0.0)
     try:
-        if cell.kind in (FUZZ_KIND, ENGINES_KIND):
-            from repro.fuzz.harness import run_fuzz_cell
-
-            return run_fuzz_cell(cell, options)
-        if cell.kind == LITMUS_KIND:
-            from repro.litmus.catalog import (
-                available_litmus_tests,
-                observation_outcome,
-            )
-
-            litmus = available_litmus_tests()[cell.test]
-            outcome = observation_outcome(
-                litmus, cell.model, backend_spec=options.solver_backend,
-                dense_order=getattr(options, "dense_order", None),
-                simplify=getattr(options, "simplify", None),
-            )
-            return CellResult(
-                cell=cell,
-                allowed=outcome.allowed,
-                seconds=time.perf_counter() - started,
-                stats={"backend": outcome.backend, "order": outcome.order},
-            )
-        session = sessions.get(cell.implementation)
-        if session is None:
-            session = CheckSession(
-                get_implementation(cell.implementation), options
-            )
-            sessions[cell.implementation] = session
-        test = get_test(category_of(cell.implementation), cell.test)
-        result = session.check(test, cell.model)
+        with limits.deadline_scope(deadline):
+            # An already-expired budget (tiny --timeout, injected
+            # cell-timeout fault) fails fast instead of waiting for the
+            # first in-loop poll, which a small cell may never reach.
+            limits.check_deadline()
+            return _run_cell_inner(cell, sessions, options, started)
+    except limits.LimitExceeded as exc:
         return CellResult(
             cell=cell,
-            passed=result.passed,
             seconds=time.perf_counter() - started,
-            counterexample=(
-                result.counterexample.format()
-                if result.counterexample is not None
-                else ""
-            ),
-            notes=list(result.notes),
-            stats={
-                "backend": result.stats.solver_backend,
-                "cnf_clauses": result.stats.cnf_clauses,
-                "cnf_variables": result.stats.cnf_variables,
-                "observation_set_size": result.stats.observation_set_size,
-                "solver_decisions": result.stats.solver_decisions,
-                "solver_conflicts": result.stats.solver_conflicts,
-                # Per-phase wall-clock breakdown (compile / mine / encode
-                # split into skeleton+layer / simplify / solve), plus the
-                # persistent-store hit marker.
-                **result.stats.phase_dict(),
-            },
-            result=result,
+            degraded=exc.kind,
+            notes=[str(exc)],
         )
     except Exception as exc:
         detail = traceback.format_exc(limit=3)
@@ -440,6 +501,77 @@ def _run_cell(cell: MatrixCell, sessions: dict, options) -> CellResult:
             seconds=time.perf_counter() - started,
             error=f"{type(exc).__name__}: {exc}\n{detail}",
         )
+
+
+def _run_cell_inner(
+    cell: MatrixCell, sessions: dict, options, started: float
+) -> CellResult:
+    if cell.kind in (FUZZ_KIND, ENGINES_KIND):
+        from repro.fuzz.harness import run_fuzz_cell
+
+        return run_fuzz_cell(cell, options)
+    if cell.kind == LITMUS_KIND:
+        from repro.litmus.catalog import (
+            available_litmus_tests,
+            observation_outcome,
+        )
+
+        litmus = available_litmus_tests()[cell.test]
+        outcome = observation_outcome(
+            litmus, cell.model, backend_spec=options.solver_backend,
+            dense_order=getattr(options, "dense_order", None),
+            simplify=getattr(options, "simplify", None),
+        )
+        return CellResult(
+            cell=cell,
+            allowed=outcome.allowed,
+            seconds=time.perf_counter() - started,
+            stats={"backend": outcome.backend, "order": outcome.order},
+        )
+    session = sessions.get(cell.implementation)
+    if session is None:
+        session = CheckSession(
+            get_implementation(cell.implementation), options
+        )
+        sessions[cell.implementation] = session
+    test = get_test(category_of(cell.implementation), cell.test)
+    result = session.check(test, cell.model)
+    if result.degraded:
+        # The session already folded the budget breach into a degraded
+        # CheckResult (and skipped the store); surface it as a
+        # first-class cell verdict.
+        return CellResult(
+            cell=cell,
+            seconds=time.perf_counter() - started,
+            degraded=result.degraded,
+            notes=list(result.notes),
+            stats={"backend": result.stats.solver_backend,
+                   **result.stats.phase_dict()},
+        )
+    return CellResult(
+        cell=cell,
+        passed=result.passed,
+        seconds=time.perf_counter() - started,
+        counterexample=(
+            result.counterexample.format()
+            if result.counterexample is not None
+            else ""
+        ),
+        notes=list(result.notes),
+        stats={
+            "backend": result.stats.solver_backend,
+            "cnf_clauses": result.stats.cnf_clauses,
+            "cnf_variables": result.stats.cnf_variables,
+            "observation_set_size": result.stats.observation_set_size,
+            "solver_decisions": result.stats.solver_decisions,
+            "solver_conflicts": result.stats.solver_conflicts,
+            # Per-phase wall-clock breakdown (compile / mine / encode
+            # split into skeleton+layer / simplify / solve), plus the
+            # persistent-store hit marker.
+            **result.stats.phase_dict(),
+        },
+        result=result,
+    )
 
 
 def _cache_snapshot(sessions: dict) -> dict:
@@ -466,8 +598,125 @@ def _run_shard(shard: _Shard, sessions: dict, options, emit) -> dict:
         "shard": shard.index,
         "key": "/".join(str(part) for part in shard.key),
         "cells": len(shard.cells),
+        "attempt": shard.attempt,
         "cache": _cache_delta(sessions, before),
     }
+
+
+# -------------------------------------------------------------- journaling
+
+
+JOURNAL_VERSION = 1
+
+#: Journal verdicts that count as *finished*: a resumed run restores them
+#: instead of re-running.  ERROR and the degraded verdicts (CRASHED,
+#: TIMEOUT, OOM) are deliberately not final — the whole point of resuming
+#: is to give them another go, and a budget is a property of one run, not
+#: of the cell.
+_FINAL_VERDICTS_EXCLUDED = ("ERROR",) + tuple(limits.DEGRADED_VERDICTS)
+
+
+class JournalError(ValueError):
+    """A journal file does not match the requested matrix run."""
+
+
+def _journal_fingerprint(cells) -> str:
+    payload = json.dumps(
+        [[c.implementation, c.test, c.model, c.kind] for c in cells],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _journal_entry(position: int, result: CellResult) -> dict:
+    return {
+        "position": position,
+        "key": result.cell.key,
+        "kind": result.cell.kind,
+        "verdict": result.verdict,
+        "passed": result.passed,
+        "allowed": result.allowed,
+        "degraded": result.degraded,
+        "error": result.error,
+        "seconds": result.seconds,
+        "counterexample": result.counterexample,
+        "notes": list(result.notes),
+        "stats": dict(result.stats),
+    }
+
+
+def _result_from_journal(cell: MatrixCell, entry: dict) -> CellResult:
+    stats = dict(entry.get("stats", {}))
+    stats["resumed"] = True
+    return CellResult(
+        cell=cell,
+        passed=entry.get("passed"),
+        allowed=entry.get("allowed"),
+        seconds=entry.get("seconds", 0.0),
+        error=entry.get("error", ""),
+        degraded=entry.get("degraded", ""),
+        counterexample=entry.get("counterexample", ""),
+        notes=list(entry.get("notes", [])),
+        stats=stats,
+    )
+
+
+def _load_journal(path: str, fingerprint: str, cells) -> dict[int, CellResult]:
+    """Parse a journal, returning the finished cells by position.
+
+    The header's cell-set fingerprint must match the requested run — a
+    journal from a different matrix silently "finishing" the wrong cells
+    would be much worse than an error.  A torn final line (the writer
+    died mid-write) is ignored.
+    """
+    finished: dict[int, CellResult] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line.strip():
+            return finished
+        try:
+            header = json.loads(header_line)
+        except ValueError as exc:
+            raise JournalError(
+                f"{path}: not a matrix journal (unparseable header)"
+            ) from exc
+        if header.get("journal") != JOURNAL_VERSION:
+            raise JournalError(
+                f"{path}: unsupported journal version "
+                f"{header.get('journal')!r}"
+            )
+        if header.get("fingerprint") != fingerprint:
+            raise JournalError(
+                f"{path}: journal was written for a different cell set "
+                f"(fingerprint {header.get('fingerprint')!r}, this run "
+                f"is {fingerprint!r}); use a fresh --journal file"
+            )
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn tail line from a dead writer
+            position = entry.get("position")
+            if not isinstance(position, int) or not (
+                0 <= position < len(cells)
+            ):
+                continue
+            cell = cells[position]
+            if entry.get("key") != cell.key:
+                raise JournalError(
+                    f"{path}: entry for position {position} names "
+                    f"{entry.get('key')!r}, expected {cell.key!r}"
+                )
+            if entry.get("verdict") in _FINAL_VERDICTS_EXCLUDED:
+                finished.pop(position, None)
+                continue
+            # Last entry for a position wins (a resumed run may append a
+            # fresh verdict for a cell an earlier run left as ERROR).
+            finished[position] = _result_from_journal(cell, entry)
+    return finished
 
 
 # ------------------------------------------------------------- orchestrator
@@ -484,23 +733,39 @@ def _worker_main(worker_id, task_queue, result_queue, options) -> None:
     ``("done", worker)`` on clean exit.
     """
     sessions: dict = {}
-    crash_keys = _crash_keys()
+    crash_attempts = faults.crash_attempts()
+    hang_attempts = faults.hang_attempts()
     while True:
         shard = task_queue.get()
         if shard is None:
             result_queue.put(("done", worker_id))
             return
         result_queue.put(("start", worker_id, shard.index))
-        if crash_keys and any(cell.key in crash_keys for _, cell in shard.cells):
+        if crash_attempts and any(
+            shard.attempt <= crash_attempts.get(cell.key, 0)
+            for _, cell in shard.cells
+        ):
             # Fault injection for the worker-crash tests: die mid-shard
             # without cleanup, like a segfaulting or OOM-killed solver
             # would.  Flush the queue first so the "start" message is on
             # the wire (a crash during the solve, not during the put); a
-            # crash that loses even that is covered by the no-live-workers
-            # fallback in run_matrix.
+            # crash that loses even that is covered by the stall detection
+            # in run_matrix.  Attempt-bounded injections crash the first
+            # n attempts and let the retry succeed, which is how the chaos
+            # tests prove retried cells are verdict-identical.
             result_queue.close()
             result_queue.join_thread()
             os._exit(3)
+        if hang_attempts and any(
+            shard.attempt <= hang_attempts.get(cell.key, 0)
+            for _, cell in shard.cells
+        ):
+            # Fault injection for the hung-worker paths: ignore SIGTERM
+            # (so only the parent's kill() escalation can reap us) and
+            # sleep forever instead of checking the shard.
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            while True:
+                time.sleep(3600)
 
         def emit(position, result, _wid=worker_id, _shard=shard.index):
             result.worker = _wid
@@ -524,22 +789,50 @@ def _mp_context():
     )
 
 
+def _stop_worker(process) -> None:
+    """Tear one worker down, escalating terminate → kill.
+
+    A worker stuck in a SIGTERM-ignoring state (a hung solver call, a
+    signal-masked C extension) used to be joined with a timeout and then
+    leaked; the final ``kill()`` + join guarantees the process is reaped.
+    """
+    if not process.is_alive():
+        process.join(timeout=1)
+        return
+    process.terminate()
+    process.join(timeout=2)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=5)
+
+
 def run_matrix(
     cells,
     jobs: int | None = None,
     shard_by: str = "test",
     options=None,
     progress=None,
+    journal: str | None = None,
+    resume: bool = False,
 ) -> MatrixResult:
     """Run a check matrix, optionally across a multiprocessing pool.
 
     ``jobs=None`` reads ``CHECKFENCE_JOBS`` (default 1).  ``jobs=1`` is the
     deterministic serial path: shards run in order, in-process, sharing
     warm sessions exactly like one worker would.  ``jobs>1`` starts worker
-    processes, streams results back as cells finish, and reports crashed
-    workers' in-flight cells as errors instead of hanging.  ``progress``
-    (if given) is called as ``progress(done, total, cell_result)`` from
-    the parent process, in completion order.
+    processes and streams results back as cells finish.  A crashed or hung
+    worker's unfinished cells are re-queued to a replacement worker with
+    capped retries (``CHECKFENCE_MATRIX_RETRIES``) and quarantined as
+    ``CRASHED`` verdicts when the cap is exhausted — the run always
+    completes.  ``progress`` (if given) is called as
+    ``progress(done, total, cell_result)`` from the parent process, in
+    completion order.
+
+    ``journal`` names a JSONL file that receives one line per completed
+    cell (plus a header identifying the cell set); with ``resume=True``
+    the journal is read first and every finished cell is restored
+    verdict-identically instead of re-run, so a campaign that died at cell
+    2400 of 2500 reruns only the missing hundred.
 
     The returned :class:`MatrixResult` lists cell results in the original
     order of ``cells``, so a parallel run is directly comparable to a
@@ -551,16 +844,39 @@ def run_matrix(
     if jobs is None:
         jobs = default_jobs()
     options = options if options is not None else CheckOptions()
-    shards = shard_cells(cells, shard_by)
     started = time.perf_counter()
     results: dict[int, CellResult] = {}
     shard_stats: list[dict] = []
     total = len(cells)
 
-    interrupt_keys = _interrupt_keys()
+    interrupt_keys = faults.interrupt_cells()
+
+    # ---- journal / resume
+    fingerprint = _journal_fingerprint(cells)
+    resumed_results: dict[int, CellResult] = {}
+    if journal and resume and os.path.exists(journal):
+        resumed_results = _load_journal(journal, fingerprint, cells)
+    journal_handle = None
+    if journal:
+        fresh = not (resume and os.path.exists(journal))
+        journal_handle = open(
+            journal, "w" if fresh else "a", encoding="utf-8"
+        )
+        if fresh:
+            journal_handle.write(json.dumps({
+                "journal": JOURNAL_VERSION,
+                "fingerprint": fingerprint,
+                "cells": total,
+            }) + "\n")
+            journal_handle.flush()
 
     def record(position: int, result: CellResult) -> None:
         results[position] = result
+        if journal_handle is not None and not result.stats.get("resumed"):
+            journal_handle.write(
+                json.dumps(_journal_entry(position, result)) + "\n"
+            )
+            journal_handle.flush()
         if progress is not None:
             progress(len(results), total, result)
         if interrupt_keys and result.cell.key in interrupt_keys:
@@ -568,37 +884,90 @@ def run_matrix(
             # moment this cell's result was recorded.
             raise KeyboardInterrupt
 
-    if jobs <= 1 or len(shards) <= 1 or total <= 1:
-        sessions: dict = {}
-        for shard in shards:
-            shard_stats.append(_run_shard(shard, sessions, options, record))
+    def finish(jobs_used: int, shard_count: int) -> MatrixResult:
         return MatrixResult(
             results=[results[i] for i in range(total)],
-            jobs=1,
+            jobs=jobs_used,
             shard_by=shard_by,
-            shard_count=len(shards),
+            shard_count=shard_count,
             elapsed_seconds=time.perf_counter() - started,
             shard_stats=shard_stats,
         )
 
+    try:
+        for position in sorted(resumed_results):
+            record(position, resumed_results[position])
+
+        shards = shard_cells(cells, shard_by)
+        if resumed_results:
+            shards = [
+                replace(shard, cells=members)
+                for shard in shards
+                if (members := [
+                    (p, c) for p, c in shard.cells if p not in resumed_results
+                ])
+            ]
+        remaining = total - len(resumed_results)
+
+        if jobs <= 1 or len(shards) <= 1 or remaining <= 1:
+            sessions: dict = {}
+            for shard in shards:
+                shard_stats.append(
+                    _run_shard(shard, sessions, options, record)
+                )
+            return finish(1, len(shards))
+
+        return _run_matrix_pool(
+            shards, jobs, options, record, finish, shard_stats
+        )
+    finally:
+        if journal_handle is not None:
+            journal_handle.close()
+
+
+def _run_matrix_pool(
+    shards, jobs, options, record, finish, shard_stats
+) -> MatrixResult:
+    """The multiprocess orchestrator: dispatch shards, stream results,
+    retry crashed/hung workers' shards, quarantine after the attempt cap,
+    and always reap every worker on the way out."""
     jobs = min(jobs, len(shards))
+    max_attempts = 1 + matrix_retries()
+    backoff = matrix_backoff()
+    worker_timeout = matrix_worker_timeout()
     ctx = _mp_context()
     task_queue = ctx.Queue()
     result_queue = ctx.Queue()
     for shard in shards:
         task_queue.put(shard)
-    for _ in range(jobs):
-        task_queue.put(None)
-    workers = [
-        ctx.Process(
+    # No shutdown sentinels yet: a retried shard must never queue behind
+    # them, so they are sent only once every cell is accounted for.
+
+    workers: dict[int, object] = {}
+    last_heard: dict[int, float] = {}
+    next_worker_id = 0
+    spawned = 0
+    # Bound respawns: each crash with an in-flight shard consumes one of
+    # that shard's attempts, so this cap is unreachable in sane runs and
+    # only guards against a pathological crash-on-startup loop.
+    max_spawns = jobs + len(shards) * max_attempts
+
+    def spawn_worker() -> bool:
+        nonlocal next_worker_id, spawned
+        if spawned >= max_spawns:
+            return False
+        worker_id = next_worker_id
+        next_worker_id += 1
+        spawned += 1
+        process = ctx.Process(
             target=_worker_main,
             args=(worker_id, task_queue, result_queue, options),
             daemon=True,
         )
-        for worker_id in range(jobs)
-    ]
-    for worker in workers:
-        worker.start()
+        process.start()
+        workers[worker_id] = process
+        last_heard[worker_id] = time.monotonic()
+        return True
 
     #: positions of each shard's cells not yet reported back.
     pending: dict[int, set[int]] = {
@@ -608,15 +977,37 @@ def run_matrix(
     shards_by_index = {shard.index: shard for shard in shards}
     in_flight: dict[int, int] = {}   # worker id -> shard index
     finished_workers: set[int] = set()
-    crashed_workers: dict[int, int | None] = {}
+    crashed_workers: dict[int, object] = {}
+    stalled_since: float | None = None
+
+    def live_worker_ids() -> list[int]:
+        return [
+            worker_id for worker_id in workers
+            if worker_id not in finished_workers
+            and worker_id not in crashed_workers
+        ]
 
     def handle(message) -> None:
         kind = message[0]
+        worker_id = message[1]
+        last_heard[worker_id] = time.monotonic()
         if kind == "start":
-            _, worker_id, shard_index = message
-            in_flight[worker_id] = shard_index
+            _, _, shard_index = message
+            if worker_id in crashed_workers:
+                # The worker's death was detected before this (flushed
+                # but not yet drained) message arrived.  Recording it
+                # into in_flight would orphan the shard forever — the
+                # death check skips already-crashed workers — so route
+                # it straight to the retry path instead.
+                retry_or_quarantine(
+                    shard_index,
+                    f"worker {worker_id} crashed (exit code "
+                    f"{crashed_workers[worker_id]})",
+                )
+            else:
+                in_flight[worker_id] = shard_index
         elif kind == "cell":
-            _, worker_id, shard_index, position, result = message
+            _, _, shard_index, position, result = message
             record(position, result)
             remaining = pending.get(shard_index)
             if remaining is not None:
@@ -625,10 +1016,9 @@ def run_matrix(
                     pending.pop(shard_index, None)
                     in_flight.pop(worker_id, None)
         elif kind == "shard":
-            _, _worker_id, stats = message
+            _, _, stats = message
             shard_stats.append(stats)
         elif kind == "done":
-            _, worker_id = message
             finished_workers.add(worker_id)
             in_flight.pop(worker_id, None)
 
@@ -639,24 +1029,59 @@ def run_matrix(
             except queue_module.Empty:
                 return
 
-    def fail_shard(shard_index: int, reason: str) -> None:
+    def quarantine(shard_index: int, reason: str) -> None:
         remaining = pending.pop(shard_index, None)
         if not remaining:
             return
-        for position, cell in shards_by_index[shard_index].cells:
+        shard = shards_by_index[shard_index]
+        for position, cell in shard.cells:
             if position in remaining:
-                record(position, CellResult(cell=cell, error=reason))
+                record(position, CellResult(
+                    cell=cell,
+                    degraded=limits.CRASHED,
+                    error=reason,
+                    notes=[reason],
+                ))
+
+    def retry_or_quarantine(shard_index: int, reason: str) -> None:
+        remaining = pending.get(shard_index)
+        if not remaining:
+            pending.pop(shard_index, None)
+            return
+        shard = shards_by_index[shard_index]
+        if shard.attempt >= max_attempts:
+            quarantine(
+                shard_index,
+                f"{reason}; giving up after {shard.attempt} attempts",
+            )
+            return
+        retry = _Shard(
+            index=shard.index,
+            key=shard.key,
+            cells=[(p, c) for p, c in shard.cells if p in remaining],
+            attempt=shard.attempt + 1,
+        )
+        shards_by_index[shard_index] = retry
+        if backoff > 0:
+            time.sleep(backoff * shard.attempt)
+        task_queue.put(retry)
+        # Replace the lost capacity (and guarantee at least one live
+        # worker exists to pick the retry up).
+        spawn_worker()
 
     try:
+        for _ in range(jobs):
+            spawn_worker()
         while pending:
             try:
                 handle(result_queue.get(timeout=0.2))
+                stalled_since = None
                 continue
             except queue_module.Empty:
                 pass
-            # No message: look for workers that died without saying goodbye.
             drain()
-            for worker_id, worker in enumerate(workers):
+            # Workers that died without saying goodbye.
+            for worker_id, worker in list(workers.items()):
                 if (
                     worker.is_alive()
                     or worker_id in finished_workers
@@ -666,46 +1091,84 @@ def run_matrix(
                 crashed_workers[worker_id] = worker.exitcode
                 shard_index = in_flight.pop(worker_id, None)
                 if shard_index is not None:
-                    fail_shard(
+                    retry_or_quarantine(
                         shard_index,
                         f"worker {worker_id} crashed "
                         f"(exit code {worker.exitcode})",
                     )
-            if len(finished_workers) + len(crashed_workers) == len(workers):
-                # Every worker is gone; nothing else will ever arrive.
-                drain()
-                for shard_index in list(pending):
-                    fail_shard(
+            # Hung workers: an in-flight shard with no message for too
+            # long.  Kill (terminate is not enough for a SIGTERM-ignoring
+            # worker) and treat like a crash.
+            if worker_timeout is not None:
+                now = time.monotonic()
+                for worker_id in list(in_flight):
+                    if (
+                        worker_id in finished_workers
+                        or worker_id in crashed_workers
+                    ):
+                        continue
+                    if now - last_heard.get(worker_id, now) <= worker_timeout:
+                        continue
+                    worker = workers[worker_id]
+                    _stop_worker(worker)
+                    crashed_workers[worker_id] = "hung"
+                    shard_index = in_flight.pop(worker_id)
+                    retry_or_quarantine(
                         shard_index,
-                        "no live workers left (pool crashed before this "
-                        "shard)",
+                        f"worker {worker_id} hung (no progress for "
+                        f"{worker_timeout:g}s)",
                     )
-                task_queue.cancel_join_thread()
+            if pending and not live_worker_ids():
+                # Every worker is gone (e.g. crashes with no in-flight
+                # shard consumed no retry): bring capacity back, or give
+                # the remaining shards up if the spawn budget is gone.
+                if not spawn_worker():
+                    drain()
+                    for shard_index in list(pending):
+                        quarantine(
+                            shard_index,
+                            "no live workers left and respawn budget "
+                            "exhausted",
+                        )
+                    task_queue.cancel_join_thread()
+                    break
+            # Stall detection: live workers, nothing in flight, nothing
+            # arriving, but cells still pending — a shard was lost with
+            # its "start" message (a crash can lose the queue tail).
+            if pending and not in_flight and task_queue.empty():
+                now = time.monotonic()
+                if stalled_since is None:
+                    stalled_since = now
+                elif now - stalled_since > 5.0:
+                    drain()
+                    if pending and not in_flight and task_queue.empty():
+                        for shard_index in list(pending):
+                            quarantine(
+                                shard_index,
+                                "shard lost in transit (worker crashed "
+                                "before reporting it)",
+                            )
+                    stalled_since = None
+            else:
+                stalled_since = None
 
-        for worker in workers:
+        for worker_id in live_worker_ids():
+            task_queue.put(None)
+        for worker in workers.values():
             worker.join(timeout=5)
             if worker.is_alive():
-                worker.terminate()
+                _stop_worker(worker)
         drain()  # trailing "shard"/"done" messages sent after the last cell
     except KeyboardInterrupt:
-        # Ctrl-C (or the INTERRUPT_ENV injection): tear the pool down
+        # Ctrl-C (or the interrupt fault injection): tear the pool down
         # instead of leaving orphaned workers grinding on solver calls,
         # then re-raise so the caller (the CLI maps it to exit code 130)
-        # still sees the interrupt.
-        for worker in workers:
-            if worker.is_alive():
-                worker.terminate()
-        for worker in workers:
-            worker.join(timeout=5)
+        # still sees the interrupt.  _stop_worker escalates terminate →
+        # kill, so even a SIGTERM-ignoring worker is reaped.
+        for worker in workers.values():
+            _stop_worker(worker)
         task_queue.cancel_join_thread()
         result_queue.cancel_join_thread()
         raise
 
-    return MatrixResult(
-        results=[results[i] for i in range(total)],
-        jobs=jobs,
-        shard_by=shard_by,
-        shard_count=len(shards),
-        elapsed_seconds=time.perf_counter() - started,
-        shard_stats=shard_stats,
-    )
+    return finish(jobs, len(shards))

@@ -49,6 +49,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from itertools import product
 
+from repro.core import limits
 from repro.encoding.testprogram import INIT_THREAD, CompiledTest
 from repro.lsl.values import is_undef
 from repro.memorymodel.base import MemoryModel, get_model
@@ -340,6 +341,8 @@ class _Enumerator:
         self.nodes += 1
         if self.nodes > self.max_nodes:
             raise _BudgetExceeded()
+        if self.nodes & 1023 == 0:
+            limits.check_deadline()
         stride = self._stride
         max_value = self.mask
         packable = True

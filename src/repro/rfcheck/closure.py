@@ -24,6 +24,8 @@ pathological program degrades to an INCONCLUSIVE verdict, never a hang.
 
 from __future__ import annotations
 
+from repro.core import limits
+
 
 class ClosureBudgetExceeded(Exception):
     """The closure/mining work budget ran out (surfaces as INCONCLUSIVE)."""
@@ -41,6 +43,8 @@ class Gas:
 
     def spend(self, amount: int = 1) -> None:
         self.spent += amount
+        if self.spent & 255 < amount:
+            limits.check_deadline()
         if self.spent > self.limit:
             raise ClosureBudgetExceeded(
                 f"exceeded {self.limit} rf consistency checks"

@@ -41,6 +41,7 @@ import subprocess
 import tempfile
 from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
 
+from repro.core import faults, limits
 from repro.sat.cnf import CNF
 from repro.sat.solver import Solver, SolverStats
 
@@ -257,13 +258,20 @@ class DimacsBackend:
                 assumptions=assumptions, conflict_limit=conflict_limit
             )
         # conflict_limit is a budget hint for the internal solver; external
-        # solvers run to completion.
+        # solvers run to completion — unless a deadline is in scope, in
+        # which case the subprocess gets the remaining wall-clock as its
+        # timeout and is killed on expiry.
         self._model = {}
         self._failed = []
         self._last_result = None
         if self._unsat:
             self._last_result = False
             return False
+        deadline = limits.active_deadline()
+        remaining = None
+        if deadline is not None:
+            deadline.check()
+            remaining = deadline.remaining()
         with tempfile.TemporaryDirectory(prefix="checkfence-dimacs-") as tmp:
             problem = os.path.join(tmp, "problem.cnf")
             self._write_problem(problem, assumptions)
@@ -274,8 +282,15 @@ class DimacsBackend:
                 command.append(result_file)
             try:
                 proc = subprocess.run(
-                    command, capture_output=True, text=True, check=False
+                    command, capture_output=True, text=True, check=False,
+                    timeout=remaining,
                 )
+            except subprocess.TimeoutExpired as exc:
+                # subprocess.run has already killed the solver process.
+                raise limits.TimeoutExceeded(
+                    f"external solver {self._command[0]!r} killed after "
+                    f"{exc.timeout:.1f}s (deadline expired)"
+                ) from exc
             except FileNotFoundError as exc:
                 raise BackendError(
                     f"solver binary {self._command[0]!r} not found "
@@ -409,7 +424,19 @@ def default_backend_spec() -> str:
 
 
 def make_backend_factory(spec: str | None = None) -> BackendFactory:
-    """Turn a backend spec string into a factory of fresh backends."""
+    """Turn a backend spec string into a factory of fresh backends.
+
+    When the ``solver-raise`` fault (:mod:`repro.core.faults`) is armed,
+    every produced backend is wrapped in a counting proxy that raises on
+    the injected solve calls; the hot path pays nothing otherwise.
+    """
+    factory = _resolve_backend_factory(spec)
+    if faults.solver_raise_counts():
+        return lambda: faults.FaultySolverProxy(factory())
+    return factory
+
+
+def _resolve_backend_factory(spec: str | None = None) -> BackendFactory:
     spec = spec if spec is not None else default_backend_spec()
     spec = spec.strip()
     if spec in ("", "auto", "internal"):

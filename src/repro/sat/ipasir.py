@@ -40,13 +40,20 @@ import ctypes.util
 import os
 import subprocess
 import sys
+import threading
 from typing import IO, Iterable, Sequence
 
+from repro.core import limits
 from repro.sat.cnf import CNF
 from repro.sat.solver import SolverStats
 
 IPASIR_SAT = 10
 IPASIR_UNSAT = 20
+IPASIR_INTERRUPTED = 0
+
+#: C type of the optional ``ipasir_set_terminate`` callback: called
+#: periodically by the solver; a non-zero return aborts the solve.
+TERMINATE_CALLBACK = ctypes.CFUNCTYPE(ctypes.c_int, ctypes.c_void_p)
 
 #: Environment variable naming the shared library to load for ``ipasir``.
 IPASIR_LIB_ENV = "CHECKFENCE_IPASIR_LIB"
@@ -112,6 +119,12 @@ class IpasirLibrary:
         if hasattr(cdll, "ipasir_signature"):
             cdll.ipasir_signature.restype = ctypes.c_char_p
             cdll.ipasir_signature.argtypes = []
+        self.supports_terminate = hasattr(cdll, "ipasir_set_terminate")
+        if self.supports_terminate:
+            cdll.ipasir_set_terminate.restype = None
+            cdll.ipasir_set_terminate.argtypes = [
+                ctypes.c_void_p, ctypes.c_void_p, TERMINATE_CALLBACK
+            ]
 
     def signature(self) -> str:
         if hasattr(self._cdll, "ipasir_signature"):
@@ -143,6 +156,15 @@ class IpasirLibrary:
 
     def failed(self, handle: int, literal: int) -> bool:
         return bool(self._cdll.ipasir_failed(handle, literal))
+
+    def set_terminate(self, handle: int, callback) -> None:
+        """Install (or with ``callback=None`` clear) the terminate hook;
+        no-op when the library does not export ``ipasir_set_terminate``."""
+        if self.supports_terminate:
+            self._cdll.ipasir_set_terminate(
+                handle, None,
+                callback if callback is not None else TERMINATE_CALLBACK(),
+            )
 
 
 def find_ipasir_library() -> str | None:
@@ -198,6 +220,7 @@ class IpasirBackend:
         self._last_result: bool | None = None
         self._failed: list[int] = []
         self._solves = 0
+        self._terminate_thunk = None
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         handle = getattr(self, "_handle", None)
@@ -272,16 +295,39 @@ class IpasirBackend:
         conflict_limit: int | None = None,
     ) -> bool | None:
         # conflict_limit is a budget hint for the internal solver; IPASIR
-        # solvers run to completion (ipasir_set_terminate is not worth the
-        # ctypes callback overhead here).
+        # solvers run to completion — unless a deadline is in scope, in
+        # which case the optional ipasir_set_terminate hook aborts the
+        # solve on expiry (libraries without the hook are still checked
+        # between solves).
         self._failed = []
         self._last_result = None
         library = self._library
         handle = self._handle
-        for lit in assumptions:
-            library.assume(handle, lit)
-        result = library.solve(handle)
+        deadline = limits.active_deadline()
+        terminate_installed = False
+        if deadline is not None:
+            deadline.check()
+            if library.supports_terminate:
+                def _should_stop(_data: object) -> int:
+                    return 1 if (
+                        deadline.expired() or deadline.memory_exceeded()
+                    ) else 0
+                # Keep the ctypes thunk alive for the duration of the
+                # solve; the solver calls it from C.
+                self._terminate_thunk = TERMINATE_CALLBACK(_should_stop)
+                library.set_terminate(handle, self._terminate_thunk)
+                terminate_installed = True
+        try:
+            for lit in assumptions:
+                library.assume(handle, lit)
+            result = library.solve(handle)
+        finally:
+            if terminate_installed:
+                library.set_terminate(handle, None)
+                self._terminate_thunk = None
         self._solves += 1
+        if result == IPASIR_INTERRUPTED and deadline is not None:
+            deadline.check()
         if result == IPASIR_SAT:
             self._last_result = True
             return True
@@ -380,19 +426,37 @@ class IncrementalPipeBackend:
         return self._process
 
     def close(self) -> None:
-        """Shut the solver process down (idempotent)."""
+        """Shut the solver process down (idempotent).
+
+        Escalates: ask nicely (the ``q`` command), then SIGTERM, then
+        SIGKILL — a solver stuck in a long propagation (or a misbehaving
+        one that ignores SIGTERM) must never be leaked, only the final
+        kill is unconditional.
+        """
         process = self._process
         self._process = None
-        if process is not None and process.poll() is None:
-            try:
-                if process.stdin is not None:
-                    process.stdin.write("q\n")
-                    process.stdin.flush()
-                    process.stdin.close()
-                process.wait(timeout=5)
-            except (OSError, subprocess.TimeoutExpired):
-                process.kill()
-                process.wait()
+        if process is None or process.poll() is not None:
+            return
+        try:
+            if process.stdin is not None:
+                process.stdin.write("q\n")
+                process.stdin.flush()
+                process.stdin.close()
+        except OSError:
+            pass
+        try:
+            process.wait(timeout=2)
+            return
+        except subprocess.TimeoutExpired:
+            pass
+        process.terminate()
+        try:
+            process.wait(timeout=2)
+            return
+        except subprocess.TimeoutExpired:
+            pass
+        process.kill()
+        process.wait()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:
@@ -447,6 +511,44 @@ class IncrementalPipeBackend:
         self._last_result = None
         process = self._ensure_process()
         assert process.stdin is not None and process.stdout is not None
+        # A deadline in scope arms a watchdog that kills the solver
+        # process on expiry; the resulting EOF on stdout is then reported
+        # as TimeoutExceeded rather than a protocol error.
+        deadline = limits.active_deadline()
+        watchdog: threading.Timer | None = None
+        if deadline is not None:
+            deadline.check()
+            remaining = deadline.remaining()
+            if remaining is not None:
+                watchdog = threading.Timer(remaining, process.kill)
+                watchdog.daemon = True
+                watchdog.start()
+        try:
+            return self._solve_over_pipe(process, assumptions, deadline)
+        finally:
+            if watchdog is not None:
+                watchdog.cancel()
+
+    def _solve_over_pipe(
+        self,
+        process: subprocess.Popen,
+        assumptions: Sequence[int],
+        deadline,
+    ) -> bool | None:
+        def _gone(exc: Exception | None = None) -> Exception:
+            if deadline is not None and (
+                deadline.expired() or deadline.memory_exceeded()
+            ):
+                process.wait()  # the watchdog killed it; reap
+                deadline.check()
+            error = IpasirError(
+                f"incremental solver process {self._command!r} went away"
+                + (f": {exc}" if exc is not None else " mid-query")
+            )
+            if exc is not None:
+                error.__cause__ = exc
+            return error
+
         try:
             if self._pending:
                 process.stdin.writelines(self._pending)
@@ -456,19 +558,13 @@ class IncrementalPipeBackend:
             )
             process.stdin.flush()
         except OSError as exc:
-            raise IpasirError(
-                f"incremental solver process {self._command!r} "
-                f"went away: {exc}"
-            ) from exc
+            raise _gone(exc)
         status: bool | None = None
         literals: list[int] = []
         while True:
             line = process.stdout.readline()
             if not line:
-                raise IpasirError(
-                    f"incremental solver process {self._command!r} closed "
-                    "its output mid-query"
-                )
+                raise _gone()
             line = line.strip()
             if line.startswith("s "):
                 verdict = line[2:].strip().upper()

@@ -73,6 +73,8 @@ from array import array
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.core import limits
+
 
 def simplify_enabled(flag: bool | None = None) -> bool:
     """Resolve the simplification knob: an explicit flag wins, otherwise
@@ -297,16 +299,24 @@ class Simplifier:
             self._propagate_units(units)
         # Fixed two-pass pipeline: the full (and costly) subsumption sweep
         # runs once; the second pass picks up the equivalences and
-        # eliminations the first one cascaded into.
+        # eliminations the first one cascaded into.  Each stage boundary
+        # (and a masked poll inside the two heavy rounds) checks the
+        # active resource budget, so a timeout can cut preprocessing
+        # short instead of letting it overrun the whole cell budget.
         if not self.unsat:
+            limits.check_deadline()
             self._substitute_equivalents()
         if not self.unsat:
+            limits.check_deadline()
             self._subsume_round()
         if not self.unsat:
+            limits.check_deadline()
             self._eliminate_round()
         if not self.unsat:
+            limits.check_deadline()
             self._substitute_equivalents()
         if not self.unsat:
+            limits.check_deadline()
             self._eliminate_round()
 
         survivors: list[tuple[int, ...]] = []
@@ -583,10 +593,14 @@ class Simplifier:
         live.sort(key=lambda i: len(clauses[i]))
         changed = False
         new_units: list[int] = []
+        scanned = 0
         for index in live:
             clause = clauses[index]
             if clause is None:
                 continue
+            scanned += 1
+            if scanned & 2047 == 0:
+                limits.check_deadline()
             c_sig = sigs[index]
             c_set = csets[index]
             c_len = len(clause)
@@ -677,9 +691,13 @@ class Simplifier:
             ),
         )
         new_units: list[int] = []
+        scanned = 0
         for var in order:
             if self.unsat:
                 return True
+            scanned += 1
+            if scanned & 2047 == 0:
+                limits.check_deadline()
             if self.fixed.get(var) is not None:
                 continue
             pos = self._occ_list(var)

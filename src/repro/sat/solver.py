@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from heapq import heapify, heappop, heappush
 from typing import Iterable, Sequence
 
+from repro.core import limits
 from repro.sat.cnf import CNF
 
 _UNASSIGNED = -1
@@ -936,6 +937,12 @@ class Solver:
         conflicts_since_restart = 0
         max_learned = max(1000, self.num_clauses // 2)
         total_conflicts = 0
+        # Resolved once per solve: the active resource budget, polled on
+        # conflict-limit slices (every 64 conflicts) and on long
+        # conflict-free decision runs, so a blown-up instance surfaces as
+        # TIMEOUT/OOM instead of an unbounded solve.
+        deadline = limits.active_deadline()
+        decisions_since_poll = 0
 
         while True:
             conflict = self._propagate()
@@ -986,6 +993,8 @@ class Solver:
                     self._backtrack(0)
                     self.total_stats.merge(self.stats)
                     return None
+                if deadline is not None and total_conflicts & 63 == 0:
+                    self._poll_deadline(deadline)
                 if conflicts_since_restart >= conflicts_until_restart:
                     self.stats.restarts += 1
                     restart_count += 1
@@ -1029,12 +1038,27 @@ class Solver:
                 self.total_stats.merge(self.stats)
                 return True
             self.stats.decisions += 1
+            if deadline is not None:
+                decisions_since_poll += 1
+                if decisions_since_poll >= 4096:
+                    decisions_since_poll = 0
+                    self._poll_deadline(deadline)
             self._trail_lim.append(len(self._trail))
             if len(self._trail_lim) > self.stats.max_decision_level:
                 self.stats.max_decision_level = len(self._trail_lim)
             phase = self._phase[var]
             ilit = 2 * var + (0 if phase else 1)
             self._enqueue(ilit, 0)
+
+    def _poll_deadline(self, deadline) -> None:
+        """Raise out of the search loop on budget breach, leaving the
+        solver at decision level 0 with its counters merged so it stays
+        reusable (e.g. after a conservative retry without the budget)."""
+        if deadline.expired() or deadline.memory_exceeded():
+            self._backtrack(0)
+            self.total_stats.merge(self.stats)
+            self.stats = SolverStats()
+            deadline.check()
 
     # ------------------------------------------------------------- utilities
 

@@ -194,6 +194,106 @@ class TestRobustness:
         conn.close()
         assert rows == [("k", VERDICT_KIND)]
 
+    def test_wal_and_busy_timeout_enabled(self, cache_dir):
+        store = VerdictStore()
+        store.put("k", VERDICT_KIND, {"passed": True})
+        conn = store._connection()
+        assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        assert conn.execute("PRAGMA busy_timeout").fetchone()[0] >= 1000
+
+
+def _contending_writer(path, worker, count):
+    store = VerdictStore(path)
+    for i in range(count):
+        store.put(f"w{worker}-k{i}", VERDICT_KIND, {"worker": worker, "i": i})
+    store.close()
+
+
+class TestConcurrentWriters:
+    def test_parallel_writers_do_not_corrupt_or_lose_rows(self, tmp_path):
+        """Several matrix workers share one --store: concurrent inserts
+        must all land (WAL + busy_timeout), never raise, and leave a
+        readable database."""
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+        path = tmp_path / "shared.sqlite"
+        writers, per_writer = 4, 25
+        processes = [
+            ctx.Process(target=_contending_writer, args=(path, w, per_writer))
+            for w in range(writers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+        assert all(p.exitcode == 0 for p in processes)
+        store = VerdictStore(path)
+        assert store.stats()["cells"] == writers * per_writer
+        for w in range(writers):
+            assert store.get(f"w{w}-k0") == {"worker": w, "i": 0}
+
+    def test_forked_child_reconnects_instead_of_sharing(self, tmp_path):
+        """The per-PID connection guard: a child inheriting the store
+        object must open its own connection, not reuse the parent's."""
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+        store = VerdictStore(tmp_path / "shared.sqlite")
+        store.put("parent", VERDICT_KIND, {"who": "parent"})
+
+        def child():
+            store.put("child", VERDICT_KIND, {"who": "child"})
+
+        process = ctx.Process(target=child)
+        process.start()
+        process.join(timeout=30)
+        assert process.exitcode == 0
+        assert store.get("child") == {"who": "child"}
+
+
+class TestStoreFaultInjection:
+    def test_store_io_fault_degrades_to_misses(self, tmp_path, monkeypatch):
+        from repro.core import faults
+
+        store = VerdictStore(tmp_path / "s.sqlite")
+        store.put("k", VERDICT_KIND, {"passed": True})
+        monkeypatch.setenv(faults.FAULT_ENV, "store-io")
+        assert store.get("k") is None  # fault -> miss, not an exception
+        monkeypatch.delenv(faults.FAULT_ENV)
+        # The failed operation marked the store broken for this process;
+        # clear() resets it, after which the data written pre-fault is
+        # gone but the store works again.
+        store.clear()
+        store.put("k2", VERDICT_KIND, {"passed": False})
+        assert store.get("k2") == {"passed": False}
+
+    def test_store_io_fault_never_crashes_a_check(self, cache_dir, monkeypatch):
+        from repro.core import faults
+
+        monkeypatch.setenv(faults.FAULT_ENV, "store-io")
+        checker, result = _check("msn", "T0", "sc", store=True)
+        assert result.passed is True
+        assert result.stats.store_hit is False
+
+
+class TestDegradedNeverStored:
+    def test_timeout_verdict_is_not_cached(self, cache_dir):
+        """A TIMEOUT is a property of one run's budget, not of the cell:
+        it must never be served from the store as if it were an answer."""
+        checker, result = _check("msn", "T0", "sc", store=True, timeout=1e-9)
+        assert result.degraded == "TIMEOUT"
+        store = VerdictStore()
+        assert store.stats()["cells"] == 0
+        # A fresh, unbudgeted check runs for real and passes.
+        checker, result = _check("msn", "T0", "sc", store=True)
+        assert result.passed is True
+        assert not result.degraded
+
 
 class TestCacheCli:
     def test_cache_stats_and_clear(self, cache_dir, capsys):

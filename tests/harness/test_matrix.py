@@ -190,11 +190,15 @@ class TestWorkerCrash:
         assert not matrix.ok
         by_key = {r.cell.key: r for r in matrix.results}
         crashed = by_key[victim.key]
-        assert crashed.verdict == "ERROR"
+        # The legacy env crashes every attempt, so the cell exhausts its
+        # retries and is quarantined with the first-class CRASHED verdict
+        # (not ERROR: the harness ran fine, the worker died).
+        assert crashed.verdict == "CRASHED"
         assert "crashed" in crashed.error
+        assert crashed in matrix.degraded
         # The surviving worker still finished every other shard.
         healthy = [r for r in matrix.results if r.cell.key != victim.key]
-        assert all(not r.error for r in healthy)
+        assert all(not r.error and not r.degraded for r in healthy)
 
     def test_all_workers_crashing_still_terminates(self, monkeypatch):
         """When every worker dies, remaining shards are reported as lost
@@ -203,9 +207,11 @@ class TestWorkerCrash:
         monkeypatch.setenv(CRASH_ENV, ",".join(cell.key for cell in cells))
         matrix = run_matrix(cells, jobs=2)
         assert not matrix.ok
-        assert len(matrix.errors) == len(cells)
+        assert len(matrix.degraded) == len(cells)
+        assert all(r.degraded == "CRASHED" for r in matrix.degraded)
         assert all("crashed" in r.error or "no live workers" in r.error
-                   for r in matrix.errors)
+                   or "lost in transit" in r.error
+                   for r in matrix.degraded)
 
 
 class TestInterrupt:

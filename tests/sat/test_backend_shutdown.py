@@ -1,0 +1,84 @@
+"""Regression tests for solver subprocess teardown.
+
+An external solver stuck in a long propagation — or one that ignores
+SIGTERM outright — used to be leaked by ``IncrementalPipeBackend.close``
+(quit command + bounded wait, no escalation).  These tests pin the
+quit → terminate → kill escalation with deliberately misbehaving stub
+processes.
+"""
+
+import subprocess
+import sys
+import time
+
+from repro.sat.ipasir import IncrementalPipeBackend
+
+# A "solver" that ignores both the protocol's quit command and SIGTERM:
+# it reads stdin forever and sleeps through EOF.  Only SIGKILL reaps it.
+_STUBBORN_STUB = [
+    sys.executable,
+    "-c",
+    (
+        "import signal, sys, time\n"
+        "signal.signal(signal.SIGTERM, signal.SIG_IGN)\n"
+        "for _ in sys.stdin:\n"
+        "    pass\n"
+        "while True:\n"
+        "    time.sleep(3600)\n"
+    ),
+]
+
+# A solver that exits promptly on the quit command (the happy path).
+_POLITE_STUB = [
+    sys.executable,
+    "-c",
+    (
+        "import sys\n"
+        "for line in sys.stdin:\n"
+        "    if line.strip() == 'q':\n"
+        "        sys.exit(0)\n"
+    ),
+]
+
+
+class TestPipeBackendShutdown:
+    def test_close_reaps_sigterm_ignoring_solver(self):
+        backend = IncrementalPipeBackend(command=_STUBBORN_STUB)
+        process = backend._ensure_process()
+        assert process.poll() is None
+        started = time.monotonic()
+        backend.close()
+        # close() must have escalated all the way to SIGKILL and reaped
+        # the process — no zombie, no leak, and within the two bounded
+        # waits (2 s each) plus slack.
+        assert process.poll() is not None
+        assert time.monotonic() - started < 30
+        assert backend._process is None
+
+    def test_close_is_idempotent_after_escalation(self):
+        backend = IncrementalPipeBackend(command=_STUBBORN_STUB)
+        backend._ensure_process()
+        backend.close()
+        backend.close()  # second close on a dead/absent process: no-op
+
+    def test_close_prefers_graceful_quit(self):
+        backend = IncrementalPipeBackend(command=_POLITE_STUB)
+        process = backend._ensure_process()
+        started = time.monotonic()
+        backend.close()
+        assert process.poll() == 0  # exited via the protocol, not a signal
+        assert time.monotonic() - started < 5
+
+    def test_close_without_process_is_noop(self):
+        backend = IncrementalPipeBackend(command=_POLITE_STUB)
+        backend.close()
+
+    def test_dead_solver_is_detected_not_leaked(self):
+        backend = IncrementalPipeBackend(
+            command=[sys.executable, "-c", "import sys; sys.exit(7)"]
+        )
+        process = backend._ensure_process()
+        process.wait(timeout=10)
+        # close() on an already-dead process must not raise or hang.
+        backend.close()
+        assert backend._process is None

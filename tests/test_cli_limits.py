@@ -1,0 +1,133 @@
+"""CLI tests for resource budgets, degraded exit codes, and --resume."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import faults, limits
+
+
+class TestCheckBudget:
+    def test_timeout_flag_degrades_to_exit_3(self, capsys):
+        code = main([
+            "check", "--impl", "msn", "--test", "T0", "--model", "sc",
+            "--timeout", "0.0000001",
+        ])
+        assert code == 3
+        assert "[TIMEOUT]" in capsys.readouterr().out
+
+    def test_memory_limit_flag_degrades_to_oom(self, capsys):
+        if limits.current_rss_bytes() is None:
+            pytest.skip("no RSS probe on this platform")
+        code = main([
+            "check", "--impl", "msn", "--test", "T0", "--model", "sc",
+            "--memory-limit", "1",
+        ])
+        assert code == 3
+        assert "[OOM]" in capsys.readouterr().out
+
+    def test_timeout_env_fallback(self, capsys, monkeypatch):
+        monkeypatch.setenv(limits.TIMEOUT_ENV, "0.0000001")
+        code = main([
+            "check", "--impl", "msn", "--test", "T0", "--model", "sc",
+        ])
+        assert code == 3
+        assert "[TIMEOUT]" in capsys.readouterr().out
+
+    def test_generous_budget_still_passes(self, capsys):
+        code = main([
+            "check", "--impl", "msn", "--test", "T0", "--model", "sc",
+            "--timeout", "3600",
+        ])
+        assert code == 0
+        assert "[PASS]" in capsys.readouterr().out
+
+
+class TestMatrixDegradedExit:
+    def test_timed_out_cell_exits_3_not_1(self, capsys, monkeypatch):
+        """Exit 3 (budget ran out) must be distinguishable from exit 1
+        (a bug was found): passing cells plus one TIMEOUT is 3."""
+        monkeypatch.setenv(
+            faults.FAULT_ENV, "cell-timeout:litmus/store-buffering@sc"
+        )
+        code = main([
+            "matrix", "--litmus", "--models", "sc", "--quiet",
+            "--json", "-",
+        ])
+        captured = capsys.readouterr()
+        assert code == 3
+        payload = json.loads(captured.out)
+        verdicts = {
+            cell["test"]: cell["verdict"] for cell in payload["cells"]
+        }
+        assert verdicts["store-buffering"] == "TIMEOUT"
+        assert "TIMEOUT in litmus/store-buffering@sc" in captured.err
+
+    def test_real_failure_still_exits_1(self, capsys, monkeypatch):
+        """A FAIL alongside a TIMEOUT keeps the bug-found exit code."""
+        monkeypatch.setenv(faults.FAULT_ENV, "cell-timeout:msn/T0@sc")
+        code = main([
+            "matrix", "--impls", "msn,msn-unfenced", "--tests", "T0",
+            "--models", "sc,relaxed", "--quiet",
+        ])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestMatrixJournalCli:
+    def test_resume_requires_journal(self, capsys):
+        code = main(["matrix", "--litmus", "--models", "sc", "--resume"])
+        assert code == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_journal_roundtrip(self, tmp_path, capsys):
+        journal = tmp_path / "m.jsonl"
+        code = main([
+            "matrix", "--litmus", "--models", "sc", "--quiet",
+            "--journal", str(journal),
+        ])
+        assert code == 0
+        assert journal.exists()
+        capsys.readouterr()
+        code = main([
+            "matrix", "--litmus", "--models", "sc", "--quiet",
+            "--journal", str(journal), "--resume",
+        ])
+        assert code == 0
+        assert "resumed from journal" in capsys.readouterr().out
+
+    def test_mismatched_journal_is_usage_error(self, tmp_path, capsys):
+        journal = tmp_path / "m.jsonl"
+        assert main([
+            "matrix", "--litmus", "--models", "sc", "--quiet",
+            "--journal", str(journal),
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "matrix", "--litmus", "--models", "tso", "--quiet",
+            "--journal", str(journal), "--resume",
+        ])
+        assert code == 2
+        assert "different cell set" in capsys.readouterr().err
+
+
+class TestFuzzJournalCli:
+    def test_resume_requires_journal(self, capsys):
+        code = main(["fuzz", "--budget", "1", "--resume"])
+        assert code == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_fuzz_journal_resume_roundtrip(self, tmp_path, capsys):
+        """The corpus is deterministic from the seed, so a resumed
+        campaign sees the identical cell set and restores from the
+        journal."""
+        journal = tmp_path / "f.jsonl"
+        args = [
+            "fuzz", "--budget", "2", "--seed", "11", "--models", "sc",
+            "--jobs", "1", "--quiet", "--journal", str(journal),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        assert "resumed from journal" in capsys.readouterr().out

@@ -7,6 +7,14 @@ any per-cell verdict difference (or a cell present in one run only)
 fails with a readable diff.  Timing and counters are ignored — only
 (implementation, test, model) -> verdict matters.
 
+Degraded verdicts (TIMEOUT, OOM, CRASHED) are *incomparable*, not
+divergent: they mean a run hit a resource budget or lost a worker before
+producing an answer, so a cell that is TIMEOUT on one side carries no
+evidence about the other side's PASS/FAIL.  Such cells are skipped and
+counted (the summary reports how many were not compared); they never
+fail the comparison.  ERROR stays strict — a harness error is a real
+difference worth failing on.
+
 With ``--min-store-hit-rate`` the candidate run must additionally have
 served at least that fraction of its store lookups from the persistent
 cache (``store_hits / (store_hits + store_misses)`` over the matrix
@@ -24,6 +32,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+#: Verdicts that mean "no answer was produced" (resource budget or lost
+#: worker); cells carrying one on either side are skipped, not diffed.
+INCOMPARABLE = frozenset({"TIMEOUT", "OOM", "CRASHED"})
 
 
 def _load(path: str) -> dict:
@@ -68,9 +80,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"no cells in {args.baseline}", file=sys.stderr)
         return 1
     problems = []
+    incomparable = []
     for key in sorted(set(baseline) | set(candidate)):
         left = baseline.get(key)
         right = candidate.get(key)
+        if left in INCOMPARABLE or right in INCOMPARABLE:
+            incomparable.append(
+                f"  {'/'.join(key)}: {left or 'missing'} vs "
+                f"{right or 'missing'} (not compared)"
+            )
+            continue
         if left != right:
             name = "/".join(key)
             problems.append(
@@ -82,10 +101,17 @@ def main(argv: list[str] | None = None) -> int:
             + "\n".join(problems)
         )
         return 1
+    compared = len(set(baseline) | set(candidate)) - len(incomparable)
     print(
-        f"{len(baseline)} cells verdict-identical "
+        f"{compared} cells verdict-identical "
         f"({args.baseline} vs {args.candidate})"
     )
+    if incomparable:
+        # Degraded cells are skipped, never silently: say what was not
+        # compared so a budget-starved CI run reads as incomplete.
+        print(f"{len(incomparable)} cells not comparable "
+              "(TIMEOUT/OOM/CRASHED on at least one side):")
+        print("\n".join(incomparable))
     if args.min_store_hit_rate is not None:
         rate, hits, misses = _store_hit_rate(candidate_payload)
         print(
